@@ -1,0 +1,42 @@
+"""Ablation benchmarks: the design-choice studies from DESIGN.md.
+
+Regenerates the three ablation tables (A1 parallel loss, A2 batching,
+A3 frontier generation) plus the accuracy-vs-cost study, and times the
+two pushes the parallel-loss comparison is built from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_batching,
+    ablation_frontier_generation,
+    ablation_parallel_loss,
+)
+from repro.bench.accuracy import accuracy_study
+from repro.config import Backend, PushVariant
+
+from .conftest import PushKernel, emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ablation_tables():
+    emit(ablation_parallel_loss(dataset="youtube"), "ablation_loss.txt")
+    emit(ablation_batching(dataset="youtube"), "ablation_batching.txt")
+    emit(ablation_frontier_generation(dataset="youtube"), "ablation_frontier.txt")
+    emit(
+        accuracy_study(dataset="youtube", epsilons=(1e-4, 1e-5), walk_budgets=(6, 24)),
+        "ablation_accuracy.txt",
+    )
+
+
+@pytest.mark.parametrize(
+    "variant,workers",
+    [(PushVariant.OPT, 1), (PushVariant.OPT, 40), (PushVariant.VANILLA, 40)],
+    ids=["opt-seq-like", "opt-40", "vanilla-40"],
+)
+def test_parallel_loss_kernels(benchmark, variant, workers):
+    kernel = PushKernel("youtube", variant=variant, workers=workers)
+    stats = benchmark(kernel.run)
+    benchmark.extra_info["pushes"] = stats.pushes

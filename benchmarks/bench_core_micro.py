@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the core primitives (not tied to a paper figure).
+
+Times the pieces the paper's latency decomposes into: restore-invariant,
+CSR snapshotting, the pure vs vectorized engines, and the sequential push.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Backend, PPRConfig
+from repro.core.invariant import restore_invariant
+from repro.core.push_parallel import parallel_local_push
+from repro.core.push_sequential import sequential_local_push
+from repro.core.state import PPRState
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import rmat_graph
+from repro.graph.update import EdgeOp, EdgeUpdate
+
+
+@pytest.fixture(scope="module")
+def scale_free():
+    edges = rmat_graph(4096, 40_000, rng=99)
+    graph = DynamicDiGraph(map(tuple, edges.tolist()))
+    return edges, graph
+
+
+def test_csr_from_edge_array(benchmark, scale_free):
+    edges, _ = scale_free
+    csr = benchmark(CSRGraph.from_edge_array, edges)
+    assert csr.num_edges == len(edges)
+
+
+def test_csr_from_digraph(benchmark, scale_free):
+    _, graph = scale_free
+    csr = benchmark(CSRGraph.from_digraph, graph)
+    assert csr.num_edges == graph.num_edges
+
+
+def test_restore_invariant_throughput(benchmark, scale_free):
+    edges, graph = scale_free
+    source = int(edges[0, 0])
+    config = PPRConfig(epsilon=1e-5)
+    state = PPRState.initial(source, graph.capacity)
+    parallel_local_push(state, graph, config, seeds=[source])
+    updates = [
+        EdgeUpdate(int(u), int(v), EdgeOp.INSERT) for u, v in edges[:500].tolist()
+    ]
+
+    def restore_batch_of_500():
+        work_state = state.copy()
+        for update in updates:
+            # Degree bookkeeping only changes transiently; restore against
+            # the live graph (insert of an existing edge is legal in a
+            # multigraph and costs the same).
+            graph.add_edge(update.u, update.v)
+            restore_invariant(work_state, graph, update, config.alpha)
+        for update in updates:
+            graph.remove_edge(update.u, update.v)
+
+    benchmark(restore_batch_of_500)
+
+
+@pytest.mark.parametrize("backend", [Backend.PURE, Backend.NUMPY], ids=lambda b: b.value)
+def test_push_from_scratch(benchmark, scale_free, backend):
+    edges, graph = scale_free
+    source = int(edges[0, 0])
+    config = PPRConfig(epsilon=1e-4, backend=backend, workers=40)
+    csr = CSRGraph.from_digraph(graph) if backend is Backend.NUMPY else None
+
+    def push():
+        state = PPRState.initial(source, graph.capacity)
+        return parallel_local_push(state, graph, config, seeds=[source], csr=csr)
+
+    stats = benchmark(push)
+    benchmark.extra_info["pushes"] = stats.pushes
+
+
+def test_sequential_push_from_scratch(benchmark, scale_free):
+    edges, graph = scale_free
+    source = int(edges[0, 0])
+    config = PPRConfig(epsilon=1e-4)
+
+    def push():
+        state = PPRState.initial(source, graph.capacity)
+        return sequential_local_push(state, graph, config, seeds=[source])
+
+    stats = benchmark(push)
+    benchmark.extra_info["pushes"] = stats.pushes

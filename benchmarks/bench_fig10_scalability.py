@@ -1,0 +1,27 @@
+"""Figure 10 — multi-core scalability of CPU-MT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig10_scalability
+
+from .conftest import PushKernel, emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure_table():
+    emit(
+        fig10_scalability(
+            dataset="youtube", core_counts=(1, 2, 4, 8, 16, 32, 40), num_slides=2
+        ),
+        "fig10.txt",
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 8, 40], ids=lambda w: f"{w}-cores")
+def test_push_kernel_worker_chunking(benchmark, workers):
+    """Real kernel cost across scheduling widths (eager chunk width)."""
+    kernel = PushKernel("youtube", workers=workers)
+    stats = benchmark(kernel.run)
+    benchmark.extra_info["pushes"] = stats.pushes

@@ -1,0 +1,29 @@
+"""Figure 4 — effect of the optimizations (Opt/Eager/DupDetect/Vanilla).
+
+Regenerates the per-dataset latency table for both device models and
+benchmarks the real Python push kernel under each variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig4_optimizations
+from repro.config import PushVariant
+
+from .conftest import PushKernel, emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure_table():
+    emit(fig4_optimizations(datasets=("youtube", "pokec"), num_slides=2), "fig4.txt")
+
+
+@pytest.mark.parametrize("variant", list(PushVariant), ids=lambda v: v.value)
+def test_push_variant_kernel(benchmark, variant):
+    kernel = PushKernel("youtube", variant=variant)
+    stats = benchmark(kernel.run)
+    assert stats.pushes > 0
+    benchmark.extra_info["pushes"] = stats.pushes
+    benchmark.extra_info["iterations"] = stats.num_iterations
+    benchmark.extra_info["dedup_checks"] = stats.dedup_checks

@@ -1,0 +1,29 @@
+"""Figure 6 — effect of the error threshold epsilon.
+
+Regenerates the latency-vs-epsilon table and benchmarks the push kernel
+at three accuracy levels (the real Python work scales the same way the
+simulated latency does).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig6_epsilon
+
+from .conftest import PushKernel, emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure_table():
+    emit(
+        fig6_epsilon(dataset="youtube", epsilons=(1e-3, 1e-4, 1e-5, 1e-6), num_slides=2),
+        "fig6.txt",
+    )
+
+
+@pytest.mark.parametrize("epsilon", [1e-4, 1e-5, 1e-6], ids=lambda e: f"eps={e:g}")
+def test_push_kernel_epsilon(benchmark, epsilon):
+    kernel = PushKernel("youtube", epsilon=epsilon)
+    stats = benchmark(kernel.run)
+    benchmark.extra_info["total_operations"] = stats.total_operations

@@ -1,0 +1,24 @@
+"""Figure 8 — effect of the batch size (1% / 0.1% / 0.01% of the window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig8_batch_size
+
+from .conftest import PushKernel, emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure_table():
+    emit(
+        fig8_batch_size(dataset="youtube", fractions=(0.01, 0.001, 0.0001), num_slides=2),
+        "fig8.txt",
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.001], ids=["1%", "0.1%"])
+def test_push_kernel_batch(benchmark, fraction):
+    kernel = PushKernel("youtube", batch_fraction=fraction)
+    stats = benchmark(kernel.run)
+    benchmark.extra_info["pushes"] = stats.pushes

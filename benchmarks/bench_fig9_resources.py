@@ -1,0 +1,31 @@
+"""Figure 9 — resource consumption (simulated WO/GLD/L2DCM/L3CM/STL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig9_resources
+from repro.parallel.cost_model import CPUCostModel, GPUCostModel
+from repro.parallel.simulator import profile_cpu, profile_gpu
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure_table():
+    emit(
+        fig9_resources(dataset="youtube", fractions=(0.01, 0.001, 0.0001), num_slides=2),
+        "fig9.txt",
+    )
+
+
+def test_profiling_overhead(benchmark, youtube_kernel):
+    """The profilers themselves must be cheap relative to a push."""
+    stats = youtube_kernel.run()
+
+    def profile():
+        return profile_gpu(stats, GPUCostModel()), profile_cpu(stats, CPUCostModel())
+
+    gpu_prof, cpu_prof = benchmark(profile)
+    assert 0 <= gpu_prof.warp_occupancy <= 1
+    assert 0 <= cpu_prof.stall_ratio <= 1

@@ -1,0 +1,75 @@
+"""Audience discovery on a live social graph ("who will find this account?").
+
+The library maintains the *contribution* PPR vector to a target account s:
+``pi_v(s)`` is the probability that a random browse starting from user v
+ends at s. Users with high ``pi_v(s)`` are the ones most likely to
+discover s — the reverse-PPR signal behind follower recommendation
+systems (cf. Twitter's WTF), here kept fresh under a stream of
+follow/unfollow events.
+
+Run:  python examples/who_to_follow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicPPRTracker, EdgeOp, LabeledDiGraph, PPRConfig
+
+CELEBRITY = "star_coder"
+
+#: Two loose communities plus the target account.
+FOLLOWS = [
+    # community A follows each other and the celebrity
+    ("alice", "bob"), ("bob", "alice"), ("alice", "carol"), ("carol", "alice"),
+    ("bob", "carol"), ("carol", "bob"), ("alice", CELEBRITY), ("bob", CELEBRITY),
+    # community B is initially separate
+    ("dan", "erin"), ("erin", "dan"), ("erin", "frank"), ("frank", "erin"),
+    ("dan", "frank"), ("frank", "dan"),
+    # the celebrity follows back one fan
+    (CELEBRITY, "alice"),
+]
+
+
+def print_ranking(graph: LabeledDiGraph, tracker: DynamicPPRTracker, note: str) -> None:
+    scores = [
+        (label, tracker.estimate(graph.id_of(label)))
+        for label in graph.labels()
+        if label != CELEBRITY
+    ]
+    scores.sort(key=lambda pair: -pair[1])
+    print(f"\n{note}")
+    print(f"likelihood of discovering @{CELEBRITY} (reverse PPR):")
+    for label, score in scores:
+        bar = "#" * int(round(score * 200))
+        print(f"  {label:10s} {score:.4f} {bar}")
+
+
+def main() -> None:
+    graph = LabeledDiGraph(FOLLOWS)
+    tracker = DynamicPPRTracker(
+        graph.graph,
+        source=graph.id_of(CELEBRITY),
+        config=PPRConfig(alpha=0.15, epsilon=1e-8),
+    )
+    print_ranking(graph, tracker, "initial graph (community B is isolated)")
+    assert tracker.estimate(graph.id_of("dan")) == 0.0
+
+    # A bridge forms: erin follows carol, then dan follows the celebrity.
+    tracker.apply_batch([graph.update_for("erin", "carol", EdgeOp.INSERT)])
+    print_ranking(graph, tracker, "after erin -> carol (a bridge to community B)")
+    assert tracker.estimate(graph.id_of("erin")) > 0.0
+
+    tracker.apply_batch([graph.update_for("dan", CELEBRITY, EdgeOp.INSERT)])
+    print_ranking(graph, tracker, f"after dan -> {CELEBRITY} (a direct follow)")
+
+    # An unfollow: alice drops the celebrity; her discovery odds collapse.
+    before = tracker.estimate(graph.id_of("alice"))
+    tracker.apply_batch([graph.update_for("alice", CELEBRITY, EdgeOp.DELETE)])
+    after = tracker.estimate(graph.id_of("alice"))
+    print_ranking(graph, tracker, f"after alice unfollows (was {before:.4f}, now {after:.4f})")
+    assert after < before
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Full experiment driver: regenerates every figure over all datasets.
+
+Writes each table to ``benchmarks/results/full_figN.txt`` and a combined
+report to ``benchmarks/results/full_report.txt``. This is the run recorded
+in EXPERIMENTS.md; the per-figure pytest benchmarks run reduced versions.
+
+Usage:  python scripts/run_experiments.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.figures import (
+    ALL_DATASETS,
+    fig4_optimizations,
+    fig5_throughput,
+    fig6_epsilon,
+    fig7_source_degree,
+    fig8_batch_size,
+    fig9_resources,
+    fig10_scalability,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="small datasets only")
+    args = parser.parse_args(argv)
+
+    datasets = ("youtube", "pokec") if args.fast else ALL_DATASETS
+    slides = 2
+    jobs = [
+        ("fig4", lambda: fig4_optimizations(datasets=datasets, num_slides=slides)),
+        (
+            "fig5",
+            lambda: fig5_throughput(
+                datasets=datasets, num_slides=slides, batch_fractions=(0.01, 0.001)
+            ),
+        ),
+        (
+            "fig6",
+            lambda: fig6_epsilon(
+                dataset="pokec",
+                epsilons=(1e-3, 1e-4, 1e-5, 1e-6, 1e-7),
+                num_slides=slides,
+            ),
+        ),
+        (
+            "fig7",
+            lambda: fig7_source_degree(
+                dataset="pokec", tiers=(10, 1_000, 1_000_000), num_slides=slides
+            ),
+        ),
+        (
+            "fig8",
+            lambda: fig8_batch_size(
+                dataset="pokec", fractions=(0.01, 0.001, 0.0001), num_slides=slides
+            ),
+        ),
+        (
+            "fig9",
+            lambda: fig9_resources(
+                dataset="pokec", fractions=(0.01, 0.001, 0.0001), num_slides=slides
+            ),
+        ),
+        (
+            "fig10",
+            lambda: fig10_scalability(
+                dataset="pokec",
+                core_counts=(1, 2, 4, 8, 16, 20, 32, 40),
+                num_slides=slides,
+            ),
+        ),
+    ]
+
+    RESULTS.mkdir(exist_ok=True)
+    report: list[str] = []
+    for name, job in jobs:
+        start = time.time()
+        result = job()
+        table = result.table()
+        elapsed = time.time() - start
+        print(f"\n{table}\n[{name} regenerated in {elapsed:.1f}s]", flush=True)
+        (RESULTS / f"full_{name}.txt").write_text(table + "\n")
+        report.append(table)
+        report.append(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    (RESULTS / "full_report.txt").write_text("\n".join(report))
+    print(f"\nwrote {RESULTS}/full_report.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""repro — Parallel Personalized PageRank on Dynamic Graphs (VLDB 2017).
+
+A full reproduction of Guo, Li, Sha, Tan, *Parallel Personalized PageRank
+on Dynamic Graphs*, PVLDB 11(1), 2017: incremental PPR maintenance via the
+local-update scheme, parallelized with batch processing, eager propagation
+and local duplicate detection, plus every baseline the paper evaluates
+(sequential local update, incremental Monte-Carlo, a Ligra-style
+vertex-centric framework) and a simulated-hardware benchmark harness that
+regenerates each figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import DynamicDiGraph, DynamicPPRTracker, PPRConfig, insertions
+>>> graph = DynamicDiGraph([(1, 0), (2, 0), (2, 1)])
+>>> tracker = DynamicPPRTracker(graph, source=0, config=PPRConfig(epsilon=1e-6))
+>>> stats = tracker.apply_batch(insertions([(0, 2), (1, 2)]))
+>>> tracker.estimate(0) > 0
+True
+"""
+
+from .config import Backend, Phase, PPRConfig, PushVariant
+from .core.analysis import (
+    parallel_bound_directed,
+    parallel_bound_undirected,
+    parallel_loss,
+    residual_change_bound,
+    sequential_bound,
+)
+from .core.certify import (
+    certified_comparison,
+    certified_top_k,
+    convergence_report,
+    error_bound,
+    residual_decay,
+)
+from .core.groundtruth import ground_truth_linear, ground_truth_ppr, max_estimate_error
+from .core.hub_index import DynamicHubIndex, select_hubs
+from .core.invariant import check_invariant, invariant_violation, restore_invariant
+from .core.push_parallel import parallel_local_push
+from .core.push_sequential import cpu_base_update, cpu_seq_update, sequential_local_push
+from .core.state import PPRState
+from .core.stats import BatchStats, IterationRecord, PushStats
+from .core.tracker import DynamicPPRTracker, MultiSourceTracker
+from .errors import (
+    BackendError,
+    ConfigError,
+    ConvergenceError,
+    EdgeError,
+    GraphError,
+    ReproError,
+    StreamError,
+    VertexError,
+)
+from .graph import (
+    CSRGraph,
+    DATASETS,
+    DatasetSpec,
+    DynamicDiGraph,
+    EdgeOp,
+    EdgeStream,
+    EdgeUpdate,
+    LabeledDiGraph,
+    SlidingWindow,
+    WindowSlide,
+    deletions,
+    insertions,
+    load_dataset,
+    random_permutation_stream,
+)
+from .parallel import (
+    CPUCostModel,
+    GPUCostModel,
+    LigraCostModel,
+    MonteCarloCostModel,
+    profile_cpu,
+    profile_gpu,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BatchStats",
+    "CPUCostModel",
+    "CSRGraph",
+    "ConfigError",
+    "ConvergenceError",
+    "DATASETS",
+    "DatasetSpec",
+    "DynamicDiGraph",
+    "DynamicHubIndex",
+    "DynamicPPRTracker",
+    "EdgeError",
+    "EdgeOp",
+    "EdgeStream",
+    "EdgeUpdate",
+    "GPUCostModel",
+    "GraphError",
+    "IterationRecord",
+    "LabeledDiGraph",
+    "LigraCostModel",
+    "MonteCarloCostModel",
+    "MultiSourceTracker",
+    "PPRConfig",
+    "PPRState",
+    "Phase",
+    "PushStats",
+    "PushVariant",
+    "ReproError",
+    "SlidingWindow",
+    "StreamError",
+    "VertexError",
+    "WindowSlide",
+    "certified_comparison",
+    "certified_top_k",
+    "check_invariant",
+    "convergence_report",
+    "cpu_base_update",
+    "cpu_seq_update",
+    "deletions",
+    "error_bound",
+    "ground_truth_linear",
+    "ground_truth_ppr",
+    "insertions",
+    "invariant_violation",
+    "load_dataset",
+    "max_estimate_error",
+    "parallel_bound_directed",
+    "parallel_bound_undirected",
+    "parallel_local_push",
+    "parallel_loss",
+    "profile_cpu",
+    "profile_gpu",
+    "random_permutation_stream",
+    "residual_change_bound",
+    "residual_decay",
+    "restore_invariant",
+    "select_hubs",
+    "sequential_bound",
+    "sequential_local_push",
+]

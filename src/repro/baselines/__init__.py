@@ -1,0 +1,17 @@
+"""Baseline systems the paper evaluates against."""
+
+from .ligra.framework import LigraGraph, VertexSubset, edge_map, vertex_map
+from .ligra.ppr import LigraDynamicPPR
+from .montecarlo import IncrementalMonteCarloPPR, MonteCarloStats
+from .power_iteration import power_iteration_ppr
+
+__all__ = [
+    "IncrementalMonteCarloPPR",
+    "LigraDynamicPPR",
+    "LigraGraph",
+    "MonteCarloStats",
+    "VertexSubset",
+    "edge_map",
+    "power_iteration_ppr",
+    "vertex_map",
+]

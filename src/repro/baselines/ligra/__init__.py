@@ -1,0 +1,13 @@
+"""Mini vertex-centric graph-processing framework (Ligra-style) baseline."""
+
+from .framework import EdgeMapResult, LigraGraph, VertexSubset, edge_map, vertex_map
+from .ppr import LigraDynamicPPR
+
+__all__ = [
+    "EdgeMapResult",
+    "LigraDynamicPPR",
+    "LigraGraph",
+    "VertexSubset",
+    "edge_map",
+    "vertex_map",
+]

@@ -1,0 +1,148 @@
+"""Dynamic PPR implemented on the vertex-centric framework (the paper's
+``Ligra`` baseline).
+
+Expresses the batch parallel push with ``edgeMap``/``vertexMap`` only.
+Being generic, the framework can express *snapshot* (Algorithm 3)
+semantics but not the paper's application-specific optimizations:
+
+* no eager propagation — edgeMap's bulk-synchronous contract hands the
+  update function a fixed view of the frontier's values;
+* no local duplicate detection — frontier output dedup goes through the
+  framework's flags array / dense scan.
+
+That gap is exactly what Section 5.3 measures when comparing ``Ligra``
+against the specialized CPU-MT implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ...config import Phase, PPRConfig
+from ...core.invariant import restore_invariant
+from ...core.state import PPRState
+from ...core.stats import BatchStats, IterationRecord, PushStats, RestoreStats
+from ...errors import ConvergenceError
+from ...graph.csr import CSRGraph
+from ...graph.digraph import DynamicDiGraph
+from ...graph.update import EdgeUpdate
+from .framework import LigraGraph, VertexSubset, edge_map, vertex_map
+
+
+class LigraDynamicPPR:
+    """Tracker-compatible dynamic PPR maintenance on the mini framework."""
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        source: int,
+        config: PPRConfig | None = None,
+    ) -> None:
+        self.config = config or PPRConfig()
+        self.graph = graph
+        if not graph.has_vertex(source):
+            graph.add_vertex(source)
+        self.state = PPRState.initial(source, graph.capacity)
+        self.initial_stats = self._push([source])
+
+    @property
+    def source(self) -> int:
+        return self.state.source
+
+    def estimate(self, v: int) -> float:
+        return self.state.estimate(v)
+
+    # ------------------------------------------------------------------ #
+    # the push, in vertex-centric clothing
+    # ------------------------------------------------------------------ #
+
+    def _phase(
+        self,
+        lgraph: LigraGraph,
+        phase: Phase,
+        seeds: Sequence[int],
+        stats: PushStats,
+    ) -> None:
+        config = self.config
+        epsilon = config.epsilon
+        alpha = config.alpha
+        state = self.state
+        r = state.r
+        dout = lgraph.in_csr.dout
+
+        def exceeds(values: np.ndarray) -> np.ndarray:
+            return values > epsilon if phase is Phase.POS else values < -epsilon
+
+        seed_ids = np.unique(np.asarray(list(seeds), dtype=np.int64))
+        seed_ids = seed_ids[exceeds(r[seed_ids])] if seed_ids.size else seed_ids
+        frontier = VertexSubset.from_ids(lgraph.num_vertices, seed_ids)
+        rounds = 0
+        while len(frontier):
+            rec = IterationRecord(phase=phase, frontier_size=len(frontier))
+            ids = frontier.to_ids()
+            weights = np.zeros(lgraph.num_vertices)
+
+            def self_update(vertices: np.ndarray) -> None:
+                w = r[vertices].copy()
+                weights[vertices] = w
+                state.p[vertices] += alpha * w
+                r[vertices] = 0.0
+                rec.residual_pushed += float(np.abs(w).sum())
+
+            vertex_map(frontier, self_update)
+
+            def propagate(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+                inc = (1.0 - alpha) * weights[sources] / dout[targets]
+                np.add.at(r, targets, inc)
+                rec.atomic_adds += int(targets.size)
+                # F returns True for targets now over threshold; the
+                # framework dedups (Algorithm-3-style UniqueEnqueue).
+                return exceeds(r[targets])
+
+            result = edge_map(lgraph, frontier, propagate)
+            rec.edge_traversals += result.edges_traversed
+            rec.enqueue_attempts += result.duplicate_flag_ops or len(
+                result.frontier
+            )
+            rec.dedup_checks += result.duplicate_flag_ops
+            # The framework returns every target that satisfied F at its
+            # own update; keep only those still over threshold (dense mode
+            # re-checks during its scan, mirroring Ligra's cond usage).
+            out_ids = result.frontier.to_ids()
+            out_ids = out_ids[exceeds(r[out_ids])] if out_ids.size else out_ids
+            frontier = VertexSubset.from_ids(lgraph.num_vertices, out_ids)
+            rec.enqueued = len(frontier)
+            stats.record(rec)
+            rounds += 1
+            if rounds > config.max_iterations:
+                raise ConvergenceError(rounds, state.residual_linf())
+
+    def _push(self, seeds: Sequence[int]) -> BatchStats:
+        batch = BatchStats()
+        start = time.perf_counter()
+        csr = CSRGraph.from_digraph(self.graph)
+        self.state.ensure_capacity(csr.num_vertices)
+        lgraph = LigraGraph(csr)
+        self._phase(lgraph, Phase.POS, seeds, batch.push)
+        self._phase(lgraph, Phase.NEG, seeds, batch.push)
+        batch.wall_time = time.perf_counter() - start
+        return batch
+
+    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> BatchStats:
+        """Batch restore-invariant, then the vertex-centric push."""
+        touched: list[int] = []
+        change = 0.0
+        for update in updates:
+            self.graph.apply(update)
+            delta = restore_invariant(self.state, self.graph, update, self.config.alpha)
+            touched.append(update.u)
+            change += abs(delta)
+        batch = self._push(touched)
+        batch.restore = RestoreStats(len(updates), change)
+        return batch
+
+    def __repr__(self) -> str:
+        return f"LigraDynamicPPR(source={self.source}, n={self.graph.num_vertices})"

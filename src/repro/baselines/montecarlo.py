@@ -1,0 +1,224 @@
+"""Incremental Monte-Carlo PPR (Bahmani, Chowdhury, Goel — the paper's
+``Monte-Carlo`` baseline).
+
+Semantics match the library's reverse/contribution PPR: the estimate of
+``pi_v(s)`` is the fraction of decay-``alpha`` random walks *started at
+v* that are absorbed at ``s``. Following the paper's setup, ``w = 6|V|``
+total walks are maintained, i.e. ``walks_per_vertex = 6``.
+
+Incremental maintenance keeps, per walk, its full trajectory, plus an
+inverted index ``vertex -> walks that visit it``. When an edge update
+changes ``dout(u)``, every walk through ``u`` is invalidated from its
+first visit of ``u`` and re-simulated on the new graph — exactly the
+bookkeeping whose cost the paper identifies as Monte-Carlo's bottleneck
+(Section 5.3): trace storage, inverted-index updates, and re-walk steps.
+All three are counted in :class:`MonteCarloStats` so the cost model can
+price them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.digraph import DynamicDiGraph
+from ..graph.update import EdgeUpdate
+from ..utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class MonteCarloStats:
+    """Work counters for one maintenance batch (or initial build)."""
+
+    walk_steps: int = 0
+    index_ops: int = 0
+    walks_regenerated: int = 0
+
+    def merge(self, other: "MonteCarloStats") -> None:
+        self.walk_steps += other.walk_steps
+        self.index_ops += other.index_ops
+        self.walks_regenerated += other.walks_regenerated
+
+
+class _Walk:
+    """One stored random walk: trajectory and absorption outcome."""
+
+    __slots__ = ("start", "path", "absorbed_at")
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.path: list[int] = []
+        self.absorbed_at: int | None = None
+
+
+class IncrementalMonteCarloPPR:
+    """Maintain reverse-PPR estimates to ``source`` with stored walks.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph; the estimator takes ownership (updates must go
+        through :meth:`apply_batch`).
+    source:
+        The absorption target ``s``.
+    alpha:
+        Stop probability of the decay walk.
+    walks_per_vertex:
+        Walks maintained per start vertex (paper: ``w = 6 |V|`` total).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        source: int,
+        alpha: float = 0.15,
+        *,
+        walks_per_vertex: int = 6,
+        rng: RngLike = None,
+        max_walk_length: int = 10_000,
+    ) -> None:
+        if walks_per_vertex < 1:
+            raise ConfigError(f"walks_per_vertex must be >= 1, got {walks_per_vertex}")
+        if not 0.0 < alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+        self.graph = graph
+        self.source = source
+        self.alpha = alpha
+        self.walks_per_vertex = walks_per_vertex
+        self.max_walk_length = max_walk_length
+        self._rng = ensure_rng(rng)
+        self._walks: list[_Walk] = []
+        self._index: dict[int, set[int]] = {}
+        self._absorbed_count: dict[int, int] = {}
+        if not graph.has_vertex(source):
+            graph.add_vertex(source)
+        self.initial_stats = MonteCarloStats()
+        for v in list(graph.vertices()):
+            self._create_walks(v, self.initial_stats)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, v: int) -> float:
+        """Estimated ``pi_v(s)``: fraction of ``v``'s walks absorbed at s."""
+        if not self.graph.has_vertex(v):
+            return 0.0
+        return self._absorbed_count.get(v, 0) / self.walks_per_vertex
+
+    def estimate_vector(self) -> np.ndarray:
+        out = np.zeros(self.graph.capacity)
+        for v, count in self._absorbed_count.items():
+            out[v] = count / self.walks_per_vertex
+        return out
+
+    @property
+    def num_walks(self) -> int:
+        return len(self._walks)
+
+    def index_size(self) -> int:
+        """Total inverted-index entries (the memory the paper highlights)."""
+        return sum(len(s) for s in self._index.values())
+
+    # ------------------------------------------------------------------ #
+    # walk simulation
+    # ------------------------------------------------------------------ #
+
+    def _choose_out_neighbor(self, u: int) -> int | None:
+        dout = self.graph.out_degree(u)
+        if dout == 0:
+            return None
+        pick = int(self._rng.integers(0, dout))
+        for v, mult in self.graph.out_neighbors(u):
+            pick -= mult
+            if pick < 0:
+                return v
+        raise AssertionError("out-degree bookkeeping out of sync")
+
+    def _extend(self, walk: _Walk, walk_id: int, current: int, stats: MonteCarloStats) -> None:
+        """Simulate from ``current`` until absorption/death; record trace."""
+        while True:
+            walk.path.append(current)
+            visits = self._index.setdefault(current, set())
+            if walk_id not in visits:
+                visits.add(walk_id)
+                stats.index_ops += 1
+            stats.walk_steps += 1
+            if len(walk.path) > self.max_walk_length:  # pragma: no cover - guard
+                walk.absorbed_at = None
+                return
+            if self._rng.random() < self.alpha:
+                walk.absorbed_at = current
+                return
+            nxt = self._choose_out_neighbor(current)
+            if nxt is None:
+                walk.absorbed_at = None  # died at a dangling vertex
+                return
+            current = nxt
+
+    def _set_absorbed(self, walk: _Walk, delta: int) -> None:
+        if walk.absorbed_at == self.source:
+            start = walk.start
+            self._absorbed_count[start] = self._absorbed_count.get(start, 0) + delta
+            if self._absorbed_count[start] == 0:
+                del self._absorbed_count[start]
+
+    def _create_walks(self, v: int, stats: MonteCarloStats) -> None:
+        for _ in range(self.walks_per_vertex):
+            walk = _Walk(v)
+            walk_id = len(self._walks)
+            self._walks.append(walk)
+            self._extend(walk, walk_id, v, stats)
+            self._set_absorbed(walk, +1)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def _regenerate_through(self, u: int, stats: MonteCarloStats) -> None:
+        """Re-simulate every stored walk visiting ``u`` from its first visit."""
+        affected = list(self._index.get(u, ()))
+        for walk_id in affected:
+            walk = self._walks[walk_id]
+            try:
+                cut = walk.path.index(u)
+            except ValueError:  # pragma: no cover - index out of sync
+                continue
+            self._set_absorbed(walk, -1)
+            # Remove the dropped suffix from the inverted index (entries for
+            # vertices that no longer appear in the prefix).
+            suffix = walk.path[cut:]
+            prefix = walk.path[:cut]
+            prefix_set = set(prefix)
+            for vertex in set(suffix) - prefix_set:
+                self._index[vertex].discard(walk_id)
+                stats.index_ops += 1
+            walk.path = prefix
+            self._extend(walk, walk_id, u, stats)
+            self._set_absorbed(walk, +1)
+            stats.walks_regenerated += 1
+
+    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> MonteCarloStats:
+        """Apply edge updates and repair all affected walks."""
+        stats = MonteCarloStats()
+        for update in updates:
+            known_u = self.graph.has_vertex(update.u)
+            known_v = self.graph.has_vertex(update.v)
+            self.graph.apply(update)
+            if not known_u:
+                self._create_walks(update.u, stats)
+            if not known_v:
+                self._create_walks(update.v, stats)
+            # dout(u) changed: every walk through u took its next hop from a
+            # distribution that no longer exists.
+            self._regenerate_through(update.u, stats)
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalMonteCarloPPR(source={self.source},"
+            f" walks={len(self._walks)}, index={self.index_size()})"
+        )

@@ -1,0 +1,31 @@
+"""Benchmark harness: sliding-window workloads, approach runners, figures."""
+
+from .figures import (
+    FigureResult,
+    fig4_optimizations,
+    fig5_throughput,
+    fig6_epsilon,
+    fig7_source_degree,
+    fig8_batch_size,
+    fig9_resources,
+    fig10_scalability,
+)
+from .harness import Approach, ApproachResult, run_approach
+from .workloads import PreparedWorkload, WorkloadSpec, prepare_workload
+
+__all__ = [
+    "Approach",
+    "ApproachResult",
+    "FigureResult",
+    "PreparedWorkload",
+    "WorkloadSpec",
+    "fig10_scalability",
+    "fig4_optimizations",
+    "fig5_throughput",
+    "fig6_epsilon",
+    "fig7_source_degree",
+    "fig8_batch_size",
+    "fig9_resources",
+    "prepare_workload",
+    "run_approach",
+]

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the paper-dataset analogs and their scaling.
+``figure <fig4..fig10> [--dataset D] [--slides N]``
+    Regenerate one evaluation figure's table.
+``ablation <loss|batching|frontier> [--dataset D]``
+    Run one ablation study.
+``track <dataset> [--slides N] [--epsilon E]``
+    Stream sliding-window slides through a tracker and report per-slide
+    operation counts, simulated latency, and the certified top-5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .bench.ablations import (
+    ablation_batching,
+    ablation_frontier_generation,
+    ablation_parallel_loss,
+)
+from .bench.figures import (
+    fig4_optimizations,
+    fig5_throughput,
+    fig6_epsilon,
+    fig7_source_degree,
+    fig8_batch_size,
+    fig9_resources,
+    fig10_scalability,
+)
+from .bench.workloads import WorkloadSpec, default_config, prepare_workload
+from .config import Backend
+from .core.certify import certified_top_k, convergence_report
+from .core.tracker import DynamicPPRTracker
+from .graph.datasets import DATASETS
+from .parallel.cost_model import CPUCostModel
+from .utils.tables import format_table
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            f"{spec.paper_vertices:,} / {spec.paper_edges:,}",
+            f"{spec.num_vertices:,} / {spec.num_edges:,}",
+            "directed" if spec.directed else "undirected",
+            f"{spec.scale_factor:,.0f}x",
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["dataset", "paper n / m", "analog n / m", "kind", "scale"],
+            rows,
+            title="Paper-dataset analogs",
+        )
+    )
+    return 0
+
+
+_FIGURES = {
+    "fig4": lambda a: fig4_optimizations(datasets=(a.dataset,), num_slides=a.slides),
+    "fig5": lambda a: fig5_throughput(datasets=(a.dataset,), num_slides=a.slides),
+    "fig6": lambda a: fig6_epsilon(dataset=a.dataset, num_slides=a.slides),
+    "fig7": lambda a: fig7_source_degree(dataset=a.dataset, num_slides=a.slides),
+    "fig8": lambda a: fig8_batch_size(dataset=a.dataset, num_slides=a.slides),
+    "fig9": lambda a: fig9_resources(dataset=a.dataset, num_slides=a.slides),
+    "fig10": lambda a: fig10_scalability(dataset=a.dataset, num_slides=a.slides),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    print(_FIGURES[args.name](args).table())
+    return 0
+
+
+_ABLATIONS = {
+    "loss": lambda a: ablation_parallel_loss(dataset=a.dataset),
+    "batching": lambda a: ablation_batching(dataset=a.dataset),
+    "frontier": lambda a: ablation_frontier_generation(dataset=a.dataset),
+}
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    print(_ABLATIONS[args.name](args).table())
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    prepared = prepare_workload(WorkloadSpec(dataset=args.dataset))
+    config = default_config(epsilon=args.epsilon).with_(
+        backend=Backend.NUMPY, workers=args.workers
+    )
+    graph = prepared.initial_graph()
+    tracker = DynamicPPRTracker(graph, prepared.source, config)
+    model = CPUCostModel(workers=args.workers)
+    print(f"workload: {prepared.describe()}")
+    print(f"config:   {config.describe()}")
+    window = prepared.new_window()
+    for slide in window.slides(args.slides):
+        batch = tracker.apply_batch(list(slide.updates))
+        latency = model.parallel_latency(batch.push, num_updates=len(slide.updates))
+        report = convergence_report(tracker.state, batch.push)
+        print(
+            f"slide {slide.step}: {len(slide.updates)} updates -> {report}"
+            f" | simulated {latency * 1e3:.3f} ms"
+        )
+    print("\ncertified top-5:")
+    for entry in certified_top_k(tracker.state, 5):
+        mark = "certified" if entry.position_certified else "uncertain"
+        print(f"  v{entry.vertex:<8d} {entry.estimate:.8f}  [{mark}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel Personalized PageRank on Dynamic Graphs (VLDB'17) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset analogs").set_defaults(
+        func=_cmd_datasets
+    )
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+    fig.add_argument("--dataset", default="youtube", choices=sorted(DATASETS))
+    fig.add_argument("--slides", type=int, default=2)
+    fig.set_defaults(func=_cmd_figure)
+
+    abl = sub.add_parser("ablation", help="run one ablation study")
+    abl.add_argument("name", choices=sorted(_ABLATIONS))
+    abl.add_argument("--dataset", default="youtube", choices=sorted(DATASETS))
+    abl.set_defaults(func=_cmd_ablation)
+
+    track = sub.add_parser("track", help="stream a workload through a tracker")
+    track.add_argument("dataset", choices=sorted(DATASETS))
+    track.add_argument("--slides", type=int, default=3)
+    track.add_argument("--epsilon", type=float, default=1e-5)
+    track.add_argument("--workers", type=int, default=40)
+    track.set_defaults(func=_cmd_track)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

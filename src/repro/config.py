@@ -1,0 +1,140 @@
+"""Configuration objects shared across the library.
+
+:class:`PPRConfig` bundles every knob of the dynamic-PPR maintenance
+pipeline: the PPR definition itself (``alpha``), the approximation quality
+(``epsilon``), which push algorithm variant runs (``variant``, the paper's
+Table 3), which execution backend evaluates it (``backend``), and how much
+hardware parallelism the simulated engine assumes (``workers``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .errors import ConfigError
+
+#: Teleport probability used throughout the paper's experiments (Table 2).
+DEFAULT_ALPHA = 0.15
+
+#: Error threshold default; the paper sweeps 1e-5 .. 1e-10 (Table 2).
+DEFAULT_EPSILON = 1e-5
+
+
+class PushVariant(enum.Enum):
+    """The four parallel-push variants of the paper's Table 3.
+
+    ===========  ==================  =========================
+    Variant      Eager propagation   Local duplicate detection
+    ===========  ==================  =========================
+    ``VANILLA``  no                  no
+    ``EAGER``    yes                 no
+    ``DUPDETECT`` no                 yes
+    ``OPT``      yes                 yes
+    ===========  ==================  =========================
+    """
+
+    VANILLA = "vanilla"
+    EAGER = "eager"
+    DUPDETECT = "dupdetect"
+    OPT = "opt"
+
+    @property
+    def eager(self) -> bool:
+        """Whether this variant uses eager propagation (Section 4.1)."""
+        return self in (PushVariant.EAGER, PushVariant.OPT)
+
+    @property
+    def local_duplicate_detection(self) -> bool:
+        """Whether this variant uses local duplicate detection (Section 4.2)."""
+        return self in (PushVariant.DUPDETECT, PushVariant.OPT)
+
+
+class Backend(enum.Enum):
+    """Execution backend for the parallel push.
+
+    ``PURE``
+        Reference implementation with explicit per-vertex scheduling.
+        Exact algorithm semantics; used by tests and small workloads.
+    ``NUMPY``
+        Vectorized execution (``np.add.at`` plays the role of atomic adds)
+        with worker-count-sized scheduling chunks. Used by benchmarks.
+    ``MULTIPROCESS``
+        Real OS-process BSP execution (demonstration; the GIL prevents
+        shared-memory thread parallelism in pure Python).
+    """
+
+    PURE = "pure"
+    NUMPY = "numpy"
+    MULTIPROCESS = "multiprocess"
+
+
+class Phase(enum.Enum):
+    """Push phase: positive residuals first, then negative (Algorithm 2/3)."""
+
+    POS = 1
+    NEG = -1
+
+    def exceeds(self, residual: float, epsilon: float) -> bool:
+        """The paper's ``pushCond``: is ``residual`` over threshold in this phase?"""
+        if self is Phase.POS:
+            return residual > epsilon
+        return residual < -epsilon
+
+
+@dataclass(frozen=True)
+class PPRConfig:
+    """Immutable configuration for dynamic PPR maintenance.
+
+    Parameters
+    ----------
+    alpha:
+        Teleport probability of the PPR random walk, ``0 < alpha < 1``.
+    epsilon:
+        Error threshold; on convergence ``|P_s(v) - pi_v(s)| <= epsilon``.
+    variant:
+        Parallel push variant (Table 3 of the paper).
+    backend:
+        Execution backend for the parallel push.
+    workers:
+        Degree of (simulated) hardware parallelism. For the pure/numpy
+        backends this is the scheduling chunk width used to emulate
+        concurrent threads; it also feeds the cost models.
+    max_iterations:
+        Safety bound on push iterations; exceeded only on library bugs
+        (the push provably terminates), so hitting it raises.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    epsilon: float = DEFAULT_EPSILON
+    variant: PushVariant = PushVariant.OPT
+    backend: Backend = Backend.PURE
+    workers: int = 40
+    max_iterations: int = 1_000_000
+    extras: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if not isinstance(self.variant, PushVariant):
+            raise ConfigError(f"variant must be a PushVariant, got {self.variant!r}")
+        if not isinstance(self.backend, Backend):
+            raise ConfigError(f"backend must be a Backend, got {self.backend!r}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.max_iterations < 1:
+            raise ConfigError(f"max_iterations must be >= 1, got {self.max_iterations}")
+
+    def with_(self, **changes: Any) -> "PPRConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used in benchmark tables."""
+        return (
+            f"alpha={self.alpha} eps={self.epsilon:g} variant={self.variant.value}"
+            f" backend={self.backend.value} workers={self.workers}"
+        )

@@ -1,0 +1,131 @@
+"""Invariant restoration (Algorithm 1) and the exact invariant checker.
+
+The local update scheme keeps invariant Eq. 2 for every vertex ``v``::
+
+    P_s(v) + alpha * R_s(v)
+        = sum_{x in Nout(v)} (1 - alpha) * P_s(x) / dout(v) + alpha * 1{v = s}
+
+An edge update ``(u, v, op)`` only changes the right-hand side at ``u``
+(its out-neighborhood/out-degree changed), so restoring the invariant
+adjusts ``R_s(u)`` alone:
+
+    delta = op * [(1-a) P(v) - P(u) - a R(u) + a 1{u=s}] / (a * dout_after(u))
+
+where ``dout_after`` is the out-degree *after* the update is applied (this
+matches the recurrence delta_j = d_{j-1}/d_j in the paper's Lemma 3).
+Deleting ``u``'s last out-edge is the one case the formula cannot express
+(``dout_after = 0``); Eq. 2 then directly pins ``R_s(u)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..graph.digraph import DynamicDiGraph
+from ..graph.update import EdgeOp, EdgeUpdate
+from .state import PPRState
+
+
+def restore_invariant(
+    state: PPRState,
+    graph: DynamicDiGraph,
+    update: EdgeUpdate,
+    alpha: float,
+) -> float:
+    """Repair Eq. 2 for one update; ``graph`` must already reflect it.
+
+    Returns the signed residual change applied to ``R_s(u)`` (the theory's
+    ``Delta_s(u)`` contribution, tracked by Lemma 3).
+    """
+    u, v, op = update.u, update.v, update.op
+    state.ensure_capacity(max(graph.capacity, u + 1, v + 1))
+    indicator = alpha if u == state.source else 0.0
+    dout = graph.out_degree(u)
+
+    if dout == 0:
+        # op must be DELETE (an insertion leaves dout >= 1). Eq. 2 for a
+        # dangling vertex reads P(u) + a R(u) = a 1{u=s}.
+        new_r = (indicator - state.p[u]) / alpha
+        delta = float(new_r - state.r[u])
+        state.r[u] = new_r
+        return delta
+
+    numerator = (
+        (1.0 - alpha) * state.p[v] - state.p[u] - alpha * state.r[u] + indicator
+    )
+    delta = float(op) * numerator / (alpha * dout)
+    state.r[u] += delta
+    return delta
+
+
+def apply_and_restore(
+    graph: DynamicDiGraph,
+    states: Sequence[PPRState],
+    update: EdgeUpdate,
+    alpha: float,
+) -> list[float]:
+    """Apply ``update`` to ``graph`` then restore every state's invariant.
+
+    The graph is mutated exactly once even when many personalization
+    sources share it (the multi-source tracker and the theory checks in
+    :mod:`repro.core.analysis` rely on this).
+    """
+    graph.apply(update)
+    return [restore_invariant(state, graph, update, alpha) for state in states]
+
+
+def restore_batch(
+    graph: DynamicDiGraph,
+    state: PPRState,
+    updates: Iterable[EdgeUpdate],
+    alpha: float,
+) -> tuple[list[int], float]:
+    """Apply a whole batch (Section 3.1: ``RestoreInvariant`` k times).
+
+    Returns ``(touched_vertices, total_absolute_residual_change)``. The
+    touched list seeds the push frontier: after a converged previous step
+    only vertices whose residual was modified can exceed ``epsilon``.
+    """
+    touched: list[int] = []
+    total_change = 0.0
+    for update in updates:
+        graph.apply(update)
+        delta = restore_invariant(state, graph, update, alpha)
+        touched.append(update.u)
+        total_change += abs(delta)
+    return touched, total_change
+
+
+def invariant_violation(
+    state: PPRState,
+    graph: DynamicDiGraph,
+    alpha: float,
+) -> float:
+    """Max absolute violation of Eq. 2 over all vertices (O(n + m)).
+
+    Exact (up to float rounding); meant for tests and debugging, not hot
+    paths.
+    """
+    worst = 0.0
+    for v in graph.vertices():
+        lhs = state.estimate(v) + alpha * state.residual(v)
+        dout = graph.out_degree(v)
+        rhs = alpha if v == state.source else 0.0
+        if dout > 0:
+            acc = 0.0
+            for x, mult in graph.out_neighbors(v):
+                acc += mult * state.estimate(x)
+            rhs += (1.0 - alpha) * acc / dout
+        worst = max(worst, abs(lhs - rhs))
+    return worst
+
+
+def check_invariant(
+    state: PPRState,
+    graph: DynamicDiGraph,
+    alpha: float,
+    *,
+    tol: float = 1e-9,
+) -> bool:
+    """True when Eq. 2 holds everywhere within ``tol``."""
+    return invariant_violation(state, graph, alpha) <= tol

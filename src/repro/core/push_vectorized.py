@@ -1,0 +1,216 @@
+"""Vectorized (numpy) backend for the parallel local push.
+
+Semantically equivalent to the pure engine in :mod:`push_parallel` —
+same frontier-per-iteration structure, same worker-width chunked
+scheduling for eager reads, same sorted-frontier contract — but the inner
+loops run as numpy array operations:
+
+* ``np.add.at`` / ``np.bincount`` play the role of atomic residual
+  additions (commutative, so the final sums match hardware atomics);
+* local duplicate detection compares each touched vertex's residual
+  before and after a chunk's propagation — monotonicity within a phase
+  guarantees the crossing is observed by exactly one chunk, mirroring the
+  exactly-one-thread guarantee of the paper's atomicAdd trick.
+
+One accounting approximation (documented): ``enqueue_attempts`` counts
+every addition landing on a vertex whose *post-chunk* residual passes the
+threshold, whereas the pure engine tests each addition's own post-value.
+Within a chunk these can differ by the adds that precede the crossing;
+totals agree to within one chunk's contribution and both upper-bound the
+true synchronized-check count used by the cost models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..config import Phase, PPRConfig
+from ..errors import ConvergenceError
+from ..graph.csr import CSRGraph
+from .state import PPRState
+from .stats import IterationRecord, PushStats
+
+#: Below this many edge updates, ``np.add.at`` beats allocating a
+#: capacity-sized bincount buffer.
+_BINCOUNT_THRESHOLD = 2048
+
+
+def _scatter_add(r: np.ndarray, targets: np.ndarray, values: np.ndarray, cap: int) -> None:
+    """Atomic-add equivalent: accumulate ``values`` into ``r[targets]``."""
+    if len(targets) > _BINCOUNT_THRESHOLD:
+        r += np.bincount(targets, weights=values, minlength=cap)
+    else:
+        np.add.at(r, targets, values)
+
+
+def _exceeds(values: np.ndarray, phase: Phase, epsilon: float) -> np.ndarray:
+    """Vectorized ``pushCond``."""
+    if phase is Phase.POS:
+        return values > epsilon
+    return values < -epsilon
+
+
+def _prepare_seeds(
+    state: PPRState,
+    phase: Phase,
+    epsilon: float,
+    seeds: Iterable[int] | None,
+) -> np.ndarray:
+    if seeds is None:
+        candidates = state.active_vertices(epsilon)
+    else:
+        candidates = np.unique(np.fromiter((int(v) for v in seeds), dtype=np.int64))
+    if candidates.size == 0:
+        return candidates.astype(np.int64)
+    mask = _exceeds(state.r[candidates], phase, epsilon)
+    return candidates[mask].astype(np.int64)
+
+
+def _propagate_chunk(
+    state: PPRState,
+    csr: CSRGraph,
+    phase: Phase,
+    config: PPRConfig,
+    chunk: np.ndarray,
+    weights: np.ndarray,
+    rec: IterationRecord,
+    current_mask: np.ndarray | None,
+    enqueued_mask: np.ndarray,
+) -> np.ndarray:
+    """Neighbor propagation for one scheduling chunk; returns new frontier ids.
+
+    ``current_mask`` is set for eager variants (exclude the unconsumed
+    current frontier from global enqueueing); ``enqueued_mask`` dedupes
+    across chunks for the global-queue variants.
+    """
+    epsilon = config.epsilon
+    local_detect = config.variant.local_duplicate_detection
+    r = state.r
+    src_idx, targets = csr.gather_in_edges(chunk)
+    if targets.size == 0:
+        return targets
+    increments = (1.0 - config.alpha) * weights[src_idx] / csr.dout[targets]
+    touched = np.unique(targets)
+    before = r[touched].copy()
+    _scatter_add(r, targets, increments, len(r))
+    after = r[touched]
+
+    rec.edge_traversals += int(targets.size)
+    rec.atomic_adds += int(targets.size)
+
+    passes_after = _exceeds(after, phase, epsilon)
+    passing = touched[passes_after]
+    # Attempts: adds landing on vertices whose post-chunk value passes.
+    if passing.size:
+        passing_mask = np.zeros(len(r), dtype=bool)
+        passing_mask[passing] = True
+        attempts = int(passing_mask[targets].sum())
+    else:
+        attempts = 0
+    rec.enqueue_attempts += attempts
+
+    if local_detect:
+        crossed = touched[~_exceeds(before, phase, epsilon) & passes_after]
+        return crossed
+    rec.dedup_checks += attempts
+    candidates = passing
+    if current_mask is not None and candidates.size:
+        candidates = candidates[~current_mask[candidates]]
+    if candidates.size:
+        candidates = candidates[~enqueued_mask[candidates]]
+        enqueued_mask[candidates] = True
+    return candidates
+
+
+def _snapshot_iteration(
+    state: PPRState,
+    csr: CSRGraph,
+    phase: Phase,
+    config: PPRConfig,
+    frontier: np.ndarray,
+    rec: IterationRecord,
+) -> np.ndarray:
+    """Algorithm 3 session order, whole-frontier snapshot semantics."""
+    alpha = config.alpha
+    r = state.r
+    weights = r[frontier].copy()
+    state.p[frontier] += alpha * weights
+    r[frontier] = 0.0
+    rec.residual_pushed += float(np.abs(weights).sum())
+    enqueued_mask = np.zeros(len(r), dtype=bool)
+    new = _propagate_chunk(
+        state, csr, phase, config, frontier, weights, rec, None, enqueued_mask
+    )
+    rec.enqueued = int(new.size)
+    return np.sort(new)
+
+
+def _eager_iteration(
+    state: PPRState,
+    csr: CSRGraph,
+    phase: Phase,
+    config: PPRConfig,
+    frontier: np.ndarray,
+    rec: IterationRecord,
+) -> np.ndarray:
+    """Algorithm 4 session order with worker-width chunked eager reads."""
+    alpha = config.alpha
+    epsilon = config.epsilon
+    local_detect = config.variant.local_duplicate_detection
+    r = state.r
+    consistent = np.empty(len(frontier), dtype=np.float64)
+    pieces: list[np.ndarray] = []
+    enqueued_mask = np.zeros(len(r), dtype=bool)
+    current_mask: np.ndarray | None = None
+    if not local_detect:
+        current_mask = np.zeros(len(r), dtype=bool)
+        current_mask[frontier] = True
+
+    width = config.workers
+    for start in range(0, len(frontier), width):
+        chunk = frontier[start : start + width]
+        weights = r[chunk].copy()  # simultaneous (chunk-wide) eager reads
+        consistent[start : start + len(chunk)] = weights
+        piece = _propagate_chunk(
+            state, csr, phase, config, chunk, weights, rec, current_mask, enqueued_mask
+        )
+        if piece.size:
+            pieces.append(piece)
+
+    # Session 2 — self-update with the consistent values, second frontier pass.
+    state.p[frontier] += alpha * consistent
+    r[frontier] -= consistent
+    rec.residual_pushed += float(np.abs(consistent).sum())
+    reactivated = frontier[_exceeds(r[frontier], phase, epsilon)]
+    rec.second_pass_enqueued = int(reactivated.size)
+    if reactivated.size:
+        pieces.append(reactivated)
+    if not pieces:
+        rec.enqueued = 0
+        return np.empty(0, dtype=np.int64)
+    new = np.concatenate(pieces)
+    rec.enqueued = int(new.size)
+    return np.sort(new)
+
+
+def vectorized_phase(
+    state: PPRState,
+    csr: CSRGraph,
+    phase: Phase,
+    config: PPRConfig,
+    seeds: Iterable[int] | None,
+    stats: PushStats,
+) -> None:
+    """Run one sign phase of the vectorized parallel push to exhaustion."""
+    frontier = _prepare_seeds(state, phase, config.epsilon, seeds)
+    iteration = _eager_iteration if config.variant.eager else _snapshot_iteration
+    rounds = 0
+    while frontier.size:
+        rec = IterationRecord(phase=phase, frontier_size=int(frontier.size))
+        frontier = iteration(state, csr, phase, config, frontier, rec)
+        stats.record(rec)
+        rounds += 1
+        if rounds > config.max_iterations:
+            raise ConvergenceError(rounds, state.residual_linf())

@@ -1,0 +1,130 @@
+"""PPR estimate/residual state (the paper's ``P_s`` and ``R_s`` vectors).
+
+One :class:`PPRState` tracks the approximate PPR vector for a single
+personalization vertex ``s``. ``p[v]`` is the current estimate of the true
+value ``pi_v(s)`` (the fixpoint of invariant Eq. 2) and ``r[v]`` bounds the
+estimation bias: whenever the invariant holds and ``max |r| <= eps``,
+``|p[v] - pi_v(s)| <= eps`` for every vertex.
+
+The arrays are dense, indexed by vertex id, and grow amortized as the
+dynamic graph introduces new ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class PPRState:
+    """Dense estimate (``p``) and residual (``r``) vectors for one source."""
+
+    __slots__ = ("source", "p", "r")
+
+    def __init__(self, source: int, capacity: int = 0) -> None:
+        if source < 0:
+            raise ConfigError(f"source must be a vertex id >= 0, got {source}")
+        cap = max(capacity, source + 1)
+        self.source = source
+        self.p = np.zeros(cap, dtype=np.float64)
+        self.r = np.zeros(cap, dtype=np.float64)
+
+    @classmethod
+    def initial(cls, source: int, capacity: int = 0) -> "PPRState":
+        """The from-scratch starting state: ``p = 0``, ``r = e_s``.
+
+        This satisfies invariant Eq. 2 on any graph (for ``v != s`` both
+        sides are 0 when ``p = 0``; for ``s`` both sides equal ``alpha``).
+        """
+        state = cls(source, capacity)
+        state.r[source] = 1.0
+        return state
+
+    # ------------------------------------------------------------------ #
+    # capacity management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        return len(self.p)
+
+    def ensure_capacity(self, capacity: int) -> None:
+        """Grow (never shrink) the arrays to cover ``capacity`` ids."""
+        current = len(self.p)
+        if capacity <= current:
+            return
+        new_cap = max(capacity, 2 * current, 16)
+        p = np.zeros(new_cap, dtype=np.float64)
+        r = np.zeros(new_cap, dtype=np.float64)
+        p[:current] = self.p
+        r[:current] = self.r
+        self.p = p
+        self.r = r
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, v: int) -> float:
+        """Current PPR estimate of vertex ``v`` (0.0 for ids never touched)."""
+        return float(self.p[v]) if 0 <= v < len(self.p) else 0.0
+
+    def residual(self, v: int) -> float:
+        """Current residual of vertex ``v`` (0.0 for ids never touched)."""
+        return float(self.r[v]) if 0 <= v < len(self.r) else 0.0
+
+    def residual_linf(self) -> float:
+        """``max_v |r[v]|`` — the convergence measure of the local push."""
+        return float(np.abs(self.r).max()) if len(self.r) else 0.0
+
+    def residual_l1(self) -> float:
+        """``sum_v |r[v]|`` — the quantity Lemma 4 reasons about."""
+        return float(np.abs(self.r).sum())
+
+    def estimate_sum(self) -> float:
+        return float(self.p.sum())
+
+    def active_vertices(self, epsilon: float) -> np.ndarray:
+        """All vertex ids with ``|r| > epsilon`` (topology-driven scan)."""
+        return np.flatnonzero(np.abs(self.r) > epsilon)
+
+    def top_k(self, k: int) -> list[tuple[int, float]]:
+        """The ``k`` vertices with largest estimates, as ``(id, value)``."""
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        k = min(k, len(self.p))
+        idx = np.argpartition(self.p, -k)[-k:]
+        idx = idx[np.argsort(self.p[idx])[::-1]]
+        return [(int(v), float(self.p[v])) for v in idx]
+
+    # ------------------------------------------------------------------ #
+    # copies / comparison
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "PPRState":
+        out = PPRState(self.source, len(self.p))
+        out.p[:] = self.p
+        out.r[:] = self.r
+        return out
+
+    def allclose(self, other: "PPRState", *, atol: float = 1e-12) -> bool:
+        """Numerically-equal states (padding shorter arrays with zeros)."""
+        if self.source != other.source:
+            return False
+        cap = max(len(self.p), len(other.p))
+        a_p = np.zeros(cap)
+        a_p[: len(self.p)] = self.p
+        b_p = np.zeros(cap)
+        b_p[: len(other.p)] = other.p
+        a_r = np.zeros(cap)
+        a_r[: len(self.r)] = self.r
+        b_r = np.zeros(cap)
+        b_r[: len(other.r)] = other.r
+        return bool(np.allclose(a_p, b_p, atol=atol) and np.allclose(a_r, b_r, atol=atol))
+
+    def __repr__(self) -> str:
+        return (
+            f"PPRState(source={self.source}, capacity={len(self.p)},"
+            f" |r|_inf={self.residual_linf():.3e})"
+        )

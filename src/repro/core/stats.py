@@ -1,0 +1,170 @@
+"""Operation accounting shared by every push engine.
+
+The paper's performance claims are fundamentally about *operation counts
+and their shape across iterations* (work per iteration, synchronization
+events, duplicate-merge attempts). Every engine in this library emits the
+same :class:`PushStats` trace so that
+
+* the cost models in :mod:`repro.parallel` can turn traces into simulated
+  hardware latency, and
+* tests can assert the paper's structural results (e.g. parallel loss:
+  the parallel push performs at least as many operations as the
+  sequential push on the same workload — Lemma 4's consequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Phase
+
+
+@dataclass
+class IterationRecord:
+    """Operation counts for one ``ParallelPush`` iteration.
+
+    Attributes
+    ----------
+    phase:
+        Positive or negative residual phase.
+    frontier_size:
+        Vertices pushed this iteration (``|FQ|``).
+    edge_traversals:
+        In-edges traversed during neighbor propagation (with multiplicity).
+    atomic_adds:
+        Atomic residual additions (equals edge traversals for the push).
+    enqueue_attempts:
+        Candidate activations observed (including duplicates); under
+        global duplicate detection each attempt costs a synchronized
+        membership check.
+    dedup_checks:
+        Synchronized duplicate checks performed (0 under local duplicate
+        detection, which is the point of Section 4.2).
+    enqueued:
+        Vertices actually placed in the next frontier.
+    second_pass_enqueued:
+        Vertices enqueued by the extra self-update frontier pass that
+        eager propagation requires (Algorithm 4, lines 22-23).
+    residual_pushed:
+        Sum of absolute residual values pushed (mass drained).
+    """
+
+    phase: Phase
+    frontier_size: int = 0
+    edge_traversals: int = 0
+    atomic_adds: int = 0
+    enqueue_attempts: int = 0
+    dedup_checks: int = 0
+    enqueued: int = 0
+    second_pass_enqueued: int = 0
+    residual_pushed: float = 0.0
+
+
+@dataclass
+class PushStats:
+    """A full push run: one record per iteration plus totals."""
+
+    iterations: list[IterationRecord] = field(default_factory=list)
+
+    def record(self, rec: IterationRecord) -> None:
+        self.iterations.append(rec)
+
+    # -- totals ---------------------------------------------------------- #
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def pushes(self) -> int:
+        """Total push operations (sum of frontier sizes)."""
+        return sum(rec.frontier_size for rec in self.iterations)
+
+    @property
+    def edge_traversals(self) -> int:
+        return sum(rec.edge_traversals for rec in self.iterations)
+
+    @property
+    def atomic_adds(self) -> int:
+        return sum(rec.atomic_adds for rec in self.iterations)
+
+    @property
+    def enqueue_attempts(self) -> int:
+        return sum(rec.enqueue_attempts for rec in self.iterations)
+
+    @property
+    def dedup_checks(self) -> int:
+        return sum(rec.dedup_checks for rec in self.iterations)
+
+    @property
+    def total_operations(self) -> int:
+        """Pushes + edge traversals — the unit the theory bounds."""
+        return self.pushes + self.edge_traversals
+
+    @property
+    def max_frontier(self) -> int:
+        return max((rec.frontier_size for rec in self.iterations), default=0)
+
+    @property
+    def mean_frontier(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return self.pushes / len(self.iterations)
+
+    def merge(self, other: "PushStats") -> None:
+        """Append another run's iterations (accumulating across slides)."""
+        self.iterations.extend(other.iterations)
+
+    def __repr__(self) -> str:
+        return (
+            f"PushStats(iters={self.num_iterations}, pushes={self.pushes},"
+            f" edges={self.edge_traversals}, dedup={self.dedup_checks})"
+        )
+
+
+@dataclass
+class SequentialPushStats:
+    """Counters for the sequential push (Algorithm 2)."""
+
+    pushes: int = 0
+    edge_traversals: int = 0
+    push_order: list[int] | None = None
+
+    @property
+    def total_operations(self) -> int:
+        return self.pushes + self.edge_traversals
+
+    def merge(self, other: "SequentialPushStats") -> None:
+        self.pushes += other.pushes
+        self.edge_traversals += other.edge_traversals
+        if self.push_order is not None and other.push_order is not None:
+            self.push_order.extend(other.push_order)
+
+
+@dataclass
+class RestoreStats:
+    """Counters for the restore-invariant step of one batch."""
+
+    num_updates: int = 0
+    total_residual_change: float = 0.0
+
+    def merge(self, other: "RestoreStats") -> None:
+        self.num_updates += other.num_updates
+        self.total_residual_change += other.total_residual_change
+
+
+@dataclass
+class BatchStats:
+    """Everything measured while processing one update batch."""
+
+    restore: RestoreStats = field(default_factory=RestoreStats)
+    push: PushStats = field(default_factory=PushStats)
+    sequential_push: SequentialPushStats | None = None
+    wall_time: float = 0.0
+
+    def merge(self, other: "BatchStats") -> None:
+        self.restore.merge(other.restore)
+        self.push.merge(other.push)
+        if self.sequential_push is not None and other.sequential_push is not None:
+            self.sequential_push.merge(other.sequential_push)
+        self.wall_time += other.wall_time

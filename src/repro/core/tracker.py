@@ -1,0 +1,247 @@
+"""High-level dynamic-PPR maintenance API.
+
+:class:`DynamicPPRTracker` owns a graph, one PPR state, and a
+configuration; feed it update batches and it keeps the estimate vector
+ε-approximate, returning the operation trace of every batch. This is the
+object a downstream application uses; everything below it
+(restore-invariant, push engines, CSR snapshots) is plumbing.
+
+:class:`MultiSourceTracker` maintains many personalization sources over a
+single shared graph — the pattern used by PPR-index maintenance systems
+(HubPPR-style hub vectors) and by the theory checks that sum residual
+changes over all sources.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..config import Backend, PPRConfig
+from ..errors import ConfigError
+from ..graph.csr import CSRGraph
+from ..graph.digraph import DynamicDiGraph
+from ..graph.update import EdgeUpdate
+from .groundtruth import ground_truth_ppr, max_estimate_error
+from .invariant import invariant_violation, restore_invariant
+from .push_parallel import parallel_local_push
+from .push_sequential import sequential_local_push
+from .state import PPRState
+from .stats import BatchStats, PushStats, RestoreStats, SequentialPushStats
+
+
+class DynamicPPRTracker:
+    """Maintain an ε-approximate PPR vector for one source on a dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph. The tracker takes ownership: all further
+        mutations must flow through :meth:`apply_batch` so the invariant
+        stays in sync. The estimate is computed from scratch on
+        construction (initial state ``p = 0``, ``r = e_s``, then a push).
+    source:
+        Personalization vertex ``s``.
+    config:
+        Algorithm/backend configuration.
+    sequential:
+        Use the sequential push (Algorithm 2) instead of the parallel
+        push — this is how the CPU-Seq baseline is expressed at this
+        level. (CPU-Base additionally pushes after every single update;
+        see :func:`repro.core.push_sequential.cpu_base_update`.)
+
+    Examples
+    --------
+    >>> from repro.graph import DynamicDiGraph, EdgeUpdate, EdgeOp
+    >>> g = DynamicDiGraph([(1, 0), (2, 0)])
+    >>> tracker = DynamicPPRTracker(g, source=0)
+    >>> stats = tracker.apply_batch([EdgeUpdate(0, 1, EdgeOp.INSERT)])
+    >>> tracker.estimate(0) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        source: int,
+        config: PPRConfig | None = None,
+        *,
+        sequential: bool = False,
+    ) -> None:
+        self.config = config or PPRConfig()
+        self.graph = graph
+        self.sequential = sequential
+        if not graph.has_vertex(source):
+            graph.add_vertex(source)
+        self.state = PPRState.initial(source, graph.capacity)
+        self._csr: CSRGraph | None = None
+        self._csr_dirty = True
+        self.batches_processed = 0
+        self.updates_processed = 0
+        self.initial_stats = self._push(seeds=[source])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def source(self) -> int:
+        return self.state.source
+
+    def estimate(self, v: int) -> float:
+        """Current ε-approximate PPR value of ``v``."""
+        return self.state.estimate(v)
+
+    def estimate_vector(self) -> np.ndarray:
+        """A copy of the dense estimate vector."""
+        return self.state.p[: self.graph.capacity].copy()
+
+    def top_k(self, k: int) -> list[tuple[int, float]]:
+        """The ``k`` highest-PPR vertices as ``(vertex, estimate)`` pairs."""
+        return self.state.top_k(k)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def _snapshot(self) -> CSRGraph:
+        if self._csr is None or self._csr_dirty:
+            self._csr = CSRGraph.from_digraph(self.graph)
+            self._csr_dirty = False
+        return self._csr
+
+    def set_snapshot(self, csr: CSRGraph) -> None:
+        """Install an externally-built CSR snapshot of the *current* graph.
+
+        The sliding-window benchmark harness builds snapshots directly
+        from its window edge arrays (pure numpy, much faster than walking
+        the dict graph); it must call this after every batch.
+        """
+        if csr.num_vertices < self.graph.capacity:
+            raise ConfigError(
+                f"snapshot covers {csr.num_vertices} ids,"
+                f" graph needs {self.graph.capacity}"
+            )
+        self._csr = csr
+        self._csr_dirty = False
+
+    def _push(self, seeds: Iterable[int] | None) -> BatchStats:
+        batch = BatchStats()
+        start = time.perf_counter()
+        if self.sequential:
+            seq = sequential_local_push(self.state, self.graph, self.config, seeds=seeds)
+            batch.sequential_push = seq
+        else:
+            csr = self._snapshot() if self.config.backend is not Backend.PURE else None
+            batch.push = parallel_local_push(
+                self.state, self.graph, self.config, seeds=seeds, csr=csr
+            )
+        batch.wall_time = time.perf_counter() - start
+        return batch
+
+    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> BatchStats:
+        """Process one update batch: k restore-invariants, then one push.
+
+        Returns the batch's operation trace (restore + push counters and
+        wall time). The estimate is ε-approximate on return.
+        """
+        start = time.perf_counter()
+        touched: list[int] = []
+        change = 0.0
+        for update in updates:
+            self.graph.apply(update)
+            delta = restore_invariant(self.state, self.graph, update, self.config.alpha)
+            touched.append(update.u)
+            change += abs(delta)
+        self._csr_dirty = True
+        batch = self._push(seeds=touched)
+        batch.restore = RestoreStats(len(updates), change)
+        batch.wall_time = time.perf_counter() - start
+        self.batches_processed += 1
+        self.updates_processed += len(updates)
+        return batch
+
+    def apply_update(self, update: EdgeUpdate) -> BatchStats:
+        """Single-update convenience wrapper over :meth:`apply_batch`."""
+        return self.apply_batch([update])
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+
+    def current_error(self) -> float:
+        """Exact max error vs. ground truth (slow; for tests/reports)."""
+        truth = ground_truth_ppr(self.graph, self.source, self.config.alpha)
+        return max_estimate_error(self.state.p, truth)
+
+    def invariant_violation(self) -> float:
+        """Max violation of Eq. 2 (should be float-rounding small always)."""
+        return invariant_violation(self.state, self.graph, self.config.alpha)
+
+    def is_converged(self) -> bool:
+        """``max |r| <= epsilon`` — the push post-condition."""
+        return self.state.residual_linf() <= self.config.epsilon
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicPPRTracker(source={self.source}, n={self.graph.num_vertices},"
+            f" m={self.graph.num_edges}, batches={self.batches_processed})"
+        )
+
+
+class MultiSourceTracker:
+    """Maintain PPR vectors for several sources over one shared graph.
+
+    Graph mutations are applied once per update; each source's invariant
+    is restored and pushed independently. Useful for hub-vector indexes
+    and for the all-sources residual-change measurements behind Lemma 3.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        sources: Sequence[int],
+        config: PPRConfig | None = None,
+    ) -> None:
+        if not sources:
+            raise ConfigError("at least one source is required")
+        if len(set(sources)) != len(sources):
+            raise ConfigError("sources must be distinct")
+        self.config = config or PPRConfig()
+        self.graph = graph
+        for s in sources:
+            if not graph.has_vertex(s):
+                graph.add_vertex(s)
+        self.states = {s: PPRState.initial(s, graph.capacity) for s in sources}
+        for s, state in self.states.items():
+            parallel_local_push(state, graph, self.config, seeds=[s])
+
+    @property
+    def sources(self) -> list[int]:
+        return list(self.states)
+
+    def estimate(self, source: int, v: int) -> float:
+        return self.states[source].estimate(v)
+
+    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> dict[int, PushStats]:
+        """Apply a batch to the graph and re-converge every source."""
+        touched: list[int] = []
+        for update in updates:
+            self.graph.apply(update)
+            for state in self.states.values():
+                restore_invariant(state, self.graph, update, self.config.alpha)
+            touched.append(update.u)
+        csr = (
+            CSRGraph.from_digraph(self.graph)
+            if self.config.backend is not Backend.PURE
+            else None
+        )
+        return {
+            s: parallel_local_push(state, self.graph, self.config, seeds=touched, csr=csr)
+            for s, state in self.states.items()
+        }
+
+    def __repr__(self) -> str:
+        return f"MultiSourceTracker(sources={len(self.states)}, n={self.graph.num_vertices})"

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish graph errors from configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied (e.g. ``alpha >= 1``)."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph structure or mutation."""
+
+
+class VertexError(GraphError, KeyError):
+    """A vertex id is invalid or unknown to the graph."""
+
+    def __init__(self, vertex: object, message: str | None = None) -> None:
+        self.vertex = vertex
+        super().__init__(message or f"invalid vertex: {vertex!r}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+
+class EdgeError(GraphError, KeyError):
+    """An edge does not exist (for deletion) or is malformed."""
+
+    def __init__(self, u: object, v: object, message: str | None = None) -> None:
+        self.u = u
+        self.v = v
+        super().__init__(message or f"invalid edge: {u!r} -> {v!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class StreamError(ReproError):
+    """An edge stream or sliding window was used incorrectly."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, iterations: int, residual: float, message: str | None = None) -> None:
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(
+            message
+            or f"failed to converge after {iterations} iterations (residual={residual:.3e})"
+        )
+
+
+class BackendError(ReproError):
+    """A push/execution backend was asked to do something it cannot."""

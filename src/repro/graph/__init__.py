@@ -1,0 +1,41 @@
+"""Dynamic-graph substrate: graphs, updates, CSR snapshots, generators, streams."""
+
+from .csr import CSRGraph
+from .datasets import DATASETS, DatasetSpec, load_dataset
+from .digraph import DynamicDiGraph
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    star_graph,
+)
+from .labeled import LabeledDiGraph
+from .stream import EdgeStream, SlidingWindow, WindowSlide, random_permutation_stream
+from .update import EdgeOp, EdgeUpdate, deletions, insertions
+
+__all__ = [
+    "CSRGraph",
+    "DATASETS",
+    "DatasetSpec",
+    "DynamicDiGraph",
+    "EdgeOp",
+    "EdgeStream",
+    "EdgeUpdate",
+    "LabeledDiGraph",
+    "SlidingWindow",
+    "WindowSlide",
+    "complete_graph",
+    "cycle_graph",
+    "deletions",
+    "erdos_renyi_graph",
+    "insertions",
+    "load_dataset",
+    "path_graph",
+    "preferential_attachment_graph",
+    "random_permutation_stream",
+    "rmat_graph",
+    "star_graph",
+]

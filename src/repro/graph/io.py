@@ -1,0 +1,75 @@
+"""Graph persistence: whitespace edge lists and compressed ``.npz``.
+
+Edge-list text files interoperate with SNAP-format downloads (``# ``
+comments, one ``u v`` pair per line); ``.npz`` round-trips edge arrays
+losslessly and fast.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphError
+from .digraph import DynamicDiGraph
+
+PathLike = str | os.PathLike
+
+
+def save_edge_list(edges: np.ndarray, path: PathLike, *, comment: str | None = None) -> None:
+    """Write an ``(m, 2)`` edge array as a SNAP-style text edge list."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+    with open(path, "w", encoding="utf-8") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {int(edges.max()) + 1 if edges.size else 0} Edges: {len(edges)}\n")
+        np.savetxt(fh, edges, fmt="%d")
+
+
+def load_edge_list(path: PathLike) -> np.ndarray:
+    """Read a SNAP-style text edge list into an ``(m, 2)`` int64 array."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphError(f"edge list not found: {path}")
+    rows: list[tuple[int, int]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            rows.append((int(parts[0]), int(parts[1])))
+    return np.array(rows, dtype=np.int64).reshape(-1, 2)
+
+
+def save_npz(edges: np.ndarray, path: PathLike) -> None:
+    """Save an edge array as compressed ``.npz``."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+    np.savez_compressed(path, edges=edges)
+
+
+def load_npz(path: PathLike) -> np.ndarray:
+    """Load an edge array saved by :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphError(f"npz file not found: {path}")
+    with np.load(path) as data:
+        if "edges" not in data:
+            raise GraphError(f"{path} does not contain an 'edges' array")
+        return data["edges"].astype(np.int64)
+
+
+def load_graph(path: PathLike) -> DynamicDiGraph:
+    """Load a graph from ``.npz`` or text edge list based on extension."""
+    path = Path(path)
+    edges = load_npz(path) if path.suffix == ".npz" else load_edge_list(path)
+    return DynamicDiGraph.from_edges(map(tuple, edges.tolist()))

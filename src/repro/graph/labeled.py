@@ -1,0 +1,109 @@
+"""Labeled wrapper over :class:`DynamicDiGraph`.
+
+The core library works on dense integer vertex ids (state vectors are
+numpy arrays indexed by id). Applications usually have string or tuple
+identities; :class:`LabeledDiGraph` maintains the bidirectional mapping so
+examples can speak in domain terms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from ..errors import VertexError
+from .digraph import DynamicDiGraph
+from .update import EdgeOp, EdgeUpdate
+
+Label = Hashable
+
+
+class LabeledDiGraph:
+    """A directed multigraph whose vertices are arbitrary hashable labels.
+
+    Examples
+    --------
+    >>> g = LabeledDiGraph()
+    >>> g.add_edge("alice", "bob")
+    >>> g.id_of("alice")
+    0
+    >>> g.label_of(1)
+    'bob'
+    """
+
+    def __init__(self, edges: Iterable[tuple[Label, Label]] | None = None) -> None:
+        self.graph = DynamicDiGraph()
+        self._id_of: dict[Label, int] = {}
+        self._label_of: list[Label] = []
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # label <-> id
+    # ------------------------------------------------------------------ #
+
+    def intern(self, label: Label) -> int:
+        """Return the id for ``label``, allocating one if new."""
+        existing = self._id_of.get(label)
+        if existing is not None:
+            return existing
+        vid = len(self._label_of)
+        self._id_of[label] = vid
+        self._label_of.append(label)
+        self.graph.add_vertex(vid)
+        return vid
+
+    def id_of(self, label: Label) -> int:
+        """Id of a known label; raises :class:`VertexError` otherwise."""
+        try:
+            return self._id_of[label]
+        except KeyError:
+            raise VertexError(label, f"unknown label: {label!r}") from None
+
+    def label_of(self, vid: int) -> Label:
+        """Label of a known id; raises :class:`VertexError` otherwise."""
+        if 0 <= vid < len(self._label_of):
+            return self._label_of[vid]
+        raise VertexError(vid, f"unknown vertex id: {vid}")
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._id_of
+
+    def labels(self) -> Iterator[Label]:
+        return iter(self._label_of)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    # ------------------------------------------------------------------ #
+    # edges
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: Label, v: Label) -> EdgeUpdate:
+        """Insert ``u -> v``; returns the underlying integer update."""
+        upd = EdgeUpdate(self.intern(u), self.intern(v), EdgeOp.INSERT)
+        self.graph.apply(upd)
+        return upd
+
+    def remove_edge(self, u: Label, v: Label) -> EdgeUpdate:
+        """Delete ``u -> v``; returns the underlying integer update."""
+        upd = EdgeUpdate(self.id_of(u), self.id_of(v), EdgeOp.DELETE)
+        self.graph.apply(upd)
+        return upd
+
+    def has_edge(self, u: Label, v: Label) -> bool:
+        if u not in self._id_of or v not in self._id_of:
+            return False
+        return self.graph.has_edge(self._id_of[u], self._id_of[v])
+
+    def update_for(self, u: Label, v: Label, op: EdgeOp) -> EdgeUpdate:
+        """Build (but do not apply) the integer update for a labeled edge."""
+        return EdgeUpdate(self.intern(u), self.intern(v), op)
+
+    def __repr__(self) -> str:
+        return f"LabeledDiGraph(n={self.num_vertices}, m={self.num_edges})"

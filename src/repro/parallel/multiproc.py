@@ -1,0 +1,147 @@
+"""Real OS-process BSP backend for the parallel push (demonstration).
+
+Python's GIL prevents shared-memory *thread* parallelism, so this backend
+shows how the algorithm maps onto bulk-synchronous *process* parallelism:
+each iteration, the frontier is sharded across workers; every worker
+computes its shard's neighbor propagation as a partial delta vector; the
+coordinator reduces the partials (the commutative equivalent of atomic
+adds) and generates the next frontier.
+
+Only the snapshot (VANILLA / DUPDETECT) session order is supported —
+eager propagation is defined by *intra-iteration* visibility of
+concurrent writes, which BSP message passing cannot express. Requesting
+an eager variant raises :class:`BackendError`.
+
+On a single-core container this is strictly slower than the numpy
+backend; it exists to demonstrate and test the decomposition, not to win
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..config import Phase, PPRConfig
+from ..errors import BackendError, ConvergenceError
+from ..graph.csr import CSRGraph
+from ..core.state import PPRState
+from ..core.stats import IterationRecord, PushStats
+
+# Worker-process globals installed by the pool initializer; shipping the
+# CSR once per pool instead of once per task keeps the demo usable.
+_WORKER_CSR: CSRGraph | None = None
+_WORKER_ALPHA: float = 0.15
+
+
+def _init_worker(indptr: np.ndarray, indices: np.ndarray, dout: np.ndarray, alpha: float) -> None:
+    global _WORKER_CSR, _WORKER_ALPHA
+    _WORKER_CSR = CSRGraph(indptr, indices, dout)
+    _WORKER_ALPHA = alpha
+
+
+def _propagate_shard(args: tuple[np.ndarray, np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
+    """Compute one shard's (targets, deltas) contribution."""
+    shard, weights = args
+    assert _WORKER_CSR is not None, "worker pool not initialized"
+    src_idx, targets = _WORKER_CSR.gather_in_edges(shard)
+    if targets.size == 0:
+        return targets, np.empty(0, dtype=np.float64), 0
+    deltas = (1.0 - _WORKER_ALPHA) * weights[src_idx] / _WORKER_CSR.dout[targets]
+    return targets, deltas, int(targets.size)
+
+
+def multiprocess_push(
+    state: PPRState,
+    csr: CSRGraph,
+    config: PPRConfig,
+    *,
+    seeds: Iterable[int] | None = None,
+    stats: PushStats | None = None,
+) -> PushStats:
+    """Run the snapshot parallel push with a process pool."""
+    if config.variant.eager:
+        raise BackendError(
+            "the multiprocess backend supports snapshot variants only"
+            " (VANILLA / DUPDETECT); eager propagation needs shared memory"
+        )
+    stats = stats if stats is not None else PushStats()
+    epsilon = config.epsilon
+    workers = min(config.workers, 8)  # pool startup is expensive; cap it
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(csr.indptr, csr.indices, csr.dout, config.alpha),
+    ) as pool:
+        for phase in (Phase.POS, Phase.NEG):
+            _run_phase(state, csr, phase, config, seeds, stats, pool, workers)
+    if state.residual_linf() > epsilon:  # pragma: no cover - safety net
+        raise ConvergenceError(stats.num_iterations, state.residual_linf())
+    return stats
+
+
+def _run_phase(
+    state: PPRState,
+    csr: CSRGraph,
+    phase: Phase,
+    config: PPRConfig,
+    seeds: Iterable[int] | None,
+    stats: PushStats,
+    pool: ProcessPoolExecutor,
+    workers: int,
+) -> None:
+    from ..core.push_vectorized import _exceeds, _prepare_seeds
+
+    epsilon = config.epsilon
+    alpha = config.alpha
+    local_detect = config.variant.local_duplicate_detection
+    r = state.r
+    frontier = _prepare_seeds(state, phase, epsilon, seeds)
+    rounds = 0
+    while frontier.size:
+        rec = IterationRecord(phase=phase, frontier_size=int(frontier.size))
+        weights = r[frontier].copy()
+        state.p[frontier] += alpha * weights
+        r[frontier] = 0.0
+        rec.residual_pushed += float(np.abs(weights).sum())
+
+        shards = np.array_split(np.arange(len(frontier)), min(workers, len(frontier)))
+        tasks = [(frontier[idx], weights[idx]) for idx in shards if idx.size]
+        touched_pieces: list[np.ndarray] = []
+        before_lookup = r  # zeros at frontier already applied
+        all_targets: list[np.ndarray] = []
+        all_deltas: list[np.ndarray] = []
+        for targets, deltas, traversed in pool.map(_propagate_shard, tasks):
+            rec.edge_traversals += traversed
+            rec.atomic_adds += traversed
+            if targets.size:
+                all_targets.append(targets)
+                all_deltas.append(deltas)
+        if all_targets:
+            targets = np.concatenate(all_targets)
+            deltas = np.concatenate(all_deltas)
+            touched = np.unique(targets)
+            before = before_lookup[touched].copy()
+            np.add.at(r, targets, deltas)
+            after = r[touched]
+            passes_after = _exceeds(after, phase, epsilon)
+            if local_detect:
+                new = touched[~_exceeds(before, phase, epsilon) & passes_after]
+            else:
+                new = touched[passes_after]
+                rec.dedup_checks += int(passes_after.sum())
+            rec.enqueue_attempts += int(passes_after.sum())
+            touched_pieces.append(new)
+        frontier = (
+            np.sort(np.concatenate(touched_pieces))
+            if touched_pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        rec.enqueued = int(frontier.size)
+        stats.record(rec)
+        rounds += 1
+        if rounds > config.max_iterations:
+            raise ConvergenceError(rounds, state.residual_linf())

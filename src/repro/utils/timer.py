@@ -1,0 +1,52 @@
+"""Tiny wall-clock timer used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     sum(range(10))
+    45
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap time, 0.0 when no lap has completed."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None

@@ -1,0 +1,38 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = False) -> float:
+    """Require ``value`` in ``(0, 1)`` (or ``[0, 1]`` when inclusive)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(f"{name} must be in [0, 1], got {value}")
+    elif not 0.0 < value < 1.0:
+        raise ConfigError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_vertex_id(name: str, value: int) -> int:
+    """Require a non-negative integer vertex id."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be an int vertex id, got {value!r}")
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return value

@@ -1,0 +1,70 @@
+"""Shared fixtures: the paper's worked-example graph, random graphs, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import Backend, DynamicDiGraph, PPRConfig, PushVariant
+
+# Keep hypothesis fast and deterministic in CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def paper_graph() -> DynamicDiGraph:
+    """The 4-vertex graph of the paper's Figures 1-3.
+
+    Edges {2->1, 3->1, 3->2, 4->3, 1->4}; source s=1, alpha=0.5, eps=0.1.
+    Derived from the numbers in the figures: the parallel push from
+    scratch must yield P=(0.5, 0.25, 0.1875, 0.0625).
+    """
+    return DynamicDiGraph([(2, 1), (3, 1), (3, 2), (4, 3), (1, 4)])
+
+
+@pytest.fixture
+def paper_config() -> PPRConfig:
+    """The alpha/epsilon of the paper's running examples."""
+    return PPRConfig(alpha=0.5, epsilon=0.1, variant=PushVariant.VANILLA, backend=Backend.PURE)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20170901)  # the paper's publication month
+
+
+def random_graph(
+    rng: np.random.Generator, n: int = 30, m: int = 120
+) -> DynamicDiGraph:
+    """A small random digraph (helper, not a fixture, for parametrized use)."""
+    from repro.graph.generators import erdos_renyi_graph
+
+    edges = erdos_renyi_graph(n, m, rng=rng)
+    return DynamicDiGraph(map(tuple, edges.tolist()))
+
+
+def all_variant_configs(
+    alpha: float = 0.2, epsilon: float = 1e-4, workers: int = 4
+) -> list[PPRConfig]:
+    """One config per (variant, backend) combination."""
+    configs = []
+    for variant in PushVariant:
+        for backend in (Backend.PURE, Backend.NUMPY):
+            configs.append(
+                PPRConfig(
+                    alpha=alpha,
+                    epsilon=epsilon,
+                    variant=variant,
+                    backend=backend,
+                    workers=workers,
+                )
+            )
+    return configs

@@ -1,0 +1,61 @@
+"""Tests for the ablation studies (design-choice claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_batching,
+    ablation_frontier_generation,
+    ablation_parallel_loss,
+)
+
+
+class TestParallelLossAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_parallel_loss(
+            dataset="youtube", worker_widths=(1, 64, 100_000)
+        )
+
+    def test_sequential_baseline_row(self, result):
+        assert result.rows[0][1] == "sequential"
+        assert result.rows[0][5] == 1.0
+
+    def test_vanilla_pays_parallel_loss(self, result):
+        vanilla = [row for row in result.rows if row[1] == "vanilla"]
+        assert all(row[5] >= 1.0 for row in vanilla)
+
+    def test_eager_narrows_the_gap(self, result):
+        # At each width, OPT pushes <= VANILLA pushes (Section 4.1's claim).
+        vanilla = {row[2]: row[3] for row in result.rows if row[1] == "vanilla"}
+        opt = {row[2]: row[3] for row in result.rows if row[1] == "opt"}
+        assert set(vanilla) == set(opt)
+        assert all(opt[w] <= vanilla[w] for w in vanilla)
+
+    def test_fully_eager_approaches_sequential(self, result):
+        seq_pushes = result.rows[0][3]
+        opt_1 = next(row for row in result.rows if row[1] == "opt" and row[2] == 1)
+        opt_wide = next(
+            row for row in result.rows if row[1] == "opt" and row[2] == 100_000
+        )
+        assert opt_1[3] <= opt_wide[3]
+        assert opt_1[3] <= 1.5 * seq_pushes
+
+
+class TestBatchingAblation:
+    def test_batching_never_worse(self):
+        result = ablation_batching(dataset="youtube", num_slides=2)
+        per_update = result.rows[0]
+        batched = result.rows[1]
+        assert per_update[4] >= batched[4]
+
+
+class TestFrontierAblation:
+    def test_local_detection_eliminates_sync(self):
+        result = ablation_frontier_generation(dataset="youtube", num_slides=1)
+        by_variant = {row[1]: row for row in result.rows}
+        assert by_variant["vanilla"][3] > 0
+        assert by_variant["eager"][3] > 0
+        assert by_variant["dupdetect"][3] == 0
+        assert by_variant["opt"][3] == 0

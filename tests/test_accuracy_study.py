@@ -1,0 +1,41 @@
+"""Tests for the accuracy-vs-cost study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.accuracy import accuracy_study
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return accuracy_study(
+            dataset="youtube",
+            epsilons=(1e-4,),
+            walk_budgets=(6,),
+            num_slides=1,
+        )
+
+    def test_local_update_meets_its_guarantee(self, result):
+        row = next(r for r in result.rows if "local-update" in r[1])
+        measured, guarantee = row[2], row[3]
+        assert measured <= guarantee
+
+    def test_monte_carlo_much_less_accurate_at_paper_budget(self, result):
+        # The paper's w = 6|V| budget means ~sqrt(a(1-a)/6) ~ 0.15 noise
+        # per entry: orders of magnitude above the push's epsilon.
+        push = next(r for r in result.rows if "local-update" in r[1])
+        mc = next(r for r in result.rows if "monte-carlo" in r[1])
+        assert mc[2] > 10 * push[2]
+
+    def test_table_renders(self, result):
+        assert "Accuracy study" in result.table()
+
+
+def test_more_walks_reduce_error():
+    result = accuracy_study(
+        dataset="youtube", epsilons=(), walk_budgets=(2, 64), num_slides=1
+    )
+    errors = [row[2] for row in result.rows]
+    assert errors[1] <= errors[0]

@@ -1,0 +1,118 @@
+"""Tests for the theoretical-bound helpers and parallel-loss measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigError,
+    DynamicDiGraph,
+    PPRConfig,
+    PPRState,
+    PushVariant,
+    parallel_bound_directed,
+    parallel_bound_undirected,
+    parallel_local_push,
+    parallel_loss,
+    residual_change_bound,
+    sequential_bound,
+)
+from repro.core.analysis import measure_residual_change
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import insertions
+
+
+class TestBoundFormulas:
+    def test_sequential_bound_shape(self):
+        # O(K + K/(n eps) + d/eps): each term scales as expected.
+        base = sequential_bound(K=100, n=1000, d=10, epsilon=1e-3)
+        assert sequential_bound(K=200, n=1000, d=10, epsilon=1e-3) > base
+        assert sequential_bound(K=100, n=1000, d=20, epsilon=1e-3) > base
+        assert sequential_bound(K=100, n=1000, d=10, epsilon=1e-4) > base
+
+    def test_parallel_bounds_match_equations(self):
+        # Equations 4 and 5, evaluated by hand for one parameter point.
+        K, n, d, eps, a = 10, 100, 5.0, 1e-2, 0.5
+        a2 = a * a
+        expected_d = d / (a * eps) + K * (a + 4) / (n * a2) + K * (2 / a2 + 2 / (a2 * n * eps))
+        assert parallel_bound_directed(K, n, d, eps, a) == pytest.approx(expected_d)
+        expected_u = d / (a * eps) + 2 * K / a + K * (4 / a2 + 4 / (a2 * n * eps))
+        assert parallel_bound_undirected(K, n, d, eps, a) == pytest.approx(expected_u)
+
+    def test_undirected_bound_dominates_directed_K_terms(self):
+        # An undirected update is two directed updates: its K terms are ~2x.
+        args = dict(K=50, n=1000, d=8.0, epsilon=1e-3, alpha=0.15)
+        assert parallel_bound_undirected(**args) > parallel_bound_directed(**args)
+
+    def test_residual_change_bound_formula(self):
+        # Lemma 3: k (2 n eps + 2) / (alpha dout).
+        assert residual_change_bound(3, 100, 1e-2, 0.5, 4) == pytest.approx(
+            3 * (2 * 100 * 1e-2 + 2) / (0.5 * 4)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sequential_bound(0, 10, 1.0, 1e-3)
+        with pytest.raises(ConfigError):
+            residual_change_bound(1, 10, 1e-3, 0.5, 0)
+
+
+class TestMeasuredResidualChange:
+    def test_bound_holds_on_random_batches(self, rng):
+        edges = erdos_renyi_graph(12, 40, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        config = PPRConfig(alpha=0.3, epsilon=1e-2)
+        batch = insertions([(0, 5), (0, 7), (3, 2)])
+        measurements = measure_residual_change(g, batch, config)
+        assert {m.vertex for m in measurements} == {0, 3}
+        by_vertex = {m.vertex: m for m in measurements}
+        assert by_vertex[0].updates_from_vertex == 2
+        for m in measurements:
+            assert m.within_bound
+            assert m.measured >= 0
+
+    def test_original_graph_untouched(self, rng):
+        edges = erdos_renyi_graph(10, 30, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        before = g.copy()
+        measure_residual_change(g, insertions([(0, 5)]), PPRConfig(alpha=0.3, epsilon=1e-2))
+        assert g == before
+
+
+class TestParallelLoss:
+    def test_vanilla_parallel_never_beats_sequential(self):
+        # Lemma 4's consequence on push counts, over several random graphs.
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            edges = erdos_renyi_graph(25, 120, rng=rng)
+            g = DynamicDiGraph(map(tuple, edges.tolist()))
+            state = PPRState.initial(0, g.capacity)
+            config = PPRConfig(
+                alpha=0.2, epsilon=1e-4, variant=PushVariant.VANILLA, workers=1000
+            )
+            report = parallel_loss(g, state, config, seeds=[0])
+            assert report.parallel_pushes >= report.sequential_pushes
+            assert report.ratio >= 1.0
+            assert report.loss == report.parallel_pushes - report.sequential_pushes
+
+    def test_paper_example_loss(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        report = parallel_loss(paper_graph, state, paper_config, seeds=[1])
+        assert report.sequential_pushes == 4
+        assert report.parallel_pushes == 5
+        assert report.loss == 1
+
+    def test_eager_reduces_loss(self):
+        # Across random graphs, OPT's total pushes are <= VANILLA's.
+        total = {PushVariant.VANILLA: 0, PushVariant.OPT: 0}
+        for seed in range(8):
+            rng = np.random.default_rng(100 + seed)
+            edges = erdos_renyi_graph(30, 160, rng=rng)
+            g = DynamicDiGraph(map(tuple, edges.tolist()))
+            for variant in total:
+                config = PPRConfig(alpha=0.2, epsilon=1e-4, variant=variant, workers=4)
+                state = PPRState.initial(0, g.capacity)
+                stats = parallel_local_push(state, g, config, seeds=[0])
+                total[variant] += stats.pushes
+        assert total[PushVariant.OPT] <= total[PushVariant.VANILLA]

@@ -1,0 +1,104 @@
+"""Tests for error certification and convergence diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigError,
+    DynamicDiGraph,
+    PPRConfig,
+    PPRState,
+    certified_comparison,
+    certified_top_k,
+    convergence_report,
+    error_bound,
+    ground_truth_ppr,
+    parallel_local_push,
+    residual_decay,
+)
+from repro.graph.generators import erdos_renyi_graph
+
+
+def converged(graph, source, epsilon=1e-6, alpha=0.2):
+    config = PPRConfig(alpha=alpha, epsilon=epsilon)
+    state = PPRState.initial(source, graph.capacity)
+    stats = parallel_local_push(state, graph, config, seeds=[source])
+    return state, stats
+
+
+class TestErrorBound:
+    def test_bound_is_residual_linf(self, rng):
+        edges = erdos_renyi_graph(25, 100, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        state, _ = converged(g, 0)
+        assert error_bound(state) == state.residual_linf()
+
+    def test_bound_is_sound_vs_truth(self, rng):
+        # The rigorous bound must dominate the actual error — including
+        # mid-run, before convergence (invariant holds throughout).
+        edges = erdos_renyi_graph(25, 100, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        truth = ground_truth_ppr(g, 0, 0.2)
+        for epsilon in (0.5, 1e-2, 1e-5):
+            state, _ = converged(g, 0, epsilon=epsilon)
+            actual = float(np.abs(state.p[: len(truth)] - truth).max())
+            assert actual <= error_bound(state) + 1e-12
+
+
+class TestCertifiedTopK:
+    def test_certified_positions_are_correct(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        state, _ = converged(g, 0, epsilon=1e-8)
+        truth = ground_truth_ppr(g, 0, 0.2)
+        true_order = np.argsort(truth)[::-1]
+        for i, entry in enumerate(certified_top_k(state, 5)):
+            assert entry.lower <= entry.estimate <= entry.upper
+            if entry.position_certified:
+                assert entry.vertex == int(true_order[i])
+
+    def test_loose_epsilon_leaves_ties_uncertified(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        state, _ = converged(g, 0, epsilon=0.5)  # intervals all overlap
+        entries = certified_top_k(state, 5)
+        assert not any(e.position_certified for e in entries[1:])
+
+    def test_k_validation(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        with pytest.raises(ConfigError):
+            certified_top_k(state, 0)
+
+
+class TestCertifiedComparison:
+    def test_decided_and_undecided(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        state, _ = converged(g, 0, epsilon=1e-9)
+        top = state.top_k(2)
+        smallest = int(np.argmin(state.p[:30]))
+        assert certified_comparison(state, top[0][0], smallest) == 1
+        assert certified_comparison(state, smallest, top[0][0]) == -1
+        assert certified_comparison(state, smallest, smallest) is None
+
+
+class TestConvergenceReport:
+    def test_report_fields(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = parallel_local_push(state, paper_graph, paper_config, seeds=[1])
+        report = convergence_report(state, stats)
+        assert report.iterations == 3
+        assert report.total_pushes == 5
+        assert report.peak_frontier == 2
+        assert report.final_error_bound <= paper_config.epsilon
+        assert "5 pushes" in str(report)
+
+    def test_residual_decay_series(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = parallel_local_push(state, paper_graph, paper_config, seeds=[1])
+        decay = residual_decay(stats)
+        assert len(decay) == stats.num_iterations
+        assert decay[0] == pytest.approx(1.0)  # first iteration pushes r(s)=1
+        assert all(a >= b - 1e-12 for a, b in zip(decay, decay[1:]))

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["track", "facebook"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pokec", "livejournal", "youtube", "orkut", "twitter"):
+            assert name in out
+
+    def test_figure_fig9(self, capsys):
+        assert main(["figure", "fig9", "--dataset", "youtube", "--slides", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "WO" in out
+
+    def test_ablation_frontier(self, capsys):
+        assert main(["ablation", "frontier", "--dataset", "youtube"]) == 0
+        out = capsys.readouterr().out
+        assert "sync_dedup_checks" in out
+        assert "vanilla" in out and "opt" in out
+
+    def test_track(self, capsys):
+        assert main(["track", "youtube", "--slides", "1", "--epsilon", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "slide 1" in out
+        assert "certified top-5" in out

@@ -1,0 +1,128 @@
+"""Tests for the hardware cost models (monotonicity and structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CPUCostModel, GPUCostModel, LigraCostModel, MonteCarloCostModel
+from repro.config import Phase
+from repro.core.stats import IterationRecord, PushStats, SequentialPushStats
+
+
+def trace(iters, frontier=100, edges=1000, dedup=0):
+    stats = PushStats()
+    for _ in range(iters):
+        stats.record(
+            IterationRecord(
+                phase=Phase.POS,
+                frontier_size=frontier,
+                edge_traversals=edges,
+                atomic_adds=edges,
+                dedup_checks=dedup,
+            )
+        )
+    return stats
+
+
+class TestCPUModel:
+    def test_more_workers_lower_latency(self):
+        t = trace(10, edges=100_000)
+        lat = [CPUCostModel(workers=w).parallel_latency(t) for w in (1, 8, 40)]
+        assert lat[0] > lat[1] > lat[2]
+
+    def test_more_work_higher_latency(self):
+        model = CPUCostModel()
+        assert model.parallel_latency(trace(10, edges=10_000)) > model.parallel_latency(
+            trace(10, edges=1_000)
+        )
+
+    def test_dedup_costs_extra(self):
+        model = CPUCostModel()
+        assert model.parallel_latency(trace(5, dedup=50_000)) > model.parallel_latency(
+            trace(5, dedup=0)
+        )
+
+    def test_barriers_charge_per_iteration(self):
+        model = CPUCostModel()
+        few = model.parallel_latency(trace(1, frontier=1000, edges=10_000))
+        many = model.parallel_latency(trace(100, frontier=10, edges=100))
+        assert many > few  # same total work, more synchronization
+
+    def test_sequential_latency(self):
+        model = CPUCostModel(workers=1)
+        stats = SequentialPushStats(pushes=1000, edge_traversals=10_000)
+        lat = model.sequential_latency(stats, num_updates=10)
+        expected = (
+            10 * model.seconds_per_restore
+            + 1000 * model.seconds_per_push
+            + 10_000 * model.seconds_per_edge
+        )
+        assert lat == pytest.approx(expected)
+
+    def test_with_workers_preserves_constants(self):
+        base = CPUCostModel()
+        scaled = base.with_workers(7)
+        assert scaled.workers == 7
+        assert scaled.seconds_per_edge == base.seconds_per_edge
+
+    def test_amdahl_effect(self):
+        # Throughput scaling must taper: 40 cores < 40x speedup.
+        t = trace(50, frontier=500, edges=5_000)
+        lat1 = CPUCostModel(workers=1).parallel_latency(t)
+        lat40 = CPUCostModel(workers=40).parallel_latency(t)
+        assert 1.0 < lat1 / lat40 < 40.0
+
+
+class TestGPUModel:
+    def test_occupancy_monotone(self):
+        model = GPUCostModel()
+        assert model.occupancy(0) == 0.0
+        assert model.occupancy(1000) < model.occupancy(100_000)
+        assert model.occupancy(10**9) == 1.0
+
+    def test_launch_dominates_small_iterations(self):
+        model = GPUCostModel()
+        lat = model.parallel_latency(trace(100, frontier=1, edges=2))
+        assert lat >= 100 * 2 * model.kernel_launch_seconds
+
+    def test_large_batches_beat_cpu(self):
+        # The crossover the paper observes: huge frontiers favor the GPU.
+        big = trace(20, frontier=50_000, edges=500_000)
+        gpu = GPUCostModel().parallel_latency(big)
+        cpu = CPUCostModel(workers=40).parallel_latency(big)
+        assert gpu < cpu
+
+    def test_small_batches_favor_cpu(self):
+        small = trace(200, frontier=2, edges=10)
+        gpu = GPUCostModel().parallel_latency(small)
+        cpu = CPUCostModel(workers=40).parallel_latency(small)
+        assert cpu < gpu
+
+
+class TestMonteCarloModel:
+    def test_index_ops_dominate(self):
+        model = MonteCarloCostModel()
+        assert model.latency(0, 1000) > model.latency(1000, 0)
+
+    def test_monotone(self):
+        model = MonteCarloCostModel()
+        assert model.latency(10, 10) < model.latency(100, 100)
+
+
+class TestLigraModel:
+    def test_slower_than_specialized_cpu(self):
+        t = trace(10, frontier=1000, edges=50_000)
+        ligra = LigraCostModel().parallel_latency(t, num_vertices=10_000, num_edges=100_000)
+        cpu = CPUCostModel().parallel_latency(t)
+        assert ligra > cpu
+
+    def test_dense_mode_charges_scan(self):
+        t = trace(1, frontier=100, edges=90_000)
+        small_graph = LigraCostModel().parallel_latency(
+            t, num_vertices=1_000_000, num_edges=100_000
+        )
+        # Same trace on a graph where it stays sparse:
+        sparse = LigraCostModel().parallel_latency(
+            t, num_vertices=1_000_000, num_edges=100_000_000
+        )
+        assert small_graph > sparse

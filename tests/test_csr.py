@@ -1,0 +1,108 @@
+"""Unit tests for CSR snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CSRGraph, DynamicDiGraph, GraphError
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestFromDigraph:
+    def test_simple(self):
+        g = DynamicDiGraph([(0, 2), (1, 2), (2, 0)])
+        csr = CSRGraph.from_digraph(g)
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 3
+        assert sorted(csr.in_neighbors(2).tolist()) == [0, 1]
+        assert csr.in_neighbors(1).tolist() == []
+        assert csr.dout.tolist() == [1, 1, 1]
+
+    def test_multiplicity_expanded(self):
+        g = DynamicDiGraph()
+        g.add_edge(0, 1, count=3)
+        csr = CSRGraph.from_digraph(g)
+        assert csr.in_neighbors(1).tolist() == [0, 0, 0]
+        assert csr.dout[0] == 3
+
+    def test_capacity_padding(self):
+        g = DynamicDiGraph([(0, 1)])
+        csr = CSRGraph.from_digraph(g, capacity=10)
+        assert csr.num_vertices == 10
+        assert csr.in_degree(9) == 0
+
+    def test_capacity_too_small_raises(self):
+        g = DynamicDiGraph([(0, 5)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_digraph(g, capacity=3)
+
+
+class TestFromEdgeArray:
+    def test_matches_digraph_construction(self, rng):
+        edges = erdos_renyi_graph(25, 100, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        a = CSRGraph.from_digraph(g, capacity=25)
+        b = CSRGraph.from_edge_array(edges, capacity=25)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.dout, b.dout)
+        for u in range(25):
+            assert sorted(a.in_neighbors(u).tolist()) == sorted(
+                b.in_neighbors(u).tolist()
+            )
+
+    def test_empty(self):
+        csr = CSRGraph.from_edge_array(np.empty((0, 2), dtype=np.int64))
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_array(np.zeros((3, 3), dtype=np.int64))
+
+    def test_negative_ids_raise(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_array(np.array([[-1, 0]]))
+
+
+class TestGatherInEdges:
+    def test_gather(self):
+        g = DynamicDiGraph([(0, 2), (1, 2), (3, 1)])
+        csr = CSRGraph.from_digraph(g)
+        sources, targets = csr.gather_in_edges(np.array([2, 1]))
+        # frontier[0]=2 has in-nbrs {0,1}; frontier[1]=1 has in-nbr {3}
+        assert sources.tolist() == [0, 0, 1]
+        assert sorted(targets[:2].tolist()) == [0, 1]
+        assert targets[2] == 3
+
+    def test_gather_empty_frontier(self):
+        g = DynamicDiGraph([(0, 1)])
+        csr = CSRGraph.from_digraph(g)
+        sources, targets = csr.gather_in_edges(np.empty(0, dtype=np.int64))
+        assert len(sources) == 0 and len(targets) == 0
+
+    def test_gather_matches_python_loop(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        csr = CSRGraph.from_edge_array(edges)
+        frontier = np.unique(rng.choice(30, size=10))
+        sources, targets = csr.gather_in_edges(frontier)
+        expected = []
+        for i, u in enumerate(frontier):
+            for v in csr.in_neighbors(int(u)):
+                expected.append((i, int(v)))
+        assert sorted(zip(sources.tolist(), targets.tolist())) == sorted(expected)
+
+
+class TestValidation:
+    def test_inconsistent_arrays_raise(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1]),
+                np.array([0, 0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+
+    def test_memory_bytes_positive(self):
+        csr = CSRGraph.from_edge_array(np.array([[0, 1], [1, 0]]))
+        assert csr.memory_bytes() > 0
+        assert "n=2" in repr(csr)

@@ -1,0 +1,75 @@
+"""Tests for the paper-dataset analogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, DATASETS
+from repro.graph.datasets import (
+    dataset_edges,
+    get_spec,
+    load_dataset,
+    top_degree_vertices,
+)
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_present(self):
+        assert set(DATASETS) == {"pokec", "livejournal", "youtube", "orkut", "twitter"}
+
+    def test_directedness_matches_paper(self):
+        assert DATASETS["pokec"].directed
+        assert DATASETS["livejournal"].directed
+        assert DATASETS["twitter"].directed
+        assert not DATASETS["youtube"].directed
+        assert not DATASETS["orkut"].directed
+
+    def test_average_degree_preserved(self):
+        # The analog's average degree should be within 2x of the paper's
+        # (that is the scaling contract in DESIGN.md).
+        for spec in DATASETS.values():
+            paper_deg = spec.paper_edges / spec.paper_vertices
+            analog_deg = spec.average_degree
+            assert 0.5 <= analog_deg / paper_deg <= 2.0, spec.name
+
+    def test_scale_factor(self):
+        assert DATASETS["twitter"].scale_factor == pytest.approx(1000.0)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            get_spec("facebook")
+
+
+class TestGeneration:
+    def test_edges_deterministic_and_cached(self):
+        a = dataset_edges("youtube")
+        b = dataset_edges("youtube")
+        assert a is b  # lru_cache
+        assert not a.flags.writeable
+
+    def test_edge_counts_close_to_spec(self):
+        spec = get_spec("youtube")
+        edges = dataset_edges("youtube")
+        # Undirected canonicalization may drop a few duplicates.
+        assert len(edges) >= 0.9 * spec.num_edges
+
+    def test_undirected_edges_canonical(self):
+        edges = dataset_edges("youtube")
+        assert (edges[:, 0] <= edges[:, 1]).all()
+
+    def test_load_dataset_directed(self):
+        g = load_dataset("youtube")
+        # Undirected dataset: both directions materialized.
+        edges = dataset_edges("youtube")
+        u, v = int(edges[0, 0]), int(edges[0, 1])
+        assert g.has_edge(u, v) and g.has_edge(v, u)
+
+
+class TestTopDegree:
+    def test_top_degree_ordering(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3], [1, 2], [2, 3]])
+        top = top_degree_vertices(edges, 2)
+        assert top[0] == 0
+        with pytest.raises(ConfigError):
+            top_degree_vertices(edges, 0)

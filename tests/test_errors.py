@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BackendError,
+    ConfigError,
+    ConvergenceError,
+    EdgeError,
+    GraphError,
+    ReproError,
+    StreamError,
+    VertexError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigError("x"),
+            GraphError("x"),
+            VertexError(1),
+            EdgeError(1, 2),
+            StreamError("x"),
+            ConvergenceError(5, 0.1),
+            BackendError("x"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert isinstance(ConfigError("x"), ValueError)
+
+    def test_vertex_edge_errors_are_key_errors(self):
+        # KeyError compatibility: dict-like lookups can be caught naturally.
+        assert isinstance(VertexError(3), KeyError)
+        assert isinstance(EdgeError(1, 2), KeyError)
+
+    def test_readable_messages(self):
+        assert "3" in str(VertexError(3))
+        assert "1" in str(EdgeError(1, 2)) and "2" in str(EdgeError(1, 2))
+        err = ConvergenceError(100, 0.5)
+        assert "100" in str(err)
+        assert err.iterations == 100
+        assert err.residual == 0.5
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise EdgeError(0, 1)

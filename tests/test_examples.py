@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+The examples contain their own assertions (accuracy guarantees, ranking
+changes), so executing ``main()`` is a real integration test, not just an
+import check.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "streaming_throughput", "who_to_follow", "local_community"],
+)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_epsilon_accuracy(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "max error" in out
+    assert "top-5" in out
+
+
+def test_who_to_follow_isolated_community_scores_zero(capsys):
+    load_example("who_to_follow").main()
+    out = capsys.readouterr().out
+    assert "community B is isolated" in out

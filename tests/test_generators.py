@@ -1,0 +1,106 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_shape_and_bounds(self, rng):
+        edges = rmat_graph(100, 500, rng=rng)
+        assert edges.shape == (500, 2)
+        assert edges.min() >= 0 and edges.max() < 100
+
+    def test_deterministic_with_seed(self):
+        a = rmat_graph(64, 300, rng=7)
+        b = rmat_graph(64, 300, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_no_self_loops_or_duplicates(self, rng):
+        edges = rmat_graph(64, 300, rng=rng)
+        assert (edges[:, 0] != edges[:, 1]).all()
+        assert len({tuple(e) for e in edges.tolist()}) == len(edges)
+
+    def test_degree_skew(self, rng):
+        # R-MAT with default parameters is strongly skewed: the max
+        # out-degree should far exceed the average.
+        edges = rmat_graph(1024, 8192, rng=rng)
+        dout = np.bincount(edges[:, 0], minlength=1024)
+        assert dout.max() >= 4 * dout.mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            rmat_graph(1, 10)
+        with pytest.raises(ConfigError):
+            rmat_graph(10, 0)
+        with pytest.raises(ConfigError):
+            rmat_graph(10, 10, a=0.8, b=0.3, c=0.3)
+
+
+class TestPreferentialAttachment:
+    def test_fixed_out_degree(self, rng):
+        edges = preferential_attachment_graph(200, 3, rng=rng)
+        dout = np.bincount(edges[:, 0], minlength=200)
+        assert (dout[3:] <= 3).all()
+        assert dout[0] == 0  # the seed vertex has no out-edges
+
+    def test_edges_point_backwards(self, rng):
+        edges = preferential_attachment_graph(50, 2, rng=rng)
+        assert (edges[:, 0] > edges[:, 1]).all()
+
+    def test_in_degree_skew(self, rng):
+        edges = preferential_attachment_graph(500, 3, rng=rng)
+        din = np.bincount(edges[:, 1], minlength=500)
+        assert din.max() >= 5 * din.mean()
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count_distinct(self, rng):
+        edges = erdos_renyi_graph(30, 200, rng=rng)
+        assert edges.shape == (200, 2)
+        assert len({tuple(e) for e in edges.tolist()}) == 200
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_max_edges(self):
+        edges = erdos_renyi_graph(5, 20, rng=1)
+        assert len(edges) == 20
+        with pytest.raises(ConfigError):
+            erdos_renyi_graph(5, 21)
+
+
+class TestUtilityGraphs:
+    def test_star(self):
+        inward = star_graph(3, inward=True)
+        assert sorted(map(tuple, inward.tolist())) == [(1, 0), (2, 0), (3, 0)]
+        outward = star_graph(3, inward=False)
+        assert sorted(map(tuple, outward.tolist())) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_path(self):
+        assert path_graph(3).tolist() == [[0, 1], [1, 2]]
+
+    def test_cycle(self):
+        assert cycle_graph(3).tolist() == [[0, 1], [1, 2], [2, 0]]
+
+    def test_complete(self):
+        edges = complete_graph(4)
+        assert len(edges) == 12
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_validation(self):
+        for fn in (path_graph, cycle_graph, complete_graph):
+            with pytest.raises(ConfigError):
+                fn(1)
+        with pytest.raises(ConfigError):
+            star_graph(0)

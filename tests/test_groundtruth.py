@@ -1,0 +1,82 @@
+"""Unit tests for the ground-truth solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicDiGraph,
+    ground_truth_linear,
+    ground_truth_ppr,
+    max_estimate_error,
+)
+from repro.graph.generators import cycle_graph, erdos_renyi_graph, star_graph
+
+
+class TestClosedForms:
+    def test_isolated_source(self):
+        g = DynamicDiGraph()
+        g.add_vertex(0)
+        p = ground_truth_ppr(g, 0, alpha=0.3)
+        assert p[0] == pytest.approx(0.3)
+
+    def test_two_cycle(self):
+        # 0 <-> 1, source 0: p(0) = a + (1-a) p(1); p(1) = (1-a) p(0).
+        g = DynamicDiGraph([(0, 1), (1, 0)])
+        a = 0.3
+        p = ground_truth_ppr(g, 0, a)
+        expected0 = a / (1 - (1 - a) ** 2)
+        assert p[0] == pytest.approx(expected0, abs=1e-10)
+        assert p[1] == pytest.approx((1 - a) * expected0, abs=1e-10)
+
+    def test_star_toward_source(self):
+        # Every leaf points at the center 0: p(leaf) = (1-a) * p(0) = (1-a) a.
+        g = DynamicDiGraph(map(tuple, star_graph(5, inward=True).tolist()))
+        a = 0.15
+        p = ground_truth_ppr(g, 0, a)
+        assert p[0] == pytest.approx(a)  # center is dangling
+        for leaf in range(1, 6):
+            assert p[leaf] == pytest.approx((1 - a) * a, abs=1e-10)
+
+    def test_cycle_uniform_decay(self):
+        # On a directed n-cycle, p(v) = a (1-a)^{dist(v -> s)} / (1-(1-a)^n).
+        g = DynamicDiGraph(map(tuple, cycle_graph(4).tolist()))
+        a = 0.5
+        p = ground_truth_ppr(g, 0, a)
+        denom = 1 - (1 - a) ** 4
+        for v in range(4):
+            dist = (0 - v) % 4
+            assert p[v] == pytest.approx(a * (1 - a) ** dist / denom, abs=1e-10)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("alpha", [0.15, 0.5])
+    def test_power_vs_linear(self, alpha, rng):
+        edges = erdos_renyi_graph(40, 200, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        a = ground_truth_ppr(g, 3, alpha)
+        b = ground_truth_linear(g, 3, alpha)
+        assert np.abs(a - b).max() < 1e-9
+
+    def test_with_dangling_vertices(self, rng):
+        g = DynamicDiGraph([(0, 1), (1, 2), (3, 2)])  # 2 is dangling
+        a = ground_truth_ppr(g, 0, 0.2)
+        b = ground_truth_linear(g, 0, 0.2)
+        assert np.abs(a - b).max() < 1e-10
+        assert a[2] == pytest.approx(0.0)  # 2 never reaches 0
+
+    def test_values_bounded(self, rng):
+        edges = erdos_renyi_graph(30, 120, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        p = ground_truth_ppr(g, 0, 0.15)
+        assert (p >= -1e-15).all()
+        assert (p <= 1.0 + 1e-12).all()
+
+
+class TestMaxEstimateError:
+    def test_unequal_lengths_padded(self):
+        assert max_estimate_error(np.array([1.0]), np.array([1.0, 0.5])) == 0.5
+
+    def test_empty(self):
+        assert max_estimate_error(np.array([]), np.array([])) == 0.0

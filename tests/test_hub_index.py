@@ -1,0 +1,112 @@
+"""Tests for the dynamic hub-vector index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Backend,
+    ConfigError,
+    DynamicDiGraph,
+    DynamicHubIndex,
+    PPRConfig,
+    VertexError,
+    ground_truth_ppr,
+    select_hubs,
+)
+from repro.graph.generators import rmat_graph
+from repro.graph.update import deletions, insertions
+
+
+def scale_free(seed=5, n=64, m=400):
+    edges = rmat_graph(n, m, rng=seed)
+    return DynamicDiGraph(map(tuple, edges.tolist()))
+
+
+class TestHubSelection:
+    def test_top_degree_hubs(self):
+        g = DynamicDiGraph([(0, 1), (0, 2), (0, 3), (1, 2), (4, 0)])
+        assert select_hubs(g, 2)[0] == 0
+        with pytest.raises(ConfigError):
+            select_hubs(g, 0)
+
+    def test_auto_selection_used(self):
+        g = scale_free()
+        index = DynamicHubIndex(g, num_hubs=3, config=PPRConfig(epsilon=1e-3))
+        assert len(index.hubs) == 3
+        degrees = [g.out_degree(h) for h in index.hubs]
+        assert min(degrees) >= int(np.median(g.out_degree_array()))
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def index(self):
+        g = scale_free()
+        return DynamicHubIndex(
+            g, num_hubs=3, config=PPRConfig(alpha=0.2, epsilon=1e-5, backend=Backend.NUMPY)
+        )
+
+    def test_contribution_matches_truth(self, index):
+        for hub in index.hubs:
+            truth = ground_truth_ppr(index.graph, hub, 0.2)
+            for v in range(0, 60, 7):
+                assert index.contribution(v, hub) == pytest.approx(
+                    truth[v], abs=1e-5
+                )
+
+    def test_hub_scores_embedding(self, index):
+        scores = index.hub_scores(5)
+        assert set(scores) == set(index.hubs)
+
+    def test_rank_for_hub(self, index):
+        hub = index.hubs[0]
+        entries = index.rank_for_hub(hub, 3)
+        assert entries[0].vertex == hub  # self-contribution dominates
+        assert entries[0].estimate >= entries[1].estimate
+
+    def test_unknown_hub_raises(self, index):
+        with pytest.raises(VertexError):
+            index.contribution(0, hub=99999)
+
+    def test_is_hub(self, index):
+        assert index.is_hub(index.hubs[0])
+        assert not index.is_hub(-1 % 10**6)
+
+
+class TestMaintenance:
+    def test_batch_keeps_all_hubs_accurate(self):
+        g = scale_free(seed=11)
+        index = DynamicHubIndex(
+            g, num_hubs=3, config=PPRConfig(alpha=0.2, epsilon=1e-4)
+        )
+        updates = insertions([(1, 2), (3, 9), (9, 1)]) + deletions(
+            [(u, v) for u, v, _ in list(g.unique_edges())[:2]]
+        )
+        stats = index.apply_batch(updates)
+        assert set(stats) == set(index.hubs)
+        for hub in index.hubs:
+            truth = ground_truth_ppr(index.graph, hub, 0.2)
+            est = index._hub_state(hub).p[: len(truth)]
+            assert np.abs(est - truth).max() <= 1e-4
+        assert index.batches_processed == 1
+
+    def test_index_size_reported(self):
+        g = scale_free()
+        index = DynamicHubIndex(g, num_hubs=2, config=PPRConfig(epsilon=1e-4))
+        assert index.total_index_entries() > 0
+        assert "hubs=2" in repr(index)
+
+
+class TestValidation:
+    def test_explicit_hub_not_in_graph(self):
+        with pytest.raises(VertexError):
+            DynamicHubIndex(DynamicDiGraph([(0, 1)]), hubs=[7])
+
+    def test_duplicate_hubs(self):
+        with pytest.raises(ConfigError):
+            DynamicHubIndex(DynamicDiGraph([(0, 1)]), hubs=[0, 0])
+
+    def test_empty_hubs(self):
+        with pytest.raises(ConfigError):
+            DynamicHubIndex(DynamicDiGraph([(0, 1)]), hubs=[])

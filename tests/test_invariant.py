@@ -1,0 +1,161 @@
+"""Unit tests for invariant restoration (Algorithm 1) and the checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicDiGraph,
+    EdgeOp,
+    EdgeUpdate,
+    PPRConfig,
+    PPRState,
+    check_invariant,
+    invariant_violation,
+    parallel_local_push,
+    restore_invariant,
+)
+from repro.core.invariant import apply_and_restore, restore_batch
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import insertions
+
+
+def converged_state(graph, source, config):
+    state = PPRState.initial(source, graph.capacity)
+    parallel_local_push(state, graph, config, seeds=[source])
+    return state
+
+
+class TestInitialState:
+    def test_initial_state_satisfies_invariant(self, paper_graph):
+        # p = 0, r = e_s satisfies Eq. 2 on any graph.
+        state = PPRState.initial(1, paper_graph.capacity)
+        assert check_invariant(state, paper_graph, alpha=0.5)
+
+    def test_initial_state_on_empty_graph(self):
+        g = DynamicDiGraph()
+        g.add_vertex(0)
+        state = PPRState.initial(0, 1)
+        assert check_invariant(state, g, alpha=0.15)
+
+
+class TestRestoreInsert:
+    def test_insert_preserves_invariant(self, paper_graph, paper_config):
+        state = converged_state(paper_graph, 1, paper_config)
+        update = EdgeUpdate(1, 2, EdgeOp.INSERT)
+        paper_graph.apply(update)
+        assert invariant_violation(state, paper_graph, 0.5) > 1e-6  # broken
+        restore_invariant(state, paper_graph, update, 0.5)
+        assert check_invariant(state, paper_graph, 0.5)
+
+    def test_insert_from_dangling_vertex(self):
+        # u starts with dout=0; the general formula must still repair Eq. 2.
+        g = DynamicDiGraph([(0, 1), (1, 0)])
+        g.add_vertex(5)
+        config = PPRConfig(alpha=0.3, epsilon=1e-6)
+        state = converged_state(g, 0, config)
+        update = EdgeUpdate(5, 0, EdgeOp.INSERT)
+        g.apply(update)
+        restore_invariant(state, g, update, 0.3)
+        assert check_invariant(state, g, 0.3)
+
+    def test_insert_introducing_new_vertices(self):
+        g = DynamicDiGraph([(0, 1)])
+        config = PPRConfig(alpha=0.3, epsilon=1e-6)
+        state = converged_state(g, 0, config)
+        update = EdgeUpdate(7, 9, EdgeOp.INSERT)
+        g.apply(update)
+        restore_invariant(state, g, update, 0.3)
+        assert state.capacity >= 10
+        assert check_invariant(state, g, 0.3)
+
+    def test_insert_at_source_vertex(self, paper_graph, paper_config):
+        # The alpha * 1{u=s} indicator term must fire for u == s.
+        state = converged_state(paper_graph, 1, paper_config)
+        update = EdgeUpdate(1, 3, EdgeOp.INSERT)
+        paper_graph.apply(update)
+        restore_invariant(state, paper_graph, update, 0.5)
+        assert check_invariant(state, paper_graph, 0.5)
+
+
+class TestRestoreDelete:
+    def test_delete_preserves_invariant(self, paper_graph, paper_config):
+        state = converged_state(paper_graph, 1, paper_config)
+        update = EdgeUpdate(3, 2, EdgeOp.DELETE)
+        paper_graph.apply(update)
+        restore_invariant(state, paper_graph, update, 0.5)
+        assert check_invariant(state, paper_graph, 0.5)
+
+    def test_delete_last_out_edge(self, paper_graph, paper_config):
+        # dout(u) -> 0: Eq. 2 pins R(u) = (alpha 1{u=s} - P(u)) / alpha.
+        state = converged_state(paper_graph, 1, paper_config)
+        update = EdgeUpdate(4, 3, EdgeOp.DELETE)  # v4's only out-edge
+        paper_graph.apply(update)
+        restore_invariant(state, paper_graph, update, 0.5)
+        assert paper_graph.out_degree(4) == 0
+        assert check_invariant(state, paper_graph, 0.5)
+
+    def test_delete_last_out_edge_of_source(self):
+        g = DynamicDiGraph([(0, 1), (1, 0)])
+        config = PPRConfig(alpha=0.4, epsilon=1e-6)
+        state = converged_state(g, 0, config)
+        update = EdgeUpdate(0, 1, EdgeOp.DELETE)
+        g.apply(update)
+        restore_invariant(state, g, update, 0.4)
+        assert check_invariant(state, g, 0.4)
+        # Dangling source: P(s) + alpha R(s) = alpha.
+        assert state.p[0] + 0.4 * state.r[0] == pytest.approx(0.4)
+
+    def test_insert_then_delete_is_identity(self, paper_graph, paper_config):
+        state = converged_state(paper_graph, 1, paper_config)
+        before_r = state.r.copy()
+        update = EdgeUpdate(1, 2, EdgeOp.INSERT)
+        paper_graph.apply(update)
+        d1 = restore_invariant(state, paper_graph, update, 0.5)
+        inverse = update.inverse()
+        paper_graph.apply(inverse)
+        d2 = restore_invariant(state, paper_graph, inverse, 0.5)
+        assert d1 == pytest.approx(-d2)
+        assert np.allclose(state.r[: len(before_r)], before_r)
+
+
+class TestBatchHelpers:
+    def test_restore_batch_touches_and_change(self, paper_graph, paper_config):
+        state = converged_state(paper_graph, 1, paper_config)
+        touched, change = restore_batch(
+            paper_graph, state, insertions([(1, 2), (4, 1)]), 0.5
+        )
+        assert touched == [1, 4]
+        assert change == pytest.approx(0.09375 + 0.15625)
+        assert check_invariant(state, paper_graph, 0.5)
+
+    def test_apply_and_restore_multi_state(self, paper_graph, paper_config):
+        s1 = converged_state(paper_graph, 1, paper_config)
+        s2 = converged_state(paper_graph, 2, paper_config)
+        deltas = apply_and_restore(
+            paper_graph, [s1, s2], EdgeUpdate(1, 2, EdgeOp.INSERT), 0.5
+        )
+        assert len(deltas) == 2
+        assert check_invariant(s1, paper_graph, 0.5)
+        assert check_invariant(s2, paper_graph, 0.5)
+
+
+class TestRandomizedInvariantPreservation:
+    @pytest.mark.parametrize("alpha", [0.15, 0.5, 0.85])
+    def test_long_random_update_sequence(self, alpha, rng):
+        edges = erdos_renyi_graph(15, 40, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        state = PPRState.initial(0, g.capacity)
+        present = {tuple(e) for e in edges.tolist()}
+        for _ in range(300):
+            u, v = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            if (u, v) in present and rng.random() < 0.5:
+                update = EdgeUpdate(u, v, EdgeOp.DELETE)
+                present.discard((u, v))
+            else:
+                update = EdgeUpdate(u, v, EdgeOp.INSERT)
+                present.add((u, v))
+            g.apply(update)
+            restore_invariant(state, g, update, alpha)
+        assert invariant_violation(state, g, alpha) < 1e-9

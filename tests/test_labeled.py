@@ -1,0 +1,60 @@
+"""Tests for the labeled graph wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeOp, LabeledDiGraph, VertexError
+
+
+class TestLabeling:
+    def test_intern_stable(self):
+        g = LabeledDiGraph()
+        a = g.intern("alice")
+        assert g.intern("alice") == a
+        assert g.label_of(a) == "alice"
+
+    def test_edges_by_label(self):
+        g = LabeledDiGraph([("a", "b"), ("b", "c")])
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("c", "a")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_remove_edge(self):
+        g = LabeledDiGraph([("a", "b")])
+        upd = g.remove_edge("a", "b")
+        assert upd.op is EdgeOp.DELETE
+        assert not g.has_edge("a", "b")
+
+    def test_unknown_label_raises(self):
+        g = LabeledDiGraph()
+        with pytest.raises(VertexError):
+            g.id_of("ghost")
+        with pytest.raises(VertexError):
+            g.label_of(5)
+
+    def test_update_for_does_not_apply(self):
+        g = LabeledDiGraph()
+        upd = g.update_for("x", "y", EdgeOp.INSERT)
+        assert not g.has_edge("x", "y")  # only built, not applied
+        g.graph.apply(upd)
+        assert g.has_edge("x", "y")
+
+    def test_contains_and_labels(self):
+        g = LabeledDiGraph([("a", "b")])
+        assert "a" in g and "zz" not in g
+        assert list(g.labels()) == ["a", "b"]
+
+    def test_has_edge_unknown_labels(self):
+        assert not LabeledDiGraph().has_edge("p", "q")
+
+    def test_integration_with_tracker(self):
+        from repro import DynamicPPRTracker, PPRConfig
+
+        g = LabeledDiGraph([("alice", "bob"), ("bob", "carol"), ("carol", "alice")])
+        tracker = DynamicPPRTracker(
+            g.graph, source=g.id_of("alice"), config=PPRConfig(epsilon=1e-6)
+        )
+        tracker.apply_batch([g.update_for("dave", "alice", EdgeOp.INSERT)])
+        assert tracker.estimate(g.id_of("dave")) > 0

@@ -1,0 +1,141 @@
+"""Tests for the mini vertex-centric framework and the PPR on top of it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicDiGraph, CSRGraph, PPRConfig, ground_truth_linear
+from repro.baselines.ligra.framework import (
+    LigraGraph,
+    VertexSubset,
+    edge_map,
+    vertex_map,
+)
+from repro.baselines.ligra.ppr import LigraDynamicPPR
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import deletions, insertions
+
+
+class TestVertexSubset:
+    def test_sparse_dense_roundtrip(self):
+        s = VertexSubset.from_ids(10, np.array([3, 1, 3]))
+        assert len(s) == 2
+        assert s.to_mask()[[1, 3]].all()
+        d = VertexSubset(10, mask=s.to_mask().copy())
+        assert sorted(d.to_ids().tolist()) == [1, 3]
+        assert len(d) == 2
+
+    def test_requires_exactly_one_form(self):
+        with pytest.raises(GraphError):
+            VertexSubset(5)
+        with pytest.raises(GraphError):
+            VertexSubset(5, ids=np.array([1]), mask=np.zeros(5, dtype=bool))
+
+    def test_empty(self):
+        assert len(VertexSubset.empty(5)) == 0
+
+
+class TestEdgeMap:
+    def _graph(self):
+        # in-edges of 0: {1, 2}; of 1: {3}
+        return LigraGraph(CSRGraph.from_digraph(DynamicDiGraph([(1, 0), (2, 0), (3, 1)])))
+
+    def test_applies_update_fn(self):
+        g = self._graph()
+        seen = []
+
+        def update(sources, targets):
+            seen.extend(zip(sources.tolist(), targets.tolist()))
+            return np.ones(len(targets), dtype=bool)
+
+        res = edge_map(g, VertexSubset.from_ids(4, np.array([0])), update)
+        assert sorted(seen) == [(0, 1), (0, 2)]
+        assert sorted(res.frontier.to_ids().tolist()) == [1, 2]
+        assert res.edges_traversed == 2
+
+    def test_cond_filters_targets(self):
+        g = self._graph()
+
+        def update(sources, targets):
+            return np.ones(len(targets), dtype=bool)
+
+        res = edge_map(
+            g,
+            VertexSubset.from_ids(4, np.array([0])),
+            update,
+            cond=lambda t: t == 2,
+        )
+        assert res.frontier.to_ids().tolist() == [2]
+        assert res.edges_traversed == 1
+
+    def test_dense_switching(self):
+        # With divisor 1 the threshold is m, so any frontier with edges
+        # stays sparse; with a huge frontier relative to m it goes dense.
+        g = self._graph()
+
+        def update(sources, targets):
+            return np.ones(len(targets), dtype=bool)
+
+        sparse = edge_map(g, VertexSubset.from_ids(4, np.array([0])), update, dense_divisor=1)
+        assert not sparse.dense_mode
+        dense = edge_map(g, VertexSubset.from_ids(4, np.array([0, 1, 2, 3])), update, dense_divisor=20)
+        assert dense.dense_mode
+        assert dense.scanned_vertices == 4
+
+    def test_sparse_output_deduplicated(self):
+        # Pad with edges among high ids so the small frontier stays sparse.
+        base = DynamicDiGraph([(1, 0), (1, 2)])
+        for i in range(100):
+            base.add_edge(10 + i, 11 + i)
+        g = LigraGraph(CSRGraph.from_digraph(base))
+
+        def update(sources, targets):
+            return np.ones(len(targets), dtype=bool)
+
+        res = edge_map(g, VertexSubset.from_ids(111, np.array([0, 2])), update)
+        assert not res.dense_mode
+        assert res.frontier.to_ids().tolist() == [1]  # 1 reached twice, kept once
+        assert res.duplicate_flag_ops == 2
+
+    def test_empty_frontier(self):
+        g = self._graph()
+        res = edge_map(g, VertexSubset.empty(4), lambda s, t: np.ones(0, dtype=bool))
+        assert len(res.frontier) == 0
+        assert res.edges_traversed == 0
+
+
+class TestVertexMap:
+    def test_applies(self):
+        hits = []
+        n = vertex_map(VertexSubset.from_ids(5, np.array([0, 4])), lambda ids: hits.extend(ids))
+        assert n == 2
+        assert sorted(hits) == [0, 4]
+
+
+class TestLigraPPR:
+    def test_initial_accuracy(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        ppr = LigraDynamicPPR(g.copy(), 0, PPRConfig(alpha=0.2, epsilon=1e-5))
+        truth = ground_truth_linear(g, 0, 0.2)
+        assert np.abs(ppr.state.p[: len(truth)] - truth).max() <= 1e-5
+
+    def test_dynamic_maintenance(self, rng):
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        ppr = LigraDynamicPPR(g, 0, PPRConfig(alpha=0.2, epsilon=1e-4))
+        batch = insertions([(0, 9), (9, 17)]) + deletions([tuple(edges[0])])
+        stats = ppr.apply_batch(batch)
+        assert stats.restore.num_updates == 3
+        truth = ground_truth_linear(ppr.graph, 0, 0.2)
+        assert np.abs(ppr.state.p[: len(truth)] - truth).max() <= 1e-4
+
+    def test_framework_pays_dedup_costs(self, rng):
+        # The point of the baseline: its trace shows framework-level
+        # dedup flag ops that the specialized OPT variant avoids.
+        edges = erdos_renyi_graph(30, 150, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        ppr = LigraDynamicPPR(g, 0, PPRConfig(alpha=0.2, epsilon=1e-5))
+        assert ppr.initial_stats.push.dedup_checks > 0

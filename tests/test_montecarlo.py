@@ -1,0 +1,112 @@
+"""Tests for the incremental Monte-Carlo baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, DynamicDiGraph, ground_truth_linear
+from repro.baselines.montecarlo import IncrementalMonteCarloPPR
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import deletions, insertions
+
+
+def small_graph(seed=0, n=12, m=50):
+    edges = erdos_renyi_graph(n, m, rng=np.random.default_rng(seed))
+    return DynamicDiGraph(map(tuple, edges.tolist()))
+
+
+class TestEstimationAccuracy:
+    def test_static_estimate_close_to_truth(self):
+        g = small_graph()
+        mc = IncrementalMonteCarloPPR(g.copy(), 3, 0.3, walks_per_vertex=3000, rng=1)
+        truth = ground_truth_linear(g, 3, 0.3)
+        err = np.abs(mc.estimate_vector()[: len(truth)] - truth).max()
+        # MC standard error ~ sqrt(p/w) ~ 0.01 at w=3000; allow 5 sigma.
+        assert err < 0.05
+
+    def test_estimates_are_probabilities(self):
+        mc = IncrementalMonteCarloPPR(small_graph(), 0, 0.3, walks_per_vertex=50, rng=2)
+        vec = mc.estimate_vector()
+        assert ((vec >= 0) & (vec <= 1)).all()
+
+    def test_estimate_unknown_vertex_is_zero(self):
+        mc = IncrementalMonteCarloPPR(small_graph(), 0, 0.3, walks_per_vertex=5, rng=3)
+        assert mc.estimate(99999) == 0.0
+
+    def test_source_estimate_at_least_alpha(self):
+        # A walk from s is absorbed immediately at s with probability alpha.
+        mc = IncrementalMonteCarloPPR(small_graph(), 2, 0.5, walks_per_vertex=4000, rng=4)
+        assert mc.estimate(2) >= 0.4  # E = alpha + return mass >= 0.5 - noise
+
+
+class TestIncrementalMaintenance:
+    def test_incremental_tracks_truth(self):
+        g = small_graph(seed=7)
+        mc = IncrementalMonteCarloPPR(g, 1, 0.3, walks_per_vertex=2000, rng=5)
+        updates = insertions([(0, 1), (4, 1), (1, 6)]) + deletions([(0, 1)])
+        stats = mc.apply_batch(updates)
+        assert stats.walks_regenerated > 0
+        truth = ground_truth_linear(mc.graph, 1, 0.3)
+        err = np.abs(mc.estimate_vector()[: len(truth)] - truth).max()
+        assert err < 0.06
+
+    def test_new_vertices_get_walks(self):
+        g = small_graph()
+        mc = IncrementalMonteCarloPPR(g, 0, 0.3, walks_per_vertex=4, rng=6)
+        walks_before = mc.num_walks
+        mc.apply_batch(insertions([(50, 0), (0, 51)]))
+        assert mc.num_walks == walks_before + 2 * 4
+
+    def test_index_consistency_after_updates(self):
+        g = small_graph(seed=9)
+        mc = IncrementalMonteCarloPPR(g, 0, 0.25, walks_per_vertex=10, rng=7)
+        rng = np.random.default_rng(8)
+        present = [(u, v) for u, v, _ in g.unique_edges()]
+        for _ in range(40):
+            if present and rng.random() < 0.5:
+                u, v = present.pop(int(rng.integers(0, len(present))))
+                mc.apply_batch(deletions([(u, v)]))
+            else:
+                u, v = int(rng.integers(0, 12)), int(rng.integers(0, 12))
+                if u == v:
+                    continue
+                mc.apply_batch(insertions([(u, v)]))
+                present.append((u, v))
+        # Index integrity: every walk is indexed at exactly its path set.
+        for wid, walk in enumerate(mc._walks):
+            for vertex in set(walk.path):
+                assert wid in mc._index[vertex]
+        for vertex, ids in mc._index.items():
+            for wid in ids:
+                assert vertex in mc._walks[wid].path
+
+    def test_deterministic_with_seed(self):
+        a = IncrementalMonteCarloPPR(small_graph(), 0, 0.3, walks_per_vertex=20, rng=42)
+        b = IncrementalMonteCarloPPR(small_graph(), 0, 0.3, walks_per_vertex=20, rng=42)
+        assert np.array_equal(a.estimate_vector(), b.estimate_vector())
+
+
+class TestCosts:
+    def test_stats_counters_positive(self):
+        g = small_graph()
+        mc = IncrementalMonteCarloPPR(g, 0, 0.3, walks_per_vertex=6, rng=10)
+        assert mc.initial_stats.walk_steps >= mc.num_walks  # >= 1 step each
+        assert mc.initial_stats.index_ops > 0
+        assert mc.index_size() > 0
+
+    def test_dangling_vertices_kill_walks(self):
+        # Graph where 1 is dangling: walks from 0 passing 1 die there.
+        g = DynamicDiGraph([(0, 1)])
+        mc = IncrementalMonteCarloPPR(g, 0, 0.5, walks_per_vertex=2000, rng=11)
+        truth = ground_truth_linear(mc.graph, 0, 0.5)
+        assert abs(mc.estimate(0) - truth[0]) < 0.05
+        assert mc.estimate(1) == pytest.approx(0.0)  # 1 never reaches 0
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            IncrementalMonteCarloPPR(small_graph(), 0, 0.3, walks_per_vertex=0)
+        with pytest.raises(ConfigError):
+            IncrementalMonteCarloPPR(small_graph(), 0, 1.5)

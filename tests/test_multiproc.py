@@ -1,0 +1,43 @@
+"""Tests for the real multiprocessing BSP backend (correctness only).
+
+A single test keeps the suite fast: process-pool startup dominates at this
+scale (the backend exists to demonstrate the BSP decomposition, not speed
+— see module docs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Backend,
+    DynamicDiGraph,
+    PPRConfig,
+    PPRState,
+    PushVariant,
+    ground_truth_ppr,
+    max_estimate_error,
+    parallel_local_push,
+)
+from repro.graph.generators import erdos_renyi_graph
+
+
+@pytest.mark.parametrize("variant", [PushVariant.VANILLA, PushVariant.DUPDETECT])
+def test_multiprocess_matches_numpy(variant):
+    rng = np.random.default_rng(17)
+    edges = erdos_renyi_graph(30, 150, rng=rng)
+    g = DynamicDiGraph(map(tuple, edges.tolist()))
+    results = []
+    for backend in (Backend.NUMPY, Backend.MULTIPROCESS):
+        config = PPRConfig(
+            alpha=0.2, epsilon=1e-4, variant=variant, backend=backend, workers=2
+        )
+        state = PPRState.initial(0, g.capacity)
+        stats = parallel_local_push(state, g, config, seeds=[0])
+        results.append((state, stats))
+    (s_np, st_np), (s_mp, st_mp) = results
+    assert s_np.allclose(s_mp, atol=1e-9)
+    assert st_np.pushes == st_mp.pushes
+    truth = ground_truth_ppr(g, 0, 0.2)
+    assert max_estimate_error(s_mp.p, truth) <= 1e-4

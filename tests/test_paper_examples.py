@@ -1,0 +1,139 @@
+"""Golden tests against the paper's worked examples (Figures 1-3).
+
+Every number asserted below appears in the paper's figures (alpha = 0.5,
+epsilon = 0.1, source = v1). These pin the exact semantics of
+RestoreInvariant (Algorithm 1), the sequential push (Algorithm 2) and the
+parallel push (Algorithms 3-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Backend,
+    EdgeOp,
+    EdgeUpdate,
+    PPRConfig,
+    PPRState,
+    PushVariant,
+    insertions,
+    parallel_local_push,
+    restore_invariant,
+    sequential_local_push,
+)
+
+
+def converge_from_scratch(graph, config):
+    state = PPRState.initial(1, graph.capacity)
+    stats = parallel_local_push(state, graph, config, seeds=[1])
+    return state, stats
+
+
+class TestFigure3:
+    """Parallel vs sequential push from scratch (parallel loss example)."""
+
+    def test_parallel_push_final_state(self, paper_graph, paper_config):
+        state, _ = converge_from_scratch(paper_graph, paper_config)
+        assert np.allclose(state.p[1:5], [0.5, 0.25, 0.1875, 0.0625])
+        assert np.allclose(state.r[1:5], [0.0625, 0.0, 0.0, 0.0625])
+
+    def test_parallel_push_costs_five_pushes(self, paper_graph, paper_config):
+        # Figure 3 a(1)-a(4): frontier sequence {v1}, {v2,v3}, {v3,v4}.
+        _, stats = converge_from_scratch(paper_graph, paper_config)
+        assert stats.pushes == 5
+        assert stats.num_iterations == 3
+        assert [rec.frontier_size for rec in stats.iterations] == [1, 2, 2]
+
+    def test_sequential_push_final_state(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = sequential_local_push(
+            state, paper_graph, paper_config, seeds=[1], record_order=True
+        )
+        assert np.allclose(state.p[1:5], [0.5, 0.25, 0.1875, 0.09375])
+        assert np.allclose(state.r[1:5], [0.09375, 0.0, 0.0, 0.0])
+        # Figure 3 b(1)-b(5): pushes v1, v2, v3, v4 — one fewer than parallel.
+        assert stats.pushes == 4
+        assert stats.push_order == [1, 2, 3, 4]
+
+    def test_parallel_loss_is_v3_pushed_twice(self, paper_graph, paper_config):
+        # "The parallel push pushes {v1, v2, v3, v3, v4}."
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = parallel_local_push(state, paper_graph, paper_config, seeds=[1])
+        frontier_sets = [rec.frontier_size for rec in stats.iterations]
+        assert sum(frontier_sets) - 4 == 1  # exactly one duplicate push (v3)
+
+
+class TestFigure1:
+    """Single edge insertion e1 = v1 -> v2 on the converged initial state."""
+
+    def test_restore_invariant_value(self, paper_graph, paper_config):
+        state, _ = converge_from_scratch(paper_graph, paper_config)
+        update = EdgeUpdate(1, 2, EdgeOp.INSERT)
+        paper_graph.apply(update)
+        delta = restore_invariant(state, paper_graph, update, paper_config.alpha)
+        assert state.r[1] == pytest.approx(0.15625)  # figure: 0.1562
+        assert delta == pytest.approx(0.09375)
+
+    def test_convergent_state(self, paper_graph, paper_config):
+        state, _ = converge_from_scratch(paper_graph, paper_config)
+        update = EdgeUpdate(1, 2, EdgeOp.INSERT)
+        paper_graph.apply(update)
+        restore_invariant(state, paper_graph, update, paper_config.alpha)
+        parallel_local_push(state, paper_graph, paper_config, seeds=[1])
+        assert np.allclose(state.p[1:5], [0.578125, 0.25, 0.1875, 0.0625])
+        assert np.allclose(state.r[1:5], [0.0, 0.078125, 0.0390625, 0.0625])
+
+
+class TestFigure2:
+    """Batch insertion {v1 -> v2, v4 -> v1}: one parallel iteration suffices."""
+
+    def _restore_batch(self, graph, state, alpha):
+        touched = []
+        for update in insertions([(1, 2), (4, 1)]):
+            graph.apply(update)
+            restore_invariant(state, graph, update, alpha)
+            touched.append(update.u)
+        return touched
+
+    def test_residuals_after_restore(self, paper_graph, paper_config):
+        state, _ = converge_from_scratch(paper_graph, paper_config)
+        self._restore_batch(paper_graph, state, paper_config.alpha)
+        assert state.r[1] == pytest.approx(0.15625)  # figure: 0.1562
+        assert state.r[4] == pytest.approx(0.21875)  # figure: 0.2187
+
+    def test_one_iteration_convergence(self, paper_graph, paper_config):
+        state, _ = converge_from_scratch(paper_graph, paper_config)
+        touched = self._restore_batch(paper_graph, state, paper_config.alpha)
+        stats = parallel_local_push(state, paper_graph, paper_config, seeds=touched)
+        assert stats.num_iterations == 1
+        assert np.allclose(state.p[1:5], [0.578125, 0.25, 0.1875, 0.171875])
+        assert np.allclose(
+            state.r[1:5], [0.0546875, 0.078125, 0.0390625, 0.0390625]
+        )
+
+
+class TestEagerPropagationOnPaperGraph:
+    """Section 4.1: eager propagation removes the duplicate push of v3."""
+
+    @pytest.mark.parametrize("backend", [Backend.PURE, Backend.NUMPY])
+    def test_fully_eager_matches_sequential_count(self, paper_graph, backend):
+        # workers=1: every frontier vertex sees all earlier same-iteration
+        # propagation — the most eager schedule. The duplicate push vanishes.
+        config = PPRConfig(
+            alpha=0.5, epsilon=0.1, variant=PushVariant.OPT, backend=backend, workers=1
+        )
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = parallel_local_push(state, paper_graph, config, seeds=[1])
+        assert stats.pushes == 4
+
+    @pytest.mark.parametrize("backend", [Backend.PURE, Backend.NUMPY])
+    def test_stale_eager_still_pays_parallel_loss(self, paper_graph, backend):
+        # workers >= |frontier|: reads are stale, the duplicate push returns.
+        config = PPRConfig(
+            alpha=0.5, epsilon=0.1, variant=PushVariant.OPT, backend=backend, workers=64
+        )
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = parallel_local_push(state, paper_graph, config, seeds=[1])
+        assert stats.pushes == 5

@@ -1,0 +1,46 @@
+"""Tests for the power-iteration baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CSRGraph, ConvergenceError, DynamicDiGraph, ground_truth_linear
+from repro.baselines.power_iteration import power_iteration_ppr
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestPowerIteration:
+    def test_matches_linear_solver(self, rng):
+        edges = erdos_renyi_graph(40, 200, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        result = power_iteration_ppr(g, 0, 0.15)
+        truth = ground_truth_linear(g, 0, 0.15)
+        assert np.abs(result.vector - truth).max() < 1e-9
+
+    def test_accepts_csr(self, rng):
+        edges = erdos_renyi_graph(20, 80, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        from_graph = power_iteration_ppr(g, 0, 0.2)
+        from_csr = power_iteration_ppr(CSRGraph.from_digraph(g), 0, 0.2)
+        assert np.allclose(from_graph.vector, from_csr.vector)
+
+    def test_work_counted(self, rng):
+        edges = erdos_renyi_graph(20, 80, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        result = power_iteration_ppr(g, 0, 0.2)
+        # Theta(m) per sweep — the reason the paper rejects this scheme.
+        assert result.edge_operations == result.iterations * g.num_edges
+        assert result.iterations > 1
+
+    def test_convergence_error(self, rng):
+        edges = erdos_renyi_graph(20, 80, rng=rng)
+        g = DynamicDiGraph(map(tuple, edges.tolist()))
+        with pytest.raises(ConvergenceError):
+            power_iteration_ppr(g, 0, 0.15, tol=1e-14, max_iterations=2)
+
+    def test_dangling_graph(self):
+        g = DynamicDiGraph([(0, 1)])  # 1 dangling
+        result = power_iteration_ppr(g, 0, 0.5)
+        assert result.vector[0] == pytest.approx(0.5)
+        assert result.vector[1] == pytest.approx(0.0)

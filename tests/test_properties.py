@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the load-bearing correctness properties of the whole scheme:
+
+1. restore-invariant repairs Eq. 2 exactly, for arbitrary update sequences;
+2. every push variant/backend converges to an eps-accurate estimate;
+3. residuals evolve monotonically within a phase iteration (the property
+   local duplicate detection exploits);
+4. batch processing and per-update processing agree (both eps-accurate on
+   the same final graph);
+5. Lemma 3's residual-change bound holds empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Backend,
+    DynamicDiGraph,
+    EdgeOp,
+    EdgeUpdate,
+    PPRConfig,
+    PPRState,
+    PushVariant,
+    check_invariant,
+    ground_truth_ppr,
+    max_estimate_error,
+    parallel_local_push,
+    sequential_local_push,
+)
+from repro.core.analysis import measure_residual_change
+from repro.core.invariant import restore_batch
+
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+N_VERTICES = 10
+
+
+@st.composite
+def graph_edges(draw, max_edges=25):
+    """A list of distinct directed edges over a small vertex set."""
+    pairs = st.tuples(
+        st.integers(0, N_VERTICES - 1), st.integers(0, N_VERTICES - 1)
+    ).filter(lambda p: p[0] != p[1])
+    return draw(st.lists(pairs, min_size=1, max_size=max_edges, unique=True))
+
+
+@st.composite
+def update_sequence(draw, graph_edge_list, max_updates=15):
+    """A valid update sequence: deletes only touch present edges."""
+    present = set(graph_edge_list)
+    updates = []
+    for _ in range(draw(st.integers(1, max_updates))):
+        delete = bool(present) and draw(st.booleans())
+        if delete:
+            u, v = draw(st.sampled_from(sorted(present)))
+            present.discard((u, v))
+            updates.append(EdgeUpdate(u, v, EdgeOp.DELETE))
+        else:
+            u = draw(st.integers(0, N_VERTICES - 1))
+            v = draw(st.integers(0, N_VERTICES - 1))
+            if u == v:
+                continue
+            present.add((u, v))
+            updates.append(EdgeUpdate(u, v, EdgeOp.INSERT))
+    return updates
+
+
+# ---------------------------------------------------------------------- #
+# properties
+# ---------------------------------------------------------------------- #
+
+
+@given(edges=graph_edges(), data=st.data())
+def test_restore_invariant_always_repairs(edges, data):
+    g = DynamicDiGraph(edges)
+    updates = data.draw(update_sequence(edges))
+    state = PPRState.initial(0, max(g.capacity, N_VERTICES))
+    restore_batch(g, state, updates, alpha=0.3)
+    assert check_invariant(state, g, 0.3, tol=1e-9)
+
+
+@given(
+    edges=graph_edges(),
+    variant=st.sampled_from(list(PushVariant)),
+    backend=st.sampled_from([Backend.PURE, Backend.NUMPY]),
+    workers=st.sampled_from([1, 2, 7]),
+    source=st.integers(0, N_VERTICES - 1),
+)
+def test_push_accuracy_all_variants(edges, variant, backend, workers, source):
+    g = DynamicDiGraph(edges)
+    config = PPRConfig(
+        alpha=0.25, epsilon=1e-3, variant=variant, backend=backend, workers=workers
+    )
+    state = PPRState.initial(source, max(g.capacity, N_VERTICES))
+    parallel_local_push(state, g, config, seeds=[source])
+    assert state.residual_linf() <= config.epsilon
+    truth = ground_truth_ppr(g, source, config.alpha, capacity=state.capacity)
+    assert max_estimate_error(state.p, truth) <= config.epsilon + 1e-12
+
+
+@given(edges=graph_edges(), data=st.data())
+def test_dynamic_maintenance_stays_accurate(edges, data):
+    """Batch restore + push after arbitrary updates keeps the eps guarantee."""
+    g = DynamicDiGraph(edges)
+    updates = data.draw(update_sequence(edges))
+    config = PPRConfig(alpha=0.3, epsilon=1e-3, variant=PushVariant.OPT, workers=2)
+    state = PPRState.initial(0, max(g.capacity, N_VERTICES))
+    parallel_local_push(state, g, config, seeds=[0])
+    touched, _ = restore_batch(g, state, updates, config.alpha)
+    parallel_local_push(state, g, config, seeds=touched)
+    truth = ground_truth_ppr(g, 0, config.alpha, capacity=state.capacity)
+    assert max_estimate_error(state.p, truth) <= config.epsilon + 1e-12
+    assert check_invariant(state, g, config.alpha)
+
+
+@given(edges=graph_edges(), data=st.data())
+def test_batch_and_single_update_processing_agree(edges, data):
+    """CPU-Seq-style batching and CPU-Base-style stepping both end accurate
+    on the same final graph (their states may legitimately differ)."""
+    updates = data.draw(update_sequence(edges))
+    config = PPRConfig(alpha=0.3, epsilon=1e-3)
+
+    g_batch = DynamicDiGraph(edges)
+    s_batch = PPRState.initial(0, max(g_batch.capacity, N_VERTICES))
+    sequential_local_push(s_batch, g_batch, config, seeds=[0])
+    touched, _ = restore_batch(g_batch, s_batch, updates, config.alpha)
+    sequential_local_push(s_batch, g_batch, config, seeds=touched)
+
+    g_step = DynamicDiGraph(edges)
+    s_step = PPRState.initial(0, max(g_step.capacity, N_VERTICES))
+    sequential_local_push(s_step, g_step, config, seeds=[0])
+    for update in updates:
+        touched, _ = restore_batch(g_step, s_step, [update], config.alpha)
+        sequential_local_push(s_step, g_step, config, seeds=touched)
+
+    assert g_batch == g_step
+    truth = ground_truth_ppr(g_batch, 0, config.alpha, capacity=s_batch.capacity)
+    assert max_estimate_error(s_batch.p, truth) <= config.epsilon + 1e-12
+    assert max_estimate_error(s_step.p, truth) <= config.epsilon + 1e-12
+
+
+@given(edges=graph_edges())
+def test_residual_monotonicity_within_iteration(edges):
+    """During the positive phase, non-frontier residuals only increase —
+    the monotonicity property behind local duplicate detection."""
+    g = DynamicDiGraph(edges)
+    config = PPRConfig(alpha=0.25, epsilon=1e-3, variant=PushVariant.VANILLA)
+    state = PPRState.initial(0, max(g.capacity, N_VERTICES))
+
+    from repro.config import Phase
+    from repro.core.push_parallel import _snapshot_iteration
+    from repro.core.stats import IterationRecord
+
+    frontier = [0]
+    guard = 0
+    while frontier and guard < 200:
+        before = state.r.copy()
+        frontier_set = set(frontier)
+        rec = IterationRecord(phase=Phase.POS)
+        new = _snapshot_iteration(state, g, Phase.POS, config, sorted(frontier), rec)
+        for v in range(len(before)):
+            if v not in frontier_set:
+                assert state.r[v] >= before[v] - 1e-15
+        frontier = sorted(set(new))
+        guard += 1
+
+
+@given(edges=graph_edges(max_edges=15), data=st.data())
+@settings(max_examples=10)
+def test_lemma3_residual_change_bound(edges, data):
+    """Sum over all sources of |Delta_s(u)| respects Lemma 3's bound."""
+    g = DynamicDiGraph(edges)
+    updates = data.draw(update_sequence(edges, max_updates=6))
+    config = PPRConfig(alpha=0.3, epsilon=1e-2)
+    for m in measure_residual_change(g, updates, config):
+        assert m.within_bound, m

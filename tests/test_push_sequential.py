@@ -1,0 +1,114 @@
+"""Unit tests for the sequential local push and its drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicDiGraph,
+    PPRConfig,
+    PPRState,
+    check_invariant,
+    cpu_base_update,
+    cpu_seq_update,
+    ground_truth_ppr,
+    max_estimate_error,
+    sequential_local_push,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import deletions, insertions
+
+
+def make_random(rng, n=25, m=100):
+    edges = erdos_renyi_graph(n, m, rng=rng)
+    return DynamicDiGraph(map(tuple, edges.tolist()))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("epsilon", [1e-2, 1e-4, 1e-6])
+    def test_epsilon_accuracy_guarantee(self, epsilon, rng):
+        g = make_random(rng)
+        config = PPRConfig(alpha=0.2, epsilon=epsilon)
+        state = PPRState.initial(0, g.capacity)
+        sequential_local_push(state, g, config, seeds=[0])
+        assert state.residual_linf() <= epsilon
+        truth = ground_truth_ppr(g, 0, 0.2)
+        assert max_estimate_error(state.p, truth) <= epsilon
+
+    def test_invariant_held_throughout(self, rng):
+        g = make_random(rng)
+        config = PPRConfig(alpha=0.3, epsilon=1e-5)
+        state = PPRState.initial(0, g.capacity)
+        sequential_local_push(state, g, config, seeds=[0])
+        assert check_invariant(state, g, 0.3)
+
+    def test_negative_phase(self, paper_graph):
+        # Manufacture a negative residual (as a deletion would) and check
+        # the second phase drains it.
+        config = PPRConfig(alpha=0.5, epsilon=0.1)
+        state = PPRState.initial(1, paper_graph.capacity)
+        sequential_local_push(state, paper_graph, config, seeds=[1])
+        state.p[3] += 0.5 * 0.4  # emulate a push of residual -0.4 ...
+        state.r[3] -= 0.4  # ... that Lemma 1 permits: invariant preserved
+        sequential_local_push(state, paper_graph, config, seeds=[3])
+        assert state.residual_linf() <= 0.1
+
+    def test_no_work_when_converged(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        sequential_local_push(state, paper_graph, paper_config, seeds=[1])
+        stats = sequential_local_push(state, paper_graph, paper_config, seeds=[1])
+        assert stats.pushes == 0
+
+    def test_seeds_none_scans_state(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = sequential_local_push(state, paper_graph, paper_config)
+        assert stats.pushes > 0
+        assert state.residual_linf() <= paper_config.epsilon
+
+
+class TestStats:
+    def test_edge_traversals_counted(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = sequential_local_push(state, paper_graph, paper_config, seeds=[1])
+        # Pushes v1 (2 in-nbrs), v2 (1), v3 (1), v4 (1).
+        assert stats.pushes == 4
+        assert stats.edge_traversals == 5
+        assert stats.total_operations == 9
+
+    def test_order_not_recorded_by_default(self, paper_graph, paper_config):
+        state = PPRState.initial(1, paper_graph.capacity)
+        stats = sequential_local_push(state, paper_graph, paper_config, seeds=[1])
+        assert stats.push_order is None
+
+
+class TestDrivers:
+    def test_cpu_base_and_seq_both_accurate(self, rng):
+        config = PPRConfig(alpha=0.2, epsilon=1e-4)
+        updates = insertions([(0, 5), (5, 9), (9, 0), (3, 5)]) + deletions([(0, 5)])
+        results = {}
+        for name, runner in [("base", cpu_base_update), ("seq", cpu_seq_update)]:
+            g = make_random(np.random.default_rng(5))
+            state = PPRState.initial(0, g.capacity)
+            sequential_local_push(state, g, config, seeds=[0])
+            batch = runner(state, g, updates, config)
+            truth = ground_truth_ppr(g, 0, 0.2)
+            assert max_estimate_error(state.p, truth) <= 1e-4
+            results[name] = batch
+        # Batching restores k invariants once and pushes once; the
+        # single-update driver must do at least as many push operations.
+        assert (
+            results["base"].sequential_push.total_operations
+            >= results["seq"].sequential_push.total_operations
+        )
+        assert results["base"].restore.num_updates == 5
+        assert results["seq"].restore.num_updates == 5
+
+    def test_drivers_apply_updates_to_graph(self, rng):
+        g = make_random(rng)
+        config = PPRConfig(alpha=0.2, epsilon=1e-3)
+        state = PPRState.initial(0, g.capacity)
+        sequential_local_push(state, g, config, seeds=[0])
+        cpu_seq_update(state, g, insertions([(0, 23), (23, 0)]), config)
+        assert g.has_edge(0, 23) and g.has_edge(23, 0)
+        assert check_invariant(state, g, 0.2)

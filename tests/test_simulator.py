@@ -1,0 +1,62 @@
+"""Tests for the simulated profiling metrics (Figure 9's substitution)."""
+
+from __future__ import annotations
+
+from repro import profile_cpu, profile_gpu
+from repro.config import Phase
+from repro.core.stats import IterationRecord, PushStats
+
+
+def trace(frontier, edges, iters=5):
+    stats = PushStats()
+    for _ in range(iters):
+        stats.record(
+            IterationRecord(
+                phase=Phase.POS,
+                frontier_size=frontier,
+                edge_traversals=edges,
+                atomic_adds=edges,
+            )
+        )
+    return stats
+
+
+class TestGPUProfile:
+    def test_occupancy_rises_with_batch(self):
+        small = profile_gpu(trace(100, 1_000))
+        large = profile_gpu(trace(10_000, 200_000))
+        assert large.warp_occupancy > small.warp_occupancy
+
+    def test_load_efficiency_falls_with_batch(self):
+        small = profile_gpu(trace(100, 1_000))
+        large = profile_gpu(trace(10_000, 200_000))
+        assert large.global_load_efficiency < small.global_load_efficiency
+
+    def test_bounded(self):
+        prof = profile_gpu(trace(10**6, 10**8, iters=2))
+        assert 0.0 <= prof.warp_occupancy <= 1.0
+        assert 0.0 <= prof.global_load_efficiency <= 1.0
+
+    def test_empty_trace(self):
+        prof = profile_gpu(PushStats())
+        assert prof.warp_occupancy == 0.0
+
+
+class TestCPUProfile:
+    def test_miss_rates_rise_with_batch(self):
+        small = profile_cpu(trace(100, 1_000))
+        large = profile_cpu(trace(50_000, 2_000_000))
+        assert large.l2_miss_rate > small.l2_miss_rate
+        assert large.l3_miss_rate > small.l3_miss_rate
+        assert large.stall_ratio > small.stall_ratio
+
+    def test_l3_larger_than_l2_capacity_effect(self):
+        # A mid-size working set should thrash L2 well before L3.
+        prof = profile_cpu(trace(5_000, 100_000))
+        assert prof.l2_miss_rate > prof.l3_miss_rate
+
+    def test_bounded(self):
+        prof = profile_cpu(trace(10**6, 10**8, iters=2))
+        assert 0.0 <= prof.l2_miss_rate <= 1.0
+        assert 0.0 <= prof.l3_miss_rate <= 1.0
+        assert 0.0 <= prof.stall_ratio <= 0.95

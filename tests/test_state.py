@@ -1,0 +1,96 @@
+"""Unit tests for PPRState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, PPRState
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        state = PPRState.initial(2, capacity=5)
+        assert state.r.tolist() == [0, 0, 1, 0, 0]
+        assert state.p.tolist() == [0, 0, 0, 0, 0]
+
+    def test_capacity_covers_source(self):
+        state = PPRState(7)
+        assert state.capacity >= 8
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ConfigError):
+            PPRState(-1)
+
+
+class TestCapacityGrowth:
+    def test_grow_preserves_values(self):
+        state = PPRState.initial(0, 4)
+        state.p[3] = 0.5
+        state.ensure_capacity(100)
+        assert state.capacity >= 100
+        assert state.p[3] == 0.5
+        assert state.r[0] == 1.0
+        assert state.p[99] == 0.0
+
+    def test_never_shrinks(self):
+        state = PPRState.initial(0, 64)
+        state.ensure_capacity(2)
+        assert state.capacity == 64
+
+    def test_amortized_doubling(self):
+        state = PPRState.initial(0, 16)
+        state.ensure_capacity(17)
+        assert state.capacity >= 32
+
+
+class TestQueries:
+    def test_out_of_range_reads_are_zero(self):
+        state = PPRState.initial(0, 4)
+        assert state.estimate(100) == 0.0
+        assert state.residual(-5) == 0.0
+
+    def test_norms(self):
+        state = PPRState.initial(0, 4)
+        state.r[1] = -0.5
+        assert state.residual_linf() == 1.0
+        assert state.residual_l1() == 1.5
+
+    def test_active_vertices(self):
+        state = PPRState.initial(0, 4)
+        state.r[2] = -0.2
+        assert state.active_vertices(0.1).tolist() == [0, 2]
+        assert state.active_vertices(1.5).tolist() == []
+
+    def test_top_k(self):
+        state = PPRState.initial(0, 5)
+        state.p[:] = [0.1, 0.5, 0.2, 0.0, 0.4]
+        assert state.top_k(2) == [(1, 0.5), (4, 0.4)]
+        assert len(state.top_k(100)) == 5
+        with pytest.raises(ConfigError):
+            state.top_k(0)
+
+    def test_estimate_sum(self):
+        state = PPRState.initial(0, 3)
+        state.p[:] = [0.25, 0.25, 0.5]
+        assert state.estimate_sum() == pytest.approx(1.0)
+
+
+class TestCopyCompare:
+    def test_copy_independent(self):
+        a = PPRState.initial(0, 4)
+        b = a.copy()
+        b.p[1] = 9.0
+        assert a.p[1] == 0.0
+        assert not a.allclose(b)
+
+    def test_allclose_pads_capacity(self):
+        a = PPRState.initial(0, 4)
+        b = PPRState.initial(0, 32)
+        assert a.allclose(b)
+
+    def test_allclose_different_source(self):
+        assert not PPRState.initial(0, 4).allclose(PPRState.initial(1, 4))
+
+    def test_repr(self):
+        assert "source=0" in repr(PPRState.initial(0, 4))

@@ -1,0 +1,100 @@
+"""Tests for the operation-accounting layer (PushStats and friends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Phase
+from repro.core.stats import (
+    BatchStats,
+    IterationRecord,
+    PushStats,
+    RestoreStats,
+    SequentialPushStats,
+)
+
+
+def record(frontier=2, edges=5, dedup=1):
+    return IterationRecord(
+        phase=Phase.POS,
+        frontier_size=frontier,
+        edge_traversals=edges,
+        atomic_adds=edges,
+        enqueue_attempts=dedup,
+        dedup_checks=dedup,
+        enqueued=1,
+        residual_pushed=0.5,
+    )
+
+
+class TestPushStats:
+    def test_totals(self):
+        stats = PushStats()
+        stats.record(record(frontier=2, edges=5))
+        stats.record(record(frontier=3, edges=7))
+        assert stats.num_iterations == 2
+        assert stats.pushes == 5
+        assert stats.edge_traversals == 12
+        assert stats.atomic_adds == 12
+        assert stats.total_operations == 17
+        assert stats.max_frontier == 3
+        assert stats.mean_frontier == pytest.approx(2.5)
+        assert stats.dedup_checks == 2
+        assert stats.enqueue_attempts == 2
+
+    def test_empty(self):
+        stats = PushStats()
+        assert stats.pushes == 0
+        assert stats.max_frontier == 0
+        assert stats.mean_frontier == 0.0
+
+    def test_merge_appends_iterations(self):
+        a = PushStats()
+        a.record(record())
+        b = PushStats()
+        b.record(record())
+        b.record(record())
+        a.merge(b)
+        assert a.num_iterations == 3
+
+    def test_repr(self):
+        stats = PushStats()
+        stats.record(record())
+        assert "iters=1" in repr(stats)
+
+
+class TestSequentialPushStats:
+    def test_merge(self):
+        a = SequentialPushStats(pushes=2, edge_traversals=5, push_order=[1, 2])
+        b = SequentialPushStats(pushes=3, edge_traversals=7, push_order=[3])
+        a.merge(b)
+        assert a.pushes == 5
+        assert a.edge_traversals == 12
+        assert a.total_operations == 17
+        assert a.push_order == [1, 2, 3]
+
+    def test_merge_without_order(self):
+        a = SequentialPushStats(pushes=1, edge_traversals=1)
+        a.merge(SequentialPushStats(pushes=1, edge_traversals=1, push_order=[7]))
+        assert a.push_order is None  # order tracking stays off
+
+
+class TestBatchStats:
+    def test_merge(self):
+        a = BatchStats(restore=RestoreStats(2, 0.5))
+        a.push.record(record())
+        a.wall_time = 1.0
+        b = BatchStats(restore=RestoreStats(3, 0.25))
+        b.push.record(record())
+        b.wall_time = 0.5
+        a.merge(b)
+        assert a.restore.num_updates == 5
+        assert a.restore.total_residual_change == pytest.approx(0.75)
+        assert a.push.num_iterations == 2
+        assert a.wall_time == pytest.approx(1.5)
+
+    def test_merge_sequential_parts(self):
+        a = BatchStats(sequential_push=SequentialPushStats(pushes=1, edge_traversals=2))
+        b = BatchStats(sequential_push=SequentialPushStats(pushes=4, edge_traversals=8))
+        a.merge(b)
+        assert a.sequential_push.pushes == 5

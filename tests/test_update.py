@@ -1,0 +1,52 @@
+"""Unit tests for edge updates."""
+
+from __future__ import annotations
+
+from repro import EdgeOp, EdgeUpdate
+from repro.graph.update import count_ops, deletions, insertions, undirected
+
+
+class TestEdgeUpdate:
+    def test_defaults_to_insert(self):
+        upd = EdgeUpdate(1, 2)
+        assert upd.is_insert and not upd.is_delete
+        assert upd.op is EdgeOp.INSERT
+
+    def test_op_values_match_theory(self):
+        # Lemma 3 uses op in {+1, -1}.
+        assert int(EdgeOp.INSERT) == 1
+        assert int(EdgeOp.DELETE) == -1
+
+    def test_reversed(self):
+        upd = EdgeUpdate(1, 2, EdgeOp.DELETE)
+        rev = upd.reversed()
+        assert (rev.u, rev.v, rev.op) == (2, 1, EdgeOp.DELETE)
+
+    def test_inverse(self):
+        upd = EdgeUpdate(1, 2, EdgeOp.INSERT)
+        assert upd.inverse().op is EdgeOp.DELETE
+        assert upd.inverse().inverse() == upd
+
+    def test_str(self):
+        assert str(EdgeUpdate(1, 2)) == "+(1->2)"
+        assert str(EdgeUpdate(1, 2, EdgeOp.DELETE)) == "-(1->2)"
+
+    def test_is_a_tuple(self):
+        u, v, op = EdgeUpdate(3, 4, EdgeOp.DELETE)
+        assert (u, v, op) == (3, 4, EdgeOp.DELETE)
+
+
+class TestHelpers:
+    def test_insertions_deletions(self):
+        ins = insertions([(0, 1), (1, 2)])
+        assert all(u.is_insert for u in ins)
+        dels = deletions([(0, 1)])
+        assert all(u.is_delete for u in dels)
+
+    def test_undirected_expansion(self):
+        expanded = list(undirected(insertions([(0, 1)])))
+        assert expanded == [EdgeUpdate(0, 1), EdgeUpdate(1, 0)]
+
+    def test_count_ops(self):
+        batch = insertions([(0, 1), (1, 2)]) + deletions([(2, 3)])
+        assert count_ops(batch) == (2, 1)
