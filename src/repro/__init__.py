@@ -5,8 +5,12 @@ on Dynamic Graphs*, PVLDB 11(1), 2017: incremental PPR maintenance via the
 local-update scheme, parallelized with batch processing, eager propagation
 and local duplicate detection, plus every baseline the paper evaluates
 (sequential local update, incremental Monte-Carlo, a Ligra-style
-vertex-centric framework) and a simulated-hardware benchmark harness that
-regenerates each figure of the evaluation.
+vertex-centric framework), a simulated-hardware benchmark harness that
+regenerates each figure of the evaluation, and a multi-query serving
+layer (:mod:`repro.serve`) answering many sources from maintained state.
+
+Documentation: ``README.md`` (install/quickstart), ``docs/architecture.md``
+(module map and paper-section mapping), ``docs/serving.md`` (serving layer).
 
 Quickstart
 ----------
@@ -18,7 +22,7 @@ Quickstart
 True
 """
 
-from .config import Backend, Phase, PPRConfig, PushVariant
+from .config import Backend, Phase, PPRConfig, PushVariant, RefreshPolicy, ServeConfig
 from .core.analysis import (
     parallel_bound_directed,
     parallel_bound_undirected,
@@ -67,6 +71,14 @@ from .graph import (
     load_dataset,
     random_permutation_stream,
 )
+from .serve import (
+    AdmissionPool,
+    PPRService,
+    ResidentSource,
+    ServedQuery,
+    ServiceMetrics,
+    SourceCache,
+)
 from .parallel import (
     CPUCostModel,
     GPUCostModel,
@@ -79,6 +91,7 @@ from .parallel import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPool",
     "Backend",
     "BackendError",
     "BatchStats",
@@ -103,12 +116,19 @@ __all__ = [
     "MonteCarloCostModel",
     "MultiSourceTracker",
     "PPRConfig",
+    "PPRService",
     "PPRState",
     "Phase",
     "PushStats",
     "PushVariant",
+    "RefreshPolicy",
     "ReproError",
+    "ResidentSource",
+    "ServeConfig",
+    "ServedQuery",
+    "ServiceMetrics",
     "SlidingWindow",
+    "SourceCache",
     "StreamError",
     "VertexError",
     "WindowSlide",

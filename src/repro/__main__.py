@@ -1,4 +1,10 @@
-"""Module entry point: ``python -m repro``."""
+"""CLI entry point: ``python -m repro <command>``.
+
+Dispatches to :func:`repro.cli.main`. Available commands: ``datasets``,
+``figure``, ``ablation``, ``track``, and ``serve-bench`` — run
+``python -m repro --help`` for details, and see the README's quickstart
+for example invocations.
+"""
 
 import sys
 

@@ -1,4 +1,11 @@
-"""Benchmark harness: sliding-window workloads, approach runners, figures."""
+"""Benchmark harness: sliding-window workloads, approach runners, figures.
+
+CLI entry points: ``python -m repro figure <fig4..fig10>`` regenerates one
+evaluation figure, ``python -m repro ablation <name>`` runs one ablation,
+and ``python -m repro serve-bench <dataset>`` runs the serving-layer
+benchmark (:mod:`repro.bench.serving`); see :mod:`repro.cli` and
+``docs/architecture.md`` for the figure-to-module mapping.
+"""
 
 from .figures import (
     FigureResult,
@@ -11,6 +18,7 @@ from .figures import (
     fig10_scalability,
 )
 from .harness import Approach, ApproachResult, run_approach
+from .serving import ServingBenchResult, serving_benchmark, topk_matches
 from .workloads import PreparedWorkload, WorkloadSpec, prepare_workload
 
 __all__ = [
@@ -18,6 +26,7 @@ __all__ = [
     "ApproachResult",
     "FigureResult",
     "PreparedWorkload",
+    "ServingBenchResult",
     "WorkloadSpec",
     "fig10_scalability",
     "fig4_optimizations",
@@ -28,4 +37,6 @@ __all__ = [
     "fig9_resources",
     "prepare_workload",
     "run_approach",
+    "serving_benchmark",
+    "topk_matches",
 ]

@@ -11,6 +11,9 @@ Commands
 ``track <dataset> [--slides N] [--epsilon E]``
     Stream sliding-window slides through a tracker and report per-slide
     operation counts, simulated latency, and the certified top-5.
+``serve-bench <dataset> [--sources N] [--slides N] [--queries N]``
+    Benchmark the multi-query serving layer (:mod:`repro.serve`) against
+    per-query from-scratch recomputation; see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from .bench.figures import (
     fig9_resources,
     fig10_scalability,
 )
+from .bench.serving import serving_benchmark
 from .bench.workloads import WorkloadSpec, default_config, prepare_workload
 from .config import Backend
 from .core.certify import certified_top_k, convergence_report
@@ -117,6 +121,22 @@ def _cmd_track(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    result = serving_benchmark(
+        args.dataset,
+        num_sources=args.sources,
+        num_slides=args.slides,
+        queries_per_slide=args.queries,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    print()
+    print(result.metrics.describe())
+    return 0 if result.topk_matched else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--epsilon", type=float, default=1e-5)
     track.add_argument("--workers", type=int, default=40)
     track.set_defaults(func=_cmd_track)
+
+    serve = sub.add_parser(
+        "serve-bench", help="benchmark the multi-query serving layer"
+    )
+    serve.add_argument("dataset", choices=sorted(DATASETS))
+    serve.add_argument("--sources", type=int, default=64)
+    serve.add_argument("--slides", type=int, default=4)
+    serve.add_argument("--queries", type=int, default=256)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--epsilon", type=float, default=1e-5)
+    serve.add_argument("--workers", type=int, default=40)
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -5,6 +5,8 @@ pipeline: the PPR definition itself (``alpha``), the approximation quality
 (``epsilon``), which push algorithm variant runs (``variant``, the paper's
 Table 3), which execution backend evaluates it (``backend``), and how much
 hardware parallelism the simulated engine assumes (``workers``).
+:class:`ServeConfig` bundles the knobs of the multi-query serving layer
+built on top (:mod:`repro.serve`, see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -81,6 +83,76 @@ class Phase(enum.Enum):
         if self is Phase.POS:
             return residual > epsilon
         return residual < -epsilon
+
+
+class RefreshPolicy(enum.Enum):
+    """When the serving layer re-converges resident PPR states.
+
+    ``EAGER``
+        Every :meth:`repro.serve.PPRService.ingest` immediately pushes all
+        resident sources back to convergence. Queries are always fresh and
+        cheap, ingest bears the full maintenance cost.
+    ``LAZY``
+        Ingest only restores the invariant (cheap, O(residents * batch));
+        the push for a source is deferred until that source is queried.
+        Amortizes maintenance over the query mix — sources nobody asks
+        about never pay for a push.
+    """
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of the multi-query serving layer (:mod:`repro.serve`).
+
+    Parameters
+    ----------
+    cache_capacity:
+        Maximum number of resident per-source PPR states. When a cold
+        source is admitted past capacity the least-recently-queried
+        resident is evicted.
+    admission_batch:
+        Cold sources admitted per vectorized push batch; a batch shares
+        one CSR snapshot so admission cost amortizes across sources.
+    refresh:
+        Re-convergence policy for resident states (see
+        :class:`RefreshPolicy`).
+    num_hubs:
+        Size of the always-resident :class:`repro.core.hub_index.DynamicHubIndex`
+        tier maintained alongside the query cache; ``0`` disables it.
+    top_k:
+        Default ranking depth returned by queries.
+
+    See ``docs/serving.md`` for the serving-layer design rationale.
+    """
+
+    cache_capacity: int = 64
+    admission_batch: int = 8
+    refresh: RefreshPolicy = RefreshPolicy.LAZY
+    num_hubs: int = 0
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ConfigError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.admission_batch < 1:
+            raise ConfigError(
+                f"admission_batch must be >= 1, got {self.admission_batch}"
+            )
+        if not isinstance(self.refresh, RefreshPolicy):
+            raise ConfigError(f"refresh must be a RefreshPolicy, got {self.refresh!r}")
+        if self.num_hubs < 0:
+            raise ConfigError(f"num_hubs must be >= 0, got {self.num_hubs}")
+        if self.top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+
+    def with_(self, **changes: Any) -> "ServeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)

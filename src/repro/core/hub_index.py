@@ -124,27 +124,57 @@ class DynamicHubIndex:
     # maintenance
     # ------------------------------------------------------------------ #
 
-    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> dict[int, PushStats]:
-        """Apply a stream batch and re-converge every hub vector.
+    def restore_applied(self, update: EdgeUpdate) -> None:
+        """Restore every hub vector's invariant for one *already-applied* update.
 
-        Graph mutation and invariant restoration happen once per update
-        (restoration per hub); the per-hub pushes share one CSR snapshot.
+        The serving layer (:class:`repro.serve.PPRService`) mutates the
+        shared graph exactly once per update and then fans the restore out
+        to every consumer; this is the hub-index half of that fan-out.
+        ``self.graph`` must already reflect ``update``.
         """
-        touched: list[int] = []
-        for update in updates:
-            self.graph.apply(update)
-            for state in self._states.values():
-                restore_invariant(state, self.graph, update, self.config.alpha)
-            touched.append(update.u)
-        csr = self._snapshot()
+        for state in self._states.values():
+            restore_invariant(state, self.graph, update, self.config.alpha)
+
+    def reconverge(
+        self,
+        seeds: Sequence[int],
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> dict[int, PushStats]:
+        """Push every hub vector back to convergence from ``seeds``.
+
+        ``snapshot`` lets an outer layer share one CSR view of the current
+        graph across the hub pushes (and its own resident sources) instead
+        of rebuilding per consumer.
+        """
+        csr = snapshot if snapshot is not None else self._snapshot()
         results = {
             hub: parallel_local_push(
-                state, self.graph, self.config, seeds=touched, csr=csr
+                state, self.graph, self.config, seeds=seeds, csr=csr
             )
             for hub, state in self._states.items()
         }
         self.batches_processed += 1
         return results
+
+    def apply_batch(
+        self,
+        updates: Sequence[EdgeUpdate],
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> dict[int, PushStats]:
+        """Apply a stream batch and re-converge every hub vector.
+
+        Graph mutation and invariant restoration happen once per update
+        (restoration per hub); the per-hub pushes share one CSR snapshot
+        (``snapshot`` when provided, else a fresh rebuild).
+        """
+        touched: list[int] = []
+        for update in updates:
+            self.graph.apply(update)
+            self.restore_applied(update)
+            touched.append(update.u)
+        return self.reconverge(touched, snapshot=snapshot)
 
     def total_index_entries(self) -> int:
         """Nonzero estimate entries across all hub vectors (index size)."""

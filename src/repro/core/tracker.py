@@ -119,11 +119,7 @@ class DynamicPPRTracker:
         from its window edge arrays (pure numpy, much faster than walking
         the dict graph); it must call this after every batch.
         """
-        if csr.num_vertices < self.graph.capacity:
-            raise ConfigError(
-                f"snapshot covers {csr.num_vertices} ids,"
-                f" graph needs {self.graph.capacity}"
-            )
+        csr.ensure_covers(self.graph.capacity)
         self._csr = csr
         self._csr_dirty = False
 
@@ -141,11 +137,21 @@ class DynamicPPRTracker:
         batch.wall_time = time.perf_counter() - start
         return batch
 
-    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> BatchStats:
+    def apply_batch(
+        self,
+        updates: Sequence[EdgeUpdate],
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> BatchStats:
         """Process one update batch: k restore-invariants, then one push.
 
         Returns the batch's operation trace (restore + push counters and
         wall time). The estimate is ε-approximate on return.
+
+        ``snapshot`` may supply a CSR view of the graph *after* this
+        batch, built externally (e.g. :meth:`repro.graph.stream.SlidingWindow.snapshot`
+        or a serving layer sharing one snapshot across many trackers);
+        when given, the tracker installs it instead of rebuilding its own.
         """
         start = time.perf_counter()
         touched: list[int] = []
@@ -156,6 +162,8 @@ class DynamicPPRTracker:
             touched.append(update.u)
             change += abs(delta)
         self._csr_dirty = True
+        if snapshot is not None:
+            self.set_snapshot(snapshot)
         batch = self._push(seeds=touched)
         batch.restore = RestoreStats(len(updates), change)
         batch.wall_time = time.perf_counter() - start
@@ -225,21 +233,34 @@ class MultiSourceTracker:
     def estimate(self, source: int, v: int) -> float:
         return self.states[source].estimate(v)
 
-    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> dict[int, PushStats]:
-        """Apply a batch to the graph and re-converge every source."""
+    def top_k(self, source: int, k: int) -> list[tuple[int, float]]:
+        """The ``k`` highest-PPR vertices of ``source`` as ``(id, value)``."""
+        return self.states[source].top_k(k)
+
+    def apply_batch(
+        self,
+        updates: Sequence[EdgeUpdate],
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> dict[int, PushStats]:
+        """Apply a batch to the graph and re-converge every source.
+
+        All per-source pushes share one CSR snapshot; pass ``snapshot``
+        (a view of the graph *after* this batch) to skip the rebuild when
+        an outer layer already maintains one.
+        """
         touched: list[int] = []
         for update in updates:
             self.graph.apply(update)
             for state in self.states.values():
                 restore_invariant(state, self.graph, update, self.config.alpha)
             touched.append(update.u)
-        csr = (
-            CSRGraph.from_digraph(self.graph)
-            if self.config.backend is not Backend.PURE
-            else None
-        )
+        if snapshot is None and self.config.backend is not Backend.PURE:
+            snapshot = CSRGraph.from_digraph(self.graph)
         return {
-            s: parallel_local_push(state, self.graph, self.config, seeds=touched, csr=csr)
+            s: parallel_local_push(
+                state, self.graph, self.config, seeds=touched, csr=snapshot
+            )
             for s, state in self.states.items()
         }
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import ConfigError, GraphError
 from .digraph import DynamicDiGraph
 
 
@@ -128,6 +128,20 @@ class CSRGraph:
         flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
         sources = np.repeat(np.arange(len(frontier), dtype=np.int64), counts)
         return sources, self.indices[flat]
+
+    def ensure_covers(self, capacity: int) -> None:
+        """Reject this snapshot as a view of a graph needing ``capacity`` ids.
+
+        The shared guard of every consumer that installs externally-built
+        snapshots (trackers, the serving layer, the admission pool): the
+        snapshot's dense arrays are indexed by vertex id, so it must span
+        at least the graph's id space.
+        """
+        if self.num_vertices < capacity:
+            raise ConfigError(
+                f"snapshot covers {self.num_vertices} ids,"
+                f" graph needs {capacity}"
+            )
 
     def memory_bytes(self) -> int:
         """Approximate resident bytes of the snapshot arrays."""

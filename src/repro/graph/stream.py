@@ -194,6 +194,23 @@ class SlidingWindow:
         """Current window contents as an edge array (for CSR snapshots)."""
         return self._all_edges[self._delete_cursor : self._stream.position]
 
+    def snapshot(self, capacity: int | None = None) -> "CSRGraph":
+        """A CSR snapshot of the current window, built in pure numpy.
+
+        The shared-snapshot hook of the serving layer
+        (:class:`repro.serve.PPRService`) and the benchmark harness: one
+        snapshot per slide serves every resident source, instead of each
+        consumer walking the dict graph independently. Undirected streams
+        expand each window edge into both directions, matching
+        :meth:`initial_updates` / :meth:`slide` semantics.
+        """
+        from .csr import CSRGraph  # local import: csr has no stream dependency
+
+        edges = self.window_edge_array()
+        if self.undirected and len(edges):
+            edges = np.concatenate([edges, edges[:, ::-1]])
+        return CSRGraph.from_edge_array(edges, capacity=capacity)
+
     def __repr__(self) -> str:
         return (
             f"SlidingWindow(window={self.window_size}, batch={self.batch_size},"

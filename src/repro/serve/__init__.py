@@ -1,0 +1,28 @@
+"""Multi-query PPR serving layer atop maintained dynamic-PPR state.
+
+The paper's maintenance machinery only pays off when many queries are
+served from the maintained state (Section 6). This package is that layer:
+
+* :class:`~repro.serve.service.PPRService` — one dynamic graph, versioned
+  CSR snapshots, many sources served ε-fresh;
+* :class:`~repro.serve.cache.SourceCache` — LRU pool of resident
+  per-source states;
+* :class:`~repro.serve.pool.AdmissionPool` — batched from-scratch pushes
+  admitting cold sources.
+
+Run ``python -m repro serve-bench <dataset>`` for the serving benchmark,
+and see ``docs/serving.md`` for the design.
+"""
+
+from .cache import ResidentSource, SourceCache
+from .pool import AdmissionPool
+from .service import PPRService, ServedQuery, ServiceMetrics
+
+__all__ = [
+    "AdmissionPool",
+    "PPRService",
+    "ResidentSource",
+    "ServedQuery",
+    "ServiceMetrics",
+    "SourceCache",
+]

@@ -1,0 +1,468 @@
+"""The multi-query PPR serving layer (:class:`PPRService`).
+
+This is the piece the paper's maintenance machinery exists to feed
+(Section 6's who-to-follow and hub-index integrations): one maintained
+dynamic graph, many personalization sources answered from maintained
+state. The service owns
+
+* one :class:`~repro.graph.digraph.DynamicDiGraph` — every stream update
+  is applied to it exactly once;
+* a *versioned* CSR snapshot — rebuilt lazily, at most once per ingested
+  batch, and shared by every push that version triggers (resident
+  refreshes, cold admissions, hub re-convergence);
+* a :class:`~repro.serve.cache.SourceCache` of resident per-source states
+  with LRU eviction;
+* an :class:`~repro.serve.pool.AdmissionPool` that admits cold sources in
+  batched vectorized pushes;
+* optionally a :class:`~repro.core.hub_index.DynamicHubIndex` tier that is
+  always resident and re-converged eagerly at ingest.
+
+Freshness contract: every answer is ε-approximate on the *latest* graph
+version — a lazy refresh pushes the queried source to convergence before
+answering, seeded only by the vertices updates touched since that source
+last converged. The recorded *staleness* of a query is how many ingested
+updates the state was behind when the query arrived (what the answer's
+age would have been had we served without refreshing).
+
+See ``docs/serving.md`` for the design rationale and
+``examples/serving_demo.py`` for a runnable walkthrough.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..config import Backend, PPRConfig, RefreshPolicy, ServeConfig
+from ..core.certify import CertifiedEntry, certified_top_k
+from ..core.hub_index import DynamicHubIndex
+from ..core.invariant import restore_invariant
+from ..core.push_parallel import parallel_local_push
+from ..core.state import PPRState
+from ..core.stats import PushStats
+from ..errors import ConfigError
+from ..graph.csr import CSRGraph
+from ..graph.digraph import DynamicDiGraph
+from ..graph.stream import WindowSlide
+from ..graph.update import EdgeUpdate
+from .cache import ResidentSource, SourceCache
+from .pool import AdmissionPool
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One answered query: the ranking plus serving metadata."""
+
+    source: int
+    entries: list[CertifiedEntry]
+    #: Graph/snapshot version the answer is ε-approximate on.
+    snapshot_version: int
+    #: Ingested updates the resident state was behind at query arrival
+    #: (0 for cold admissions and eagerly-refreshed states).
+    staleness_updates: int
+    #: Whether the source had to be admitted (from-scratch push) to answer.
+    cold: bool
+    wall_time: float
+
+    @property
+    def vertices(self) -> list[int]:
+        """Ranked vertex ids, best first."""
+        return [entry.vertex for entry in self.entries]
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate serving counters, with percentile staleness.
+
+    Per-query samples (staleness, wall time) are kept in bounded
+    buffers — once :attr:`MAX_SAMPLES` is reached the oldest half is
+    dropped, so percentiles and the wall-clock query rate describe the
+    recent window while the scalar counters remain lifetime totals.
+    """
+
+    #: Retained per-query samples; a long-running service must not grow
+    #: its metrics memory with every query it ever answered.
+    MAX_SAMPLES = 100_000
+
+    queries: int = 0
+    cold_admissions: int = 0
+    admission_batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    resident: int = 0
+    snapshot_rebuilds: int = 0
+    updates_ingested: int = 0
+    batches_ingested: int = 0
+    staleness_samples: list[int] = field(default_factory=list, repr=False)
+    query_seconds: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def record_query(self, staleness: int, seconds: float) -> None:
+        """Count one answered query, trimming sample buffers when full."""
+        self.queries += 1
+        self.staleness_samples.append(staleness)
+        self.query_seconds.append(seconds)
+        if len(self.staleness_samples) > self.MAX_SAMPLES:
+            del self.staleness_samples[: self.MAX_SAMPLES // 2]
+        if len(self.query_seconds) > self.MAX_SAMPLES:
+            del self.query_seconds[: self.MAX_SAMPLES // 2]
+
+    def staleness_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-query arrival staleness."""
+        if not self.staleness_samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.staleness_samples), q))
+
+    @property
+    def queries_per_second(self) -> float:
+        total = sum(self.query_seconds)
+        return len(self.query_seconds) / total if total > 0 else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (CLI / demo output)."""
+        return "\n".join(
+            [
+                f"queries:            {self.queries}"
+                f" ({self.queries_per_second:,.0f}/s wall)",
+                f"cache:              {self.cache_hits} hits /"
+                f" {self.cache_misses} misses ({self.hit_rate:.0%} hit rate),"
+                f" {self.evictions} evictions, {self.resident} resident",
+                f"cold admissions:    {self.cold_admissions}"
+                f" in {self.admission_batches} batches",
+                f"updates ingested:   {self.updates_ingested}"
+                f" in {self.batches_ingested} batches,"
+                f" {self.snapshot_rebuilds} snapshot rebuilds",
+                f"staleness (updates): p50={self.staleness_percentile(50):.0f}"
+                f" p99={self.staleness_percentile(99):.0f}",
+            ]
+        )
+
+
+class PPRService:
+    """Serve many concurrent PPR top-k queries from maintained state.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph. The service takes ownership: all further
+        mutations must flow through :meth:`ingest` so resident states and
+        the hub index stay invariant-consistent.
+    config:
+        Push configuration shared by every resident source and hub.
+        Defaults to the vectorized backend — the serving layer exists to
+        batch work, which is what that backend is for.
+    serve:
+        Serving-layer knobs (:class:`repro.config.ServeConfig`).
+    hubs:
+        Explicit hub vertex ids for the always-resident hub tier;
+        overrides ``serve.num_hubs`` auto-selection.
+
+    Examples
+    --------
+    >>> from repro.graph import DynamicDiGraph, insertions
+    >>> g = DynamicDiGraph([(1, 0), (2, 0), (2, 1), (0, 2)])
+    >>> service = PPRService(g)
+    >>> service.query(0, k=2).vertices[0]
+    0
+    >>> _ = service.ingest(insertions([(1, 2)]))
+    >>> service.query(0, k=2).snapshot_version
+    1
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        config: PPRConfig | None = None,
+        serve: ServeConfig | None = None,
+        *,
+        hubs: Sequence[int] | None = None,
+    ) -> None:
+        self.config = config or PPRConfig(backend=Backend.NUMPY)
+        self.serve = serve or ServeConfig()
+        self.graph = graph
+        self.cache = SourceCache.from_config(self.serve)
+        self.pool = AdmissionPool.from_config(self.config, self.serve)
+        self.hub_index: DynamicHubIndex | None = None
+        if hubs is not None or self.serve.num_hubs > 0:
+            self.hub_index = DynamicHubIndex(
+                graph,
+                hubs=hubs,
+                num_hubs=max(self.serve.num_hubs, 1),
+                config=self.config,
+            )
+        self.graph_version = 0
+        self._csr: CSRGraph | None = None
+        self._csr_version = -1
+        self._metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+
+    def _snapshot(self) -> CSRGraph | None:
+        """The shared CSR view of the current graph version (lazy rebuild)."""
+        if self.config.backend is Backend.PURE:
+            return None
+        if self._csr is None or self._csr_version != self.graph_version:
+            self._csr = CSRGraph.from_digraph(self.graph)
+            self._csr_version = self.graph_version
+            self._metrics.snapshot_rebuilds += 1
+        return self._csr
+
+    def set_snapshot(self, csr: CSRGraph) -> None:
+        """Install an externally-built snapshot of the *current* version.
+
+        The sliding-window harness builds snapshots straight from its
+        window edge arrays (:meth:`repro.graph.stream.SlidingWindow.snapshot`);
+        installing them here spares the service its own O(n + m) rebuild.
+        """
+        csr.ensure_covers(self.graph.capacity)
+        self._csr = csr
+        self._csr_version = self.graph_version
+
+    @property
+    def snapshot_version(self) -> int:
+        """Version of the currently-cached snapshot (-1 before the first)."""
+        return self._csr_version
+
+    # ------------------------------------------------------------------ #
+    # ingest path
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        updates: Sequence[EdgeUpdate] | WindowSlide,
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> dict[int, PushStats]:
+        """Apply one update batch and restore every maintained consumer.
+
+        The graph is mutated exactly once per update; the invariant repair
+        then fans out to every resident source and every hub vector.
+        Under :attr:`~repro.config.RefreshPolicy.LAZY` resident pushes are
+        deferred to the next query of each source; under ``EAGER`` they
+        run now, sharing one snapshot. The hub tier is always re-converged
+        eagerly. Returns the push traces of the pushes that ran.
+
+        ``snapshot`` may supply a pre-built CSR view of the graph *after*
+        this batch (see :meth:`set_snapshot`).
+        """
+        if isinstance(updates, WindowSlide):
+            updates = list(updates.updates)
+        touched: list[int] = []
+        residents = self.cache.entries()
+        for update in updates:
+            self.graph.apply(update)
+            for entry in residents:
+                restore_invariant(entry.state, self.graph, update, self.config.alpha)
+            if self.hub_index is not None:
+                self.hub_index.restore_applied(update)
+            touched.append(update.u)
+        touched_set = set(touched)
+        for entry in residents:
+            entry.pending_seeds.update(touched_set)
+        self.graph_version += 1
+        self._metrics.updates_ingested += len(updates)
+        self._metrics.batches_ingested += 1
+        if snapshot is not None:
+            self.set_snapshot(snapshot)
+
+        traces: dict[int, PushStats] = {}
+        if self.hub_index is not None:
+            traces.update(
+                self.hub_index.reconverge(touched, snapshot=self._snapshot())
+            )
+        if self.serve.refresh is RefreshPolicy.EAGER:
+            for entry in residents:
+                traces[entry.source] = self._refresh(entry)
+        return traces
+
+    def _refresh(self, entry: ResidentSource) -> PushStats:
+        """Push one resident back to convergence on the current version."""
+        stats = parallel_local_push(
+            entry.state,
+            self.graph,
+            self.config,
+            seeds=entry.pending_seeds,
+            csr=self._snapshot(),
+        )
+        entry.mark_converged(self.graph_version, self._metrics.updates_ingested)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # query path
+    # ------------------------------------------------------------------ #
+
+    def query(self, source: int, k: int | None = None) -> ServedQuery:
+        """Answer one top-k query, ε-fresh on the latest graph version.
+
+        Resident sources are refreshed in place if stale (LAZY policy);
+        cold sources are admitted through the pool — together with any
+        other pending admission requests, so their from-scratch pushes
+        share one snapshot.
+        """
+        k = self.serve.top_k if k is None else k
+        start = time.perf_counter()
+        entry = self.cache.get(source)
+        cold = entry is None
+        if entry is None:
+            staleness = 0
+            entry = self._admit(source)
+        else:
+            staleness = self._metrics.updates_ingested - entry.updates_reflected
+            if entry.version != self.graph_version:
+                self._refresh(entry)
+        answer = certified_top_k(entry.state, k)
+        entry.queries += 1
+        wall = time.perf_counter() - start
+        self._metrics.record_query(staleness, wall)
+        return ServedQuery(
+            source=source,
+            entries=answer,
+            snapshot_version=self.graph_version,
+            staleness_updates=staleness,
+            cold=cold,
+            wall_time=wall,
+        )
+
+    def query_many(
+        self, sources: Sequence[int], k: int | None = None
+    ) -> list[ServedQuery]:
+        """Answer a batch of queries, admitting all cold sources together.
+
+        Cold sources across the whole batch are pushed in admission-pool
+        batches before any answer is produced, so one snapshot serves
+        every from-scratch push; the per-query ``cold`` flag still marks
+        which answers required an admission.
+        """
+        cold = {s for s in sources if s not in self.cache}
+        for s in dict.fromkeys(sources):
+            if s in cold:
+                self.pool.request(s)
+        if cold or self.pool.pending:
+            # The drain admits *every* pending request, including earlier
+            # prefetches — register all of them before snapshotting.
+            self._ensure_vertices(self.pool.pending)
+            self._install(self.pool.drain(self.graph, self._snapshot()))
+        answers = []
+        for s in sources:
+            answer = self.query(s, k)
+            if s in cold:
+                # This admission answered its first query: flag it cold,
+                # and reclassify the pre-installed lookup as the miss it
+                # semantically was. (If the entry was already evicted by a
+                # wider-than-cache cold batch, the inner query re-admitted
+                # it and counted the miss itself.)
+                cold.discard(s)
+                if not answer.cold:
+                    self.cache.hits -= 1
+                    self.cache.misses += 1
+                    answer = replace(answer, cold=True)
+            answers.append(answer)
+        return answers
+
+    def _ensure_vertices(self, sources: Sequence[int]) -> None:
+        """Register unknown source ids (new users) before admission.
+
+        Growing the id space invalidates the cached snapshot even though
+        the graph version is unchanged — its arrays are capacity-sized.
+        """
+        grew = False
+        for s in sources:
+            if not self.graph.has_vertex(s):
+                self.graph.add_vertex(s)
+                grew = True
+        if grew:
+            self._csr_version = -1
+
+    def _admit(self, source: int) -> ResidentSource:
+        """Admit ``source`` now, batching in other pending requests."""
+        self.pool.request(source)
+        batch = [source] + [s for s in self.pool.pending if s != source]
+        batch = batch[: self.pool.batch_size]
+        self._ensure_vertices(batch)
+        admitted = self.pool.admit(self.graph, self._snapshot(), batch)
+        # Install the queried source last (MRU) so that an admission batch
+        # wider than the cache cannot evict it before it answers.
+        target = admitted.pop(source)
+        self._install(admitted)
+        self._install({source: target})
+        resident = self.cache.peek(source)
+        assert resident is not None  # just installed as MRU
+        return resident
+
+    def _install(self, admitted: dict[int, PPRState]) -> None:
+        for state in admitted.values():
+            self.cache.put(
+                ResidentSource(
+                    state=state,
+                    version=self.graph_version,
+                    updates_reflected=self._metrics.updates_ingested,
+                )
+            )
+
+    def prefetch(self, source: int) -> None:
+        """Request admission of ``source`` without answering a query.
+
+        The from-scratch push runs with the next admission batch — either
+        a later cold query's or an explicit :meth:`query_many` drain.
+        """
+        if source not in self.cache:
+            self.pool.request(source)
+
+    # ------------------------------------------------------------------ #
+    # hub tier passthrough
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hubs(self) -> list[int]:
+        """Hub ids of the always-resident tier ([] when disabled)."""
+        return self.hub_index.hubs if self.hub_index is not None else []
+
+    def hub_scores(self, v: int) -> dict[int, float]:
+        """``v``'s contribution to every hub (requires the hub tier)."""
+        if self.hub_index is None:
+            raise ConfigError("hub tier disabled: set ServeConfig.num_hubs > 0")
+        return self.hub_index.hub_scores(v)
+
+    def rank_for_hub(self, hub: int, k: int) -> list[CertifiedEntry]:
+        """Certified top-k contributors of ``hub`` (requires the hub tier)."""
+        if self.hub_index is None:
+            raise ConfigError("hub tier disabled: set ServeConfig.num_hubs > 0")
+        return self.hub_index.rank_for_hub(hub, k)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def is_resident(self, source: int) -> bool:
+        return source in self.cache
+
+    def resident_sources(self) -> list[int]:
+        """Resident source ids, least recently queried first."""
+        return self.cache.sources()
+
+    def metrics(self) -> ServiceMetrics:
+        """A snapshot of the aggregate serving counters."""
+        self._metrics.cache_hits = self.cache.hits
+        self._metrics.cache_misses = self.cache.misses
+        self._metrics.evictions = self.cache.evictions
+        self._metrics.resident = len(self.cache)
+        self._metrics.cold_admissions = self.pool.admissions
+        self._metrics.admission_batches = self.pool.batches
+        return self._metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"PPRService(resident={len(self.cache)}/{self.cache.capacity},"
+            f" version={self.graph_version}, n={self.graph.num_vertices},"
+            f" m={self.graph.num_edges}, hubs={len(self.hubs)})"
+        )

@@ -27,7 +27,13 @@ def load_example(name: str):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "streaming_throughput", "who_to_follow", "local_community"],
+    [
+        "quickstart",
+        "streaming_throughput",
+        "who_to_follow",
+        "local_community",
+        "serving_demo",
+    ],
 )
 def test_example_runs(name, capsys):
     module = load_example(name)

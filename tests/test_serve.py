@@ -1,0 +1,445 @@
+"""Serving-layer tests: LRU cache, admission pool, PPRService semantics.
+
+Covers the acceptance points of the serving layer: cache eviction order,
+snapshot-version consistency under interleaved ingests and queries, and
+equivalence of served top-k answers with fresh ``certified_top_k``
+computations on the same graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Backend,
+    ConfigError,
+    DynamicDiGraph,
+    PPRConfig,
+    PPRService,
+    RefreshPolicy,
+    ServeConfig,
+    insertions,
+)
+from repro.bench.serving import topk_matches
+from repro.core.certify import certified_top_k
+from repro.core.hub_index import DynamicHubIndex
+from repro.core.invariant import check_invariant
+from repro.core.state import PPRState
+from repro.core.tracker import DynamicPPRTracker, MultiSourceTracker
+from repro.graph.csr import CSRGraph
+from repro.graph.stream import SlidingWindow
+from repro.serve import AdmissionPool, ResidentSource, SourceCache
+
+from tests.conftest import random_graph
+
+
+def _entry(source: int, capacity: int = 8) -> ResidentSource:
+    return ResidentSource(PPRState.initial(source, capacity), version=0, updates_reflected=0)
+
+
+NUMPY_CONFIG = PPRConfig(epsilon=1e-6, backend=Backend.NUMPY, workers=4)
+
+
+# ---------------------------------------------------------------------- #
+# SourceCache
+# ---------------------------------------------------------------------- #
+
+
+class TestSourceCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            SourceCache(0)
+
+    def test_evicts_least_recently_used_first(self):
+        cache = SourceCache(capacity=3)
+        for s in (1, 2, 3):
+            assert cache.put(_entry(s)) == []
+        assert cache.get(1).source == 1  # 1 becomes MRU; 2 is now LRU
+        evicted = cache.put(_entry(4))
+        assert [e.source for e in evicted] == [2]
+        assert cache.sources() == [3, 1, 4]  # LRU -> MRU
+
+    def test_eviction_order_follows_query_sequence(self):
+        cache = SourceCache(capacity=2)
+        cache.put(_entry(10))
+        cache.put(_entry(20))
+        cache.get(10)
+        cache.get(20)
+        cache.get(10)  # order now: 20 (LRU), 10 (MRU)
+        assert [e.source for e in cache.put(_entry(30))] == [20]
+        assert [e.source for e in cache.put(_entry(40))] == [10]
+        assert cache.evictions == 2
+
+    def test_readmission_replaces_in_place(self):
+        cache = SourceCache(capacity=2)
+        cache.put(_entry(1))
+        cache.put(_entry(2))
+        fresh = _entry(1)
+        assert cache.put(fresh) == []
+        assert cache.peek(1) is fresh
+        assert len(cache) == 2
+
+    def test_hit_miss_counters_and_peek_neutrality(self):
+        cache = SourceCache(capacity=2)
+        cache.put(_entry(1))
+        assert cache.get(1) is not None
+        assert cache.get(9) is None
+        cache.peek(1)  # must not count
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_explicit_evict(self):
+        cache = SourceCache(capacity=2)
+        cache.put(_entry(1))
+        assert cache.evict(1).source == 1
+        assert cache.evict(1) is None
+        assert cache.evictions == 1
+
+
+# ---------------------------------------------------------------------- #
+# AdmissionPool
+# ---------------------------------------------------------------------- #
+
+
+class TestAdmissionPool:
+    def test_request_is_idempotent_while_pending(self):
+        pool = AdmissionPool(NUMPY_CONFIG, batch_size=4)
+        pool.request(3)
+        pool.request(3)
+        assert pool.pending == [3]
+
+    def test_admit_batches_share_snapshot_and_converge(self, rng):
+        graph = random_graph(rng)
+        csr = CSRGraph.from_digraph(graph)
+        pool = AdmissionPool(NUMPY_CONFIG, batch_size=2)
+        for s in (0, 1, 2):
+            pool.request(s)
+        first = pool.admit(graph, csr)
+        assert sorted(first) == [0, 1]
+        assert pool.pending == [2]
+        rest = pool.drain(graph, csr)
+        assert sorted(rest) == [2]
+        assert pool.batches == 2
+        for state in {**first, **rest}.values():
+            assert state.residual_linf() <= NUMPY_CONFIG.epsilon
+
+    def test_admitted_state_matches_tracker(self, rng):
+        graph = random_graph(rng)
+        pool = AdmissionPool(NUMPY_CONFIG)
+        pool.request(5)
+        state = pool.admit(graph.copy(), CSRGraph.from_digraph(graph))[5]
+        tracker = DynamicPPRTracker(graph.copy(), 5, NUMPY_CONFIG)
+        assert state.allclose(tracker.state, atol=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# PPRService
+# ---------------------------------------------------------------------- #
+
+
+def _service(graph, **serve_kwargs) -> PPRService:
+    return PPRService(graph, NUMPY_CONFIG, ServeConfig(**serve_kwargs))
+
+
+class TestPPRService:
+    def test_cold_then_warm_query(self, rng):
+        service = _service(random_graph(rng), cache_capacity=4)
+        first = service.query(0, k=3)
+        second = service.query(0, k=3)
+        assert first.cold and not second.cold
+        assert first.vertices == second.vertices
+        assert service.is_resident(0)
+
+    def test_lru_eviction_through_query_path(self, rng):
+        service = _service(random_graph(rng), cache_capacity=2)
+        for s in (0, 1, 2):
+            service.query(s)
+        assert not service.is_resident(0)
+        assert service.resident_sources() == [1, 2]
+        assert service.query(0).cold  # readmitted from scratch
+
+    def test_snapshot_version_advances_and_answers_track_it(self, rng):
+        graph = random_graph(rng)
+        service = _service(graph.copy(), cache_capacity=4)
+        assert service.query(0).snapshot_version == 0
+        service.ingest(insertions([(0, 5), (5, 9)]))
+        service.ingest(insertions([(9, 0)]))
+        answer = service.query(0)
+        assert service.graph_version == 2
+        assert answer.snapshot_version == 2
+        assert answer.staleness_updates == 3
+
+    def test_interleaved_updates_and_queries_stay_consistent(self, rng):
+        graph = random_graph(rng)
+        service = _service(graph, cache_capacity=4)
+        sources = [0, 1, 2]
+        for step, s in enumerate(sources):
+            service.query(s)
+            service.ingest(insertions([(s, 10 + step), (10 + step, s)]))
+        for s in sources:
+            answer = service.query(s)
+            assert answer.snapshot_version == service.graph_version
+            entry = service.cache.peek(s)
+            assert entry.version == service.graph_version
+            assert entry.state.residual_linf() <= NUMPY_CONFIG.epsilon
+            assert check_invariant(entry.state, graph, NUMPY_CONFIG.alpha, tol=1e-8)
+
+    def test_served_topk_matches_fresh_certified_top_k(self, rng):
+        graph = random_graph(rng)
+        service = _service(graph.copy(), cache_capacity=4)
+        reference_graph = graph.copy()
+        service.query(3)
+        updates = insertions([(3, 7), (7, 11), (11, 3), (5, 3)])
+        service.ingest(updates)
+        served = service.query(3, k=5)
+
+        tracker = DynamicPPRTracker(reference_graph, 3, NUMPY_CONFIG)
+        tracker.apply_batch(updates)
+        fresh = certified_top_k(tracker.state, 5)
+        assert topk_matches(served.entries, fresh, NUMPY_CONFIG.epsilon)
+        served_est = {e.vertex: e.estimate for e in served.entries}
+        for entry in fresh:
+            if entry.vertex in served_est:
+                assert served_est[entry.vertex] == pytest.approx(
+                    entry.estimate, abs=2 * NUMPY_CONFIG.epsilon
+                )
+
+    def test_eager_refresh_serves_with_zero_staleness(self, rng):
+        graph = random_graph(rng)
+        service = PPRService(
+            graph,
+            NUMPY_CONFIG,
+            ServeConfig(cache_capacity=4, refresh=RefreshPolicy.EAGER),
+        )
+        service.query(0)
+        traces = service.ingest(insertions([(0, 4), (4, 8)]))
+        assert 0 in traces  # the resident push ran at ingest
+        answer = service.query(0)
+        assert answer.staleness_updates == 0
+
+    def test_query_many_admits_cold_sources_in_shared_batches(self, rng):
+        graph = random_graph(rng)
+        service = _service(graph, cache_capacity=8, admission_batch=4)
+        answers = service.query_many([0, 1, 2, 3, 4, 0], k=3)
+        assert [a.cold for a in answers] == [True] * 5 + [False]
+        metrics = service.metrics()
+        assert metrics.cold_admissions == 5
+        assert metrics.admission_batches == 2  # 4 + 1 with batch size 4
+        assert metrics.snapshot_rebuilds == 1  # one shared snapshot overall
+
+    def test_query_for_unknown_vertex_admits_a_new_user(self, rng):
+        """A query for an id beyond the graph's capacity must not crash.
+
+        Regression: admission used the cached capacity-sized snapshot,
+        so a brand-new user's id indexed out of bounds.
+        """
+        graph = random_graph(rng)
+        service = _service(graph, cache_capacity=4)
+        service.query(0)  # populate the snapshot cache at the old capacity
+        new_user = graph.capacity + 50
+        answer = service.query(new_user)
+        assert answer.cold
+        assert answer.vertices[0] == new_user  # isolated: only self mass
+        # v1 follows the new user: v1 now contributes to (discovers) them.
+        service.ingest(insertions([(1, new_user)]))
+        followers = service.query(new_user, k=3)
+        assert 1 in followers.vertices
+
+    def test_query_many_with_unknown_vertices(self, rng):
+        service = _service(random_graph(rng), cache_capacity=8)
+        new_users = [200, 201]
+        answers = service.query_many(new_users + [0], k=2)
+        assert all(a.cold for a in answers)
+        assert answers[0].vertices[0] == 200
+
+    def test_pool_rejects_stale_snapshot(self, rng):
+        graph = random_graph(rng)
+        stale = CSRGraph.from_digraph(graph)
+        pool = AdmissionPool(NUMPY_CONFIG)
+        pool.request(graph.capacity + 10)  # grows the graph past the snapshot
+        with pytest.raises(ConfigError):
+            pool.admit(graph, stale)
+
+    def test_prefetched_unknown_vertex_survives_query_many_drain(self, rng):
+        """Regression: query_many's drain admits prefetched new-user ids too."""
+        service = _service(random_graph(rng), cache_capacity=8)
+        service.prefetch(500)  # id beyond the graph's capacity
+        answers = service.query_many([0], k=2)
+        assert answers[0].cold
+        assert service.is_resident(500)
+
+    def test_admission_batch_wider_than_cache_still_answers(self, rng):
+        """Regression: the queried source must not be LRU-evicted by its
+        own admission batch when admission_batch > cache_capacity."""
+        service = _service(random_graph(rng), cache_capacity=2, admission_batch=8)
+        for s in (3, 4, 5, 6, 7, 8):
+            service.prefetch(s)
+        answer = service.query(0)
+        assert answer.cold
+        assert service.is_resident(0)
+
+    def test_query_many_counts_cold_sources_as_misses(self, rng):
+        service = _service(random_graph(rng), cache_capacity=8)
+        service.query_many([0, 1, 2], k=2)
+        metrics = service.metrics()
+        assert metrics.cache_misses == 3
+        assert metrics.cache_hits == 0
+
+    def test_pending_seeds_bounded_by_distinct_touched_vertices(self, rng):
+        service = _service(random_graph(rng), cache_capacity=4)
+        service.query(0)
+        for _ in range(5):  # same endpoints touched over and over
+            service.ingest(insertions([(1, 2)]))
+            service.ingest([])  # empty batches must not grow anything either
+        entry = service.cache.peek(0)
+        assert entry.pending_seeds == {1}
+        service.query(0)
+        assert entry.pending_seeds == set()
+
+    def test_prefetch_rides_next_admission_batch(self, rng):
+        service = _service(random_graph(rng), cache_capacity=4, admission_batch=4)
+        service.prefetch(7)
+        assert not service.is_resident(7)
+        service.query(1)  # cold query drains the pending batch too
+        assert service.is_resident(7)
+        assert not service.query(7).cold
+
+    def test_ingest_accepts_window_slide_and_external_snapshot(self, rng):
+        edges = rng.integers(0, 30, size=(400, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        window = SlidingWindow(edges, batch_size=10)
+        graph = DynamicDiGraph(map(tuple, window.initial_edges.tolist()))
+        service = _service(graph, cache_capacity=4)
+        service.query(int(edges[0, 0]))
+        slide = window.slide()
+        service.ingest(slide)
+        service.set_snapshot(window.snapshot(capacity=service.graph.capacity))
+        rebuilds_before = service.metrics().snapshot_rebuilds
+        answer = service.query(int(edges[0, 0]))
+        assert answer.snapshot_version == 1
+        # the installed snapshot was used; no extra rebuild happened
+        assert service.metrics().snapshot_rebuilds == rebuilds_before
+
+    def test_hub_tier_matches_standalone_hub_index(self, rng):
+        graph = random_graph(rng)
+        reference_graph = graph.copy()
+        service = PPRService(
+            graph, NUMPY_CONFIG, ServeConfig(cache_capacity=4, num_hubs=3)
+        )
+        updates = insertions([(0, 9), (9, 4), (4, 0)])
+        service.ingest(updates)
+
+        standalone = DynamicHubIndex(
+            reference_graph, hubs=service.hubs, config=NUMPY_CONFIG
+        )
+        standalone.apply_batch(updates)
+        for hub in service.hubs:
+            for v in range(10):
+                assert service.hub_index.contribution(v, hub) == pytest.approx(
+                    standalone.contribution(v, hub), abs=2 * NUMPY_CONFIG.epsilon
+                )
+        assert service.rank_for_hub(service.hubs[0], 3)
+        assert service.hub_scores(0)
+
+    def test_hub_accessors_raise_without_hub_tier(self, rng):
+        service = _service(random_graph(rng))
+        with pytest.raises(ConfigError):
+            service.hub_scores(0)
+        with pytest.raises(ConfigError):
+            service.rank_for_hub(0, 3)
+
+    def test_metrics_sample_buffers_are_bounded(self, rng):
+        service = _service(random_graph(rng), cache_capacity=4)
+        metrics = service.metrics()
+        metrics.MAX_SAMPLES = 10  # shadow the class attribute for the test
+        service.query(0)
+        for _ in range(30):
+            service.query(0)
+        assert len(metrics.staleness_samples) <= 10
+        assert len(metrics.query_seconds) <= 10
+        assert metrics.queries == 31  # lifetime counter is untrimmed
+
+    def test_metrics_staleness_percentiles(self, rng):
+        service = _service(random_graph(rng), cache_capacity=4)
+        service.query(0)
+        service.ingest(insertions([(0, 3)]))
+        service.query(0)
+        metrics = service.metrics()
+        assert metrics.queries == 2
+        assert metrics.staleness_percentile(100) >= 1
+        assert "staleness" in metrics.describe()
+
+
+# ---------------------------------------------------------------------- #
+# ServeConfig validation
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cache_capacity": 0},
+        {"admission_batch": 0},
+        {"refresh": "lazy"},
+        {"num_hubs": -1},
+        {"top_k": 0},
+    ],
+)
+def test_serve_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigError):
+        ServeConfig(**kwargs)
+
+
+def test_serve_config_with_replaces_fields():
+    cfg = ServeConfig().with_(cache_capacity=128, refresh=RefreshPolicy.EAGER)
+    assert cfg.cache_capacity == 128
+    assert cfg.refresh is RefreshPolicy.EAGER
+
+
+# ---------------------------------------------------------------------- #
+# shared-snapshot hooks grown for the serving layer
+# ---------------------------------------------------------------------- #
+
+
+def test_sliding_window_snapshot_matches_digraph_rebuild(rng):
+    edges = rng.integers(0, 25, size=(300, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    window = SlidingWindow(edges, batch_size=8)
+    graph = DynamicDiGraph(map(tuple, window.initial_edges.tolist()))
+    for _ in range(3):
+        for update in window.slide().updates:
+            graph.apply(update)
+    hook = window.snapshot(capacity=graph.capacity)
+    rebuilt = CSRGraph.from_digraph(graph)
+    assert hook.num_edges == rebuilt.num_edges
+    np.testing.assert_array_equal(hook.dout, rebuilt.dout)
+    for v in range(graph.capacity):
+        assert sorted(hook.in_neighbors(v)) == sorted(rebuilt.in_neighbors(v))
+
+
+def test_tracker_apply_batch_accepts_external_snapshot(rng):
+    graph = random_graph(rng)
+    with_hook = DynamicPPRTracker(graph.copy(), 0, NUMPY_CONFIG)
+    without = DynamicPPRTracker(graph.copy(), 0, NUMPY_CONFIG)
+    updates = insertions([(0, 6), (6, 12)])
+    plain = without.apply_batch(updates)
+    snapshot_graph = graph.copy()
+    snapshot_graph.apply_batch(updates)
+    hooked = with_hook.apply_batch(
+        updates, snapshot=CSRGraph.from_digraph(snapshot_graph)
+    )
+    assert with_hook.state.allclose(without.state, atol=1e-12)
+    assert hooked.push.pushes == plain.push.pushes
+
+
+def test_multi_source_tracker_top_k_and_snapshot(rng):
+    graph = random_graph(rng)
+    tracker = MultiSourceTracker(graph, [0, 1], NUMPY_CONFIG)
+    updates = insertions([(1, 8), (8, 0)])
+    snapshot_graph = graph.copy()
+    snapshot_graph.apply_batch(updates)
+    tracker.apply_batch(updates, snapshot=CSRGraph.from_digraph(snapshot_graph))
+    top = tracker.top_k(0, 3)
+    assert len(top) == 3
+    assert top[0][0] == 0  # the source dominates its own PPR vector
