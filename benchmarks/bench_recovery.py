@@ -1,0 +1,63 @@
+"""Durable store — crash recovery time vs from-scratch rebuild.
+
+Regenerates the recovery table (the Fig-5 youtube sliding-window workload
+with 32 warm sources, persisted with checkpoint-interval 10, killed after
+12 slides) and asserts the store's acceptance bar: recovering from
+checkpoint + WAL tail is >= 5x faster than rebuilding the same state from
+the raw stream, with recovered top-k answers bit-for-bit equal to the
+rebuilt (uninterrupted) run's.
+
+Run with ``PYTHONPATH=src python -m pytest --import-mode=importlib
+benchmarks/bench_recovery.py -q``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.bench.recovery import recovery_benchmark
+
+from .conftest import RESULTS_DIR
+
+
+@pytest.fixture(scope="module")
+def recovery_result():
+    with tempfile.TemporaryDirectory(prefix="ppr-store-") as root:
+        yield recovery_benchmark(
+            "youtube",
+            root,
+            num_slides=12,
+            num_sources=32,
+            checkpoint_interval=10,
+        )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def recovery_table(recovery_result):
+    table = recovery_result.table()
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "recovery.txt").write_text(table + "\n")
+
+
+def test_recovery_speedup_over_rebuild(recovery_result):
+    """The acceptance bar: checkpoint+WAL beats full rebuild >= 5x."""
+    assert recovery_result.speedup >= 5.0, (
+        f"recovered in {recovery_result.recover_seconds * 1e3:.1f} ms vs rebuild"
+        f" {recovery_result.rebuild_seconds * 1e3:.1f} ms"
+        f" — only {recovery_result.speedup:.1f}x"
+    )
+
+
+def test_recovered_topk_bit_exact(recovery_result):
+    assert recovery_result.topk_matched
+
+
+def test_recovery_replayed_only_the_tail(recovery_result):
+    """Replay length is bounded by the checkpoint interval."""
+    assert (
+        recovery_result.replayed_batches
+        <= recovery_result.checkpoint_interval
+    )

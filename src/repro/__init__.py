@@ -22,7 +22,16 @@ Quickstart
 True
 """
 
-from .config import Backend, Phase, PPRConfig, PushVariant, RefreshPolicy, ServeConfig
+from .config import (
+    Backend,
+    FsyncPolicy,
+    Phase,
+    PPRConfig,
+    PushVariant,
+    RefreshPolicy,
+    ServeConfig,
+    StoreConfig,
+)
 from .core.analysis import (
     parallel_bound_directed,
     parallel_bound_undirected,
@@ -52,6 +61,7 @@ from .errors import (
     EdgeError,
     GraphError,
     ReproError,
+    StoreError,
     StreamError,
     VertexError,
 )
@@ -79,6 +89,7 @@ from .serve import (
     ServiceMetrics,
     SourceCache,
 )
+from .store import RecoveryResult, StateStore, WriteAheadLog, recover_service
 from .parallel import (
     CPUCostModel,
     GPUCostModel,
@@ -108,6 +119,7 @@ __all__ = [
     "EdgeOp",
     "EdgeStream",
     "EdgeUpdate",
+    "FsyncPolicy",
     "GPUCostModel",
     "GraphError",
     "IterationRecord",
@@ -121,6 +133,7 @@ __all__ = [
     "Phase",
     "PushStats",
     "PushVariant",
+    "RecoveryResult",
     "RefreshPolicy",
     "ReproError",
     "ResidentSource",
@@ -129,9 +142,13 @@ __all__ = [
     "ServiceMetrics",
     "SlidingWindow",
     "SourceCache",
+    "StateStore",
+    "StoreConfig",
+    "StoreError",
     "StreamError",
     "VertexError",
     "WindowSlide",
+    "WriteAheadLog",
     "certified_comparison",
     "certified_top_k",
     "check_invariant",
@@ -153,6 +170,7 @@ __all__ = [
     "profile_cpu",
     "profile_gpu",
     "random_permutation_stream",
+    "recover_service",
     "residual_change_bound",
     "residual_decay",
     "restore_invariant",

@@ -14,6 +14,15 @@ Commands
 ``serve-bench <dataset> [--sources N] [--slides N] [--queries N]``
     Benchmark the multi-query serving layer (:mod:`repro.serve`) against
     per-query from-scratch recomputation; see ``docs/serving.md``.
+``store-checkpoint <dataset> --root DIR [--slides N] [--sources N]``
+    Stream a workload through a *persisted* service (WAL + checkpoints
+    under ``--root``) and record its served top-k answers for later
+    verification; see ``docs/persistence.md``.
+``store-inspect --root DIR``
+    List a store's checkpoints and WAL segments (torn tails included).
+``store-recover --root DIR [--verify]``
+    Recover a service from a store and serve from it; ``--verify`` checks
+    the answers bit-for-bit against the ones ``store-checkpoint`` served.
 """
 
 from __future__ import annotations
@@ -121,6 +130,147 @@ def _cmd_track(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Name of the served-answer transcript ``store-checkpoint`` leaves next
+#: to the store, consumed by ``store-recover --verify``.
+TOPK_TRANSCRIPT = "served_topk.txt"
+
+
+def _topk_lines(service, sources: Sequence[int], k: int) -> list[str]:
+    """Served certified-top-k answers as exact, diffable text lines.
+
+    Floats are rendered with ``repr`` (shortest round-trip form), so two
+    services produce identical lines iff their answers are bit-identical.
+    """
+    lines = []
+    for s in sources:
+        for rank, entry in enumerate(service.query(int(s), k).entries):
+            lines.append(f"{s} {rank} {entry.vertex} {entry.estimate!r}")
+    return lines
+
+
+def _cmd_store_checkpoint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench.recovery import persisted_workload_run
+
+    service, mix = persisted_workload_run(
+        args.dataset,
+        args.root,
+        num_slides=args.slides,
+        num_sources=args.sources,
+        checkpoint_interval=args.interval,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    # Deliberately no final checkpoint: with slides % interval != 0 the WAL
+    # keeps a tail past the last checkpoint, so a recover from this store
+    # exercises the full checkpoint + replay path.
+    store = service.store
+    verify = mix[: min(5, len(mix))]
+    lines = _topk_lines(service, verify, args.k)
+    transcript = Path(args.root) / TOPK_TRANSCRIPT
+    transcript.write_text("\n".join(lines) + "\n")
+    status = store.status()
+    print(f"persisted {args.dataset}: version {service.graph_version},"
+          f" {len(service.resident_sources())} resident sources,"
+          f" {len(service.hubs)} hubs")
+    print(f"checkpoints: {[c.version for c in status.checkpoints]}"
+          f" | wal records: {status.wal_records}"
+          f" | replay on recover: {status.replay_batches}")
+    print(f"served top-{args.k} transcript: {transcript}"
+          f" ({len(verify)} sources)")
+    store.close()
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .store.checkpoint import checkpoint_version, list_checkpoints
+    from .store.wal import SEGMENT_PREFIX, SEGMENT_SUFFIX, scan_segment
+
+    root = Path(args.root)
+    if not root.exists():
+        print(f"store directory not found: {root}", file=sys.stderr)
+        return 1
+    checkpoint_rows = [
+        [p.name, str(checkpoint_version(p)), f"{p.stat().st_size:,}"]
+        for p in list_checkpoints(root / "checkpoints")
+    ]
+    print(
+        format_table(
+            ["checkpoint", "version", "bytes"],
+            checkpoint_rows or [["(none)", "-", "-"]],
+            title=f"Checkpoints — {root}",
+        )
+    )
+    print()
+    wal_dir = root / "wal"
+    segment_rows = []
+    for path in sorted(wal_dir.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")):
+        scan = scan_segment(path)
+        seqs = [r.seq for r in scan.records]
+        span = f"{seqs[0]}..{seqs[-1]}" if seqs else "-"
+        segment_rows.append(
+            [
+                path.name,
+                str(len(scan.records)),
+                span,
+                "clean" if scan.clean else f"TORN ({scan.torn_bytes} bytes)",
+            ]
+        )
+    print(
+        format_table(
+            ["segment", "records", "seqs", "tail"],
+            segment_rows or [["(none)", "-", "-", "-"]],
+            title="WAL segments",
+        )
+    )
+    return 0
+
+
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .errors import StoreError
+    from .store.recovery import recover
+
+    try:
+        result = recover(args.root, attach=False)
+    except StoreError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    service = result.service
+    print(result.describe())
+    print(f"resident sources: {service.resident_sources()}")
+    transcript = Path(args.root) / TOPK_TRANSCRIPT
+    if not transcript.exists():
+        sources = service.resident_sources()[-5:]
+        for line in _topk_lines(service, sources, args.k):
+            print(line)
+        if args.verify:
+            print(f"nothing to verify against ({transcript} missing)", file=sys.stderr)
+            return 1
+        return 0
+    recorded = transcript.read_text().splitlines()
+    sources = list(dict.fromkeys(int(line.split()[0]) for line in recorded))
+    # Serve at the transcript's own depth — a --k differing from the one
+    # store-checkpoint used must not masquerade as an answer mismatch.
+    k = max(int(line.split()[1]) for line in recorded) + 1
+    served = _topk_lines(service, sources, k)
+    for line in served:
+        print(line)
+    if args.verify:
+        if served == recorded:
+            print(f"verify: OK — {len(served)} answer rows bit-identical")
+            return 0
+        diffs = sum(1 for a, b in zip(served, recorded) if a != b)
+        diffs += abs(len(served) - len(recorded))
+        print(f"verify: MISMATCH — {diffs} row(s) differ", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -177,6 +327,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=1e-5)
     serve.add_argument("--workers", type=int, default=40)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    ckpt = sub.add_parser(
+        "store-checkpoint",
+        help="stream a workload through a persisted (WAL+checkpoint) service",
+    )
+    ckpt.add_argument("dataset", choices=sorted(DATASETS))
+    ckpt.add_argument("--root", required=True, help="store directory")
+    ckpt.add_argument("--slides", type=int, default=4)
+    ckpt.add_argument("--sources", type=int, default=16)
+    ckpt.add_argument("--interval", type=int, default=3, help="checkpoint every N batches")
+    ckpt.add_argument("--k", type=int, default=5)
+    ckpt.add_argument("--epsilon", type=float, default=1e-5)
+    ckpt.add_argument("--workers", type=int, default=40)
+    ckpt.set_defaults(func=_cmd_store_checkpoint)
+
+    inspect = sub.add_parser(
+        "store-inspect", help="list a store's checkpoints and WAL segments"
+    )
+    inspect.add_argument("--root", required=True, help="store directory")
+    inspect.set_defaults(func=_cmd_store_inspect)
+
+    recover_p = sub.add_parser(
+        "store-recover", help="recover a service from a store and serve from it"
+    )
+    recover_p.add_argument("--root", required=True, help="store directory")
+    recover_p.add_argument(
+        "--k",
+        type=int,
+        default=5,
+        help="ranking depth when no transcript exists (else the transcript's)",
+    )
+    recover_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="compare answers bit-for-bit against the store-checkpoint transcript",
+    )
+    recover_p.set_defaults(func=_cmd_store_recover)
     return parser
 
 

@@ -85,6 +85,71 @@ class Phase(enum.Enum):
         return residual < -epsilon
 
 
+class FsyncPolicy(enum.Enum):
+    """When the write-ahead log forces its bytes to stable storage.
+
+    ``ALWAYS``
+        ``fsync`` after every appended batch. A crash loses at most the
+        batch being written (detected and truncated as a torn tail).
+    ``ROTATE``
+        ``fsync`` only when a segment is rotated out (every checkpoint)
+        or the log is closed. A crash may lose the tail of the current
+        segment — but never a batch already covered by a checkpoint.
+    ``NEVER``
+        Leave flushing to the OS page cache. Fastest; durability is only
+        as good as the last checkpoint plus whatever the kernel wrote.
+    """
+
+    ALWAYS = "always"
+    ROTATE = "rotate"
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Configuration of the durable state store (:mod:`repro.store`).
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (``wal/`` and ``checkpoints/`` live
+        under it; created on first use).
+    checkpoint_interval:
+        Write a checkpoint every this many ingested batches. The WAL tail
+        replayed at recovery is at most this many batches long.
+    retain_checkpoints:
+        How many recent checkpoints to keep; older ones are pruned after
+        each new checkpoint (at least 1).
+    fsync:
+        WAL flush discipline (see :class:`FsyncPolicy`).
+
+    See ``docs/persistence.md`` for formats and the recovery walkthrough.
+    """
+
+    root: str = "ppr-store"
+    checkpoint_interval: int = 10
+    retain_checkpoints: int = 2
+    fsync: FsyncPolicy = FsyncPolicy.ALWAYS
+
+    def __post_init__(self) -> None:
+        if not self.root:
+            raise ConfigError("root must be a non-empty path")
+        if self.checkpoint_interval < 1:
+            raise ConfigError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.retain_checkpoints < 1:
+            raise ConfigError(
+                f"retain_checkpoints must be >= 1, got {self.retain_checkpoints}"
+            )
+        if not isinstance(self.fsync, FsyncPolicy):
+            raise ConfigError(f"fsync must be a FsyncPolicy, got {self.fsync!r}")
+
+    def with_(self, **changes: Any) -> "StoreConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 class RefreshPolicy(enum.Enum):
     """When the serving layer re-converges resident PPR states.
 
@@ -124,6 +189,11 @@ class ServeConfig:
         tier maintained alongside the query cache; ``0`` disables it.
     top_k:
         Default ranking depth returned by queries.
+    store:
+        Durable-state-store configuration (:class:`StoreConfig`); ``None``
+        keeps the service purely in-memory. When set, the service attaches
+        a :class:`repro.store.StateStore` at construction and persists
+        every ingested batch (see ``docs/persistence.md``).
 
     See ``docs/serving.md`` for the serving-layer design rationale.
     """
@@ -133,6 +203,7 @@ class ServeConfig:
     refresh: RefreshPolicy = RefreshPolicy.LAZY
     num_hubs: int = 0
     top_k: int = 10
+    store: "StoreConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -149,6 +220,8 @@ class ServeConfig:
             raise ConfigError(f"num_hubs must be >= 0, got {self.num_hubs}")
         if self.top_k < 1:
             raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if self.store is not None and not isinstance(self.store, StoreConfig):
+            raise ConfigError(f"store must be a StoreConfig, got {self.store!r}")
 
     def with_(self, **changes: Any) -> "ServeConfig":
         """Return a copy with the given fields replaced."""

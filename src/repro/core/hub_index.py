@@ -176,6 +176,61 @@ class DynamicHubIndex:
             touched.append(update.u)
         return self.reconverge(touched, snapshot=snapshot)
 
+    # ------------------------------------------------------------------ #
+    # persistence codec
+    # ------------------------------------------------------------------ #
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialize every hub vector to plain arrays (bit-exact).
+
+        Per-hub ``p``/``r`` arrays are concatenated with a ``lengths``
+        array (states may sit at different capacities), hubs in index
+        order. Rebuild with :meth:`from_arrays` against the same graph.
+        """
+        states = list(self._states.values())
+        return {
+            "hubs": np.fromiter(self._states, dtype=np.int64, count=len(states)),
+            "lengths": np.array([len(s.p) for s in states], dtype=np.int64),
+            "p": np.concatenate([s.p for s in states]) if states else np.empty(0),
+            "r": np.concatenate([s.r for s in states]) if states else np.empty(0),
+            "batches": np.int64(self.batches_processed),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: DynamicDiGraph,
+        arrays: dict[str, np.ndarray],
+        config: PPRConfig | None = None,
+    ) -> "DynamicHubIndex":
+        """Rebuild an index serialized by :meth:`to_arrays`.
+
+        The hub vectors are installed as-is — no initialization pushes
+        run — so the rebuilt index is bit-identical to the serialized one.
+        ``graph`` must be the graph version the vectors were saved at.
+        """
+        index = cls.__new__(cls)
+        index.config = config or PPRConfig()
+        index.graph = graph
+        index._states = {}
+        offset = 0
+        for hub, length in zip(
+            arrays["hubs"].tolist(), arrays["lengths"].tolist()
+        ):
+            state = PPRState.from_arrays(
+                {
+                    "source": np.int64(hub),
+                    "p": arrays["p"][offset : offset + length],
+                    "r": arrays["r"][offset : offset + length],
+                }
+            )
+            offset += length
+            index._states[hub] = state
+        if not index._states:
+            raise ConfigError("at least one hub is required")
+        index.batches_processed = int(arrays["batches"])
+        return index
+
     def total_index_entries(self) -> int:
         """Nonzero estimate entries across all hub vectors (index size)."""
         return int(sum(np.count_nonzero(state.p) for state in self._states.values()))

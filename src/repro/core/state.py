@@ -99,6 +99,36 @@ class PPRState:
         return [(int(v), float(self.p[v])) for v in idx]
 
     # ------------------------------------------------------------------ #
+    # persistence codec
+    # ------------------------------------------------------------------ #
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialize to plain arrays (float64 bit patterns preserved).
+
+        The arrays are returned at their *exact* current length — capacity
+        padding included — so a restored state continues the same growth
+        trajectory (array length feeds tie-breaking in ``argpartition``
+        and the doubling schedule of :meth:`ensure_capacity`).
+        """
+        return {
+            "source": np.int64(self.source),
+            "p": self.p.copy(),
+            "r": self.r.copy(),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PPRState":
+        """Rebuild a state serialized by :meth:`to_arrays` bit-exactly."""
+        p = np.asarray(arrays["p"], dtype=np.float64)
+        r = np.asarray(arrays["r"], dtype=np.float64)
+        if p.shape != r.shape:
+            raise ConfigError(f"p/r shape mismatch: {p.shape} vs {r.shape}")
+        state = cls(int(arrays["source"]), len(p))
+        state.p[:] = p
+        state.r[:] = r
+        return state
+
+    # ------------------------------------------------------------------ #
     # copies / comparison
     # ------------------------------------------------------------------ #
 

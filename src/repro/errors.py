@@ -61,3 +61,7 @@ class ConvergenceError(ReproError):
 
 class BackendError(ReproError):
     """A push/execution backend was asked to do something it cannot."""
+
+
+class StoreError(ReproError):
+    """The durable state store hit corrupt, missing, or mismatched data."""

@@ -231,6 +231,29 @@ class DynamicDiGraph:
         return cls(edges)
 
     @classmethod
+    def from_edge_array(cls, edges: np.ndarray) -> "DynamicDiGraph":
+        """Build a graph from an ``(m, 2)`` integer edge array.
+
+        Parallel edges collapse to multiplicities *before* insertion
+        (one ``np.unique`` over the rows), so construction loops over
+        distinct edges only — much faster than per-row ``add_edge`` for
+        multigraph-heavy arrays, and without round-tripping the array
+        through Python lists. Vertex ids follow the sorted unique-edge
+        order, not the row order; use :meth:`from_edges` when insertion
+        order must mirror the input sequence.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise EdgeError(None, None, f"edges must have shape (m, 2), got {edges.shape}")
+        g = cls()
+        if not len(edges):
+            return g
+        unique, counts = np.unique(edges, axis=0, return_counts=True)
+        for (u, v), count in zip(unique.tolist(), counts.tolist()):
+            g.add_edge(u, v, count)
+        return g
+
+    @classmethod
     def from_undirected_edges(cls, edges: Iterable[tuple[int, int]]) -> "DynamicDiGraph":
         """Build a graph with both directions for each input pair."""
         g = cls()
@@ -258,6 +281,47 @@ class DynamicDiGraph:
             arr[i, 1] = v
             i += 1
         return arr
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialize the graph structure *order-exactly* to plain arrays.
+
+        Beyond the edge multiset, the arrays record the iteration order of
+        every adjacency dict (``vertices`` in ``_out`` key order, the edge
+        triples in nested dict order). :meth:`from_arrays` rebuilds a graph
+        whose dict iteration matches bit-for-bit — which makes CSR
+        snapshots (and therefore float summation order inside the
+        vectorized push) identical across a save/load cycle. The durable
+        checkpoint format (:mod:`repro.store`) depends on this.
+        """
+        vertices = np.fromiter(self._out, dtype=np.int64, count=len(self._out))
+        out_rows = [
+            (u, v, c) for u, nbrs in self._out.items() for v, c in nbrs.items()
+        ]
+        in_rows = [
+            (v, u, c) for v, nbrs in self._in.items() for u, c in nbrs.items()
+        ]
+        return {
+            "vertices": vertices,
+            "out_edges": np.array(out_rows, dtype=np.int64).reshape(-1, 3),
+            "in_edges": np.array(in_rows, dtype=np.int64).reshape(-1, 3),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "DynamicDiGraph":
+        """Rebuild a graph serialized by :meth:`to_arrays` (order-exact)."""
+        g = cls()
+        for u in arrays["vertices"].tolist():
+            g.add_vertex(u)
+        total = 0
+        for u, v, count in arrays["out_edges"].tolist():
+            g._out[u][v] = count
+            g._dout[u] += count
+            total += count
+        for v, u, count in arrays["in_edges"].tolist():
+            g._in[v][u] = count
+            g._din[v] += count
+        g._num_edges = total
+        return g
 
     def to_networkx(self):  # pragma: no cover - thin convenience wrapper
         """Convert to a ``networkx.MultiDiGraph`` (requires networkx)."""

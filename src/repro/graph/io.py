@@ -8,6 +8,7 @@ losslessly and fast.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -18,24 +19,54 @@ from .digraph import DynamicDiGraph
 PathLike = str | os.PathLike
 
 
-def save_edge_list(edges: np.ndarray, path: PathLike, *, comment: str | None = None) -> None:
-    """Write an ``(m, 2)`` edge array as a SNAP-style text edge list."""
+def save_edge_list(
+    edges: np.ndarray,
+    path: PathLike,
+    *,
+    num_nodes: int | None = None,
+    comment: str | None = None,
+) -> None:
+    """Write an ``(m, 2)`` edge array as a SNAP-style text edge list.
+
+    ``num_nodes`` sets the ``# Nodes:`` header explicitly — pass the
+    graph's vertex count when it exceeds ``edges.max() + 1`` (trailing
+    isolated vertices never appear in the edge rows, so the inferred
+    count undercounts them).
+    """
     edges = np.asarray(edges, dtype=np.int64)
     if edges.ndim != 2 or edges.shape[1] != 2:
         raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+    if num_nodes is None:
+        num_nodes = int(edges.max()) + 1 if edges.size else 0
     with open(path, "w", encoding="utf-8") as fh:
         if comment:
             for line in comment.splitlines():
                 fh.write(f"# {line}\n")
-        fh.write(f"# Nodes: {int(edges.max()) + 1 if edges.size else 0} Edges: {len(edges)}\n")
+        fh.write(f"# Nodes: {num_nodes} Edges: {len(edges)}\n")
         np.savetxt(fh, edges, fmt="%d")
 
 
 def load_edge_list(path: PathLike) -> np.ndarray:
-    """Read a SNAP-style text edge list into an ``(m, 2)`` int64 array."""
+    """Read a SNAP-style text edge list into an ``(m, 2)`` int64 array.
+
+    The fast path hands the whole file to ``np.loadtxt`` (which skips
+    ``#``/``%`` comment lines and blank lines in C); files it cannot
+    parse — ragged rows, stray tokens — fall back to the per-line Python
+    loop, which either succeeds or pinpoints the offending line.
+    """
     path = Path(path)
     if not path.exists():
         raise GraphError(f"edge list not found: {path}")
+    try:
+        with warnings.catch_warnings():
+            # An all-comment file is a valid empty edge list, not a warning.
+            warnings.simplefilter("ignore", UserWarning)
+            edges = np.loadtxt(
+                path, dtype=np.int64, comments=("#", "%"), usecols=(0, 1), ndmin=2
+            )
+        return edges.reshape(-1, 2)
+    except (ValueError, IndexError):
+        pass  # ragged or malformed: re-parse line by line for a real error
     rows: list[tuple[int, int]] = []
     with open(path, encoding="utf-8") as fh:
         for lineno, raw in enumerate(fh, start=1):
@@ -72,4 +103,4 @@ def load_graph(path: PathLike) -> DynamicDiGraph:
     """Load a graph from ``.npz`` or text edge list based on extension."""
     path = Path(path)
     edges = load_npz(path) if path.suffix == ".npz" else load_edge_list(path)
-    return DynamicDiGraph.from_edges(map(tuple, edges.tolist()))
+    return DynamicDiGraph.from_edge_array(edges)

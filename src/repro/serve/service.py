@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,6 +51,9 @@ from ..graph.stream import WindowSlide
 from ..graph.update import EdgeUpdate
 from .cache import ResidentSource, SourceCache
 from .pool import AdmissionPool
+
+if TYPE_CHECKING:  # repro.store imports repro.serve; keep runtime one-way
+    from ..store.store import StateStore
 
 
 @dataclass(frozen=True)
@@ -160,10 +164,17 @@ class PPRService:
         Defaults to the vectorized backend — the serving layer exists to
         batch work, which is what that backend is for.
     serve:
-        Serving-layer knobs (:class:`repro.config.ServeConfig`).
+        Serving-layer knobs (:class:`repro.config.ServeConfig`). When
+        ``serve.store`` is set, a :class:`repro.store.StateStore` is
+        attached at construction (writing a baseline checkpoint) and every
+        ingested batch is persisted — see ``docs/persistence.md``.
     hubs:
         Explicit hub vertex ids for the always-resident hub tier;
         overrides ``serve.num_hubs`` auto-selection.
+    store:
+        An explicit :class:`repro.store.StateStore` to attach (overrides
+        ``serve.store``); ``None`` with no ``serve.store`` keeps the
+        service purely in-memory.
 
     Examples
     --------
@@ -184,6 +195,7 @@ class PPRService:
         serve: ServeConfig | None = None,
         *,
         hubs: Sequence[int] | None = None,
+        store: "StateStore | None" = None,
     ) -> None:
         self.config = config or PPRConfig(backend=Backend.NUMPY)
         self.serve = serve or ServeConfig()
@@ -202,6 +214,69 @@ class PPRService:
         self._csr: CSRGraph | None = None
         self._csr_version = -1
         self._metrics = ServiceMetrics()
+        self.store: "StateStore | None" = None
+        if store is None and self.serve.store is not None:
+            from ..store.store import StateStore  # runtime import: no cycle
+
+            store = StateStore.from_config(self.serve.store)
+        if store is not None:
+            self.attach_store(store)
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+
+    def attach_store(self, store: "StateStore", *, checkpoint: bool = True) -> None:
+        """Persist every future ingest through ``store``.
+
+        By default a baseline checkpoint of the *current* state is written
+        immediately, so the store can always recover without replaying
+        history it never saw (the WAL only covers post-attach batches).
+        """
+        self.store = store
+        if checkpoint:
+            store.checkpoint(self)
+
+    def detach_store(self) -> "StateStore | None":
+        """Stop persisting; returns the previously attached store."""
+        store, self.store = self.store, None
+        return store
+
+    @classmethod
+    def restore(
+        cls,
+        *,
+        graph: DynamicDiGraph,
+        config: PPRConfig,
+        serve: ServeConfig,
+        residents: Sequence[ResidentSource],
+        hub_index: DynamicHubIndex | None,
+        graph_version: int,
+        updates_ingested: int,
+        batches_ingested: int,
+    ) -> "PPRService":
+        """Rebuild a service from checkpointed state, running no pushes.
+
+        The restoration path of :mod:`repro.store`: ``residents`` are
+        installed as-is in the given (LRU→MRU) order, ``hub_index`` is
+        adopted without re-convergence, and the version/staleness
+        counters resume where the checkpoint left them. Lifetime query
+        metrics (hits, admissions, …) restart at zero — they are
+        observability, not state.
+        """
+        serve_inert = serve.with_(num_hubs=0, store=None)
+        service = cls(graph, config, serve_inert)
+        service.serve = serve
+        service.hub_index = hub_index
+        service.graph_version = graph_version
+        service._metrics.updates_ingested = updates_ingested
+        service._metrics.batches_ingested = batches_ingested
+        for entry in residents:
+            service.cache.put(entry)
+        service.cache.hits = 0
+        service.cache.misses = 0
+        service.cache.evictions = 0
+        return service
 
     # ------------------------------------------------------------------ #
     # snapshots
@@ -254,9 +329,19 @@ class PPRService:
 
         ``snapshot`` may supply a pre-built CSR view of the graph *after*
         this batch (see :meth:`set_snapshot`).
+
+        With a store attached, the batch is appended to the write-ahead
+        log as soon as it has fully applied — before it is acknowledged
+        to the caller and before any checkpoint can include it — so a
+        batch the graph *rejects* (e.g. deleting an absent edge) never
+        poisons the log, while every acknowledged batch is durable. A
+        checkpoint may be written after the ingest completes (every
+        ``StoreConfig.checkpoint_interval`` batches).
         """
         if isinstance(updates, WindowSlide):
             updates = list(updates.updates)
+        else:
+            updates = list(updates)
         touched: list[int] = []
         residents = self.cache.entries()
         for update in updates:
@@ -269,6 +354,8 @@ class PPRService:
         touched_set = set(touched)
         for entry in residents:
             entry.pending_seeds.update(touched_set)
+        if self.store is not None:
+            self.store.log_batch(self.graph_version + 1, updates)
         self.graph_version += 1
         self._metrics.updates_ingested += len(updates)
         self._metrics.batches_ingested += 1
@@ -283,6 +370,8 @@ class PPRService:
         if self.serve.refresh is RefreshPolicy.EAGER:
             for entry in residents:
                 traces[entry.source] = self._refresh(entry)
+        if self.store is not None:
+            self.store.maybe_checkpoint(self)
         return traces
 
     def _refresh(self, entry: ResidentSource) -> PushStats:

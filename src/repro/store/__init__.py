@@ -1,0 +1,47 @@
+"""Durable state for the serving layer: WAL, checkpoints, crash recovery.
+
+The maintenance machinery of this library exists to keep PPR state fresh
+so it never has to be recomputed — this package makes that state survive
+a process death, with the classic stream-system discipline:
+
+* :mod:`~repro.store.wal` — a CRC-framed append-only log of every
+  ingested update batch (torn tails detected and truncated);
+* :mod:`~repro.store.checkpoint` — versioned ``.npz`` checkpoints of the
+  graph, every resident source state, the hub index, and serve metadata;
+* :class:`~repro.store.store.StateStore` — the coordinator: log before
+  apply, checkpoint every N batches, compact what the checkpoint covers;
+* :mod:`~repro.store.recovery` — ``recover_service()``: newest valid
+  checkpoint + WAL-tail replay through the normal ingest path, yielding
+  a service whose answers are bit-for-bit those of an uninterrupted run.
+
+Enable it with ``ServeConfig(store=StoreConfig(root="..."))`` or attach a
+:class:`StateStore` explicitly; see ``docs/persistence.md``.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    latest_checkpoint,
+    read_checkpoint,
+    restore_service,
+    write_checkpoint,
+)
+from .recovery import RecoveryResult, recover, recover_service
+from .store import StateStore, StoreStatus
+from .wal import WalRecord, WriteAheadLog, scan_segment, truncate_torn_tail
+
+__all__ = [
+    "Checkpoint",
+    "RecoveryResult",
+    "StateStore",
+    "StoreStatus",
+    "WalRecord",
+    "WriteAheadLog",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "recover",
+    "recover_service",
+    "restore_service",
+    "scan_segment",
+    "truncate_torn_tail",
+    "write_checkpoint",
+]

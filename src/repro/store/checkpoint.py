@@ -1,0 +1,348 @@
+"""Versioned binary checkpoints of a running :class:`~repro.serve.PPRService`.
+
+A checkpoint is one compressed ``.npz`` (the same numpy container
+``graph/io.py`` uses for edge arrays) holding everything the serving
+layer maintains at a graph version:
+
+* the dynamic graph, serialized *order-exactly*
+  (:meth:`~repro.graph.digraph.DynamicDiGraph.to_arrays`) so rebuilt CSR
+  snapshots — and therefore float summation order inside the vectorized
+  push — are bit-identical;
+* every resident :class:`~repro.core.state.PPRState` with its
+  bookkeeping (convergence version, staleness counter, pending lazy-push
+  seeds, query count) in LRU→MRU order;
+* the hub index vectors (:meth:`~repro.core.hub_index.DynamicHubIndex.to_arrays`);
+* serve metadata: graph version, ingest counters, and a fingerprint of
+  the :class:`~repro.config.PPRConfig`/:class:`~repro.config.ServeConfig`
+  pair (recovery refuses to resume under a different configuration —
+  ε or α drift would silently break the freshness contract).
+
+Files are named ``checkpoint-<version>.npz`` and written atomically
+(tmp file + fsync + rename), so a crash mid-checkpoint leaves the
+previous checkpoint untouched and the torn file unreadable-but-ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..config import PPRConfig, ServeConfig, Backend, PushVariant, RefreshPolicy
+from ..core.hub_index import DynamicHubIndex
+from ..core.state import PPRState
+from ..errors import StoreError
+from ..graph.digraph import DynamicDiGraph
+from ..serve.cache import ResidentSource
+from ..serve.service import PPRService
+
+PathLike = str | os.PathLike
+
+#: Bumped when the npz layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+_NAME_RE = re.compile(r"^checkpoint-(\d{12})\.npz$")
+
+
+def checkpoint_name(version: int) -> str:
+    return f"checkpoint-{version:012d}.npz"
+
+
+def checkpoint_version(path: PathLike) -> int | None:
+    """Graph version encoded in a checkpoint filename (None if not one)."""
+    match = _NAME_RE.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+# ---------------------------------------------------------------------- #
+# config (de)serialization + fingerprint
+# ---------------------------------------------------------------------- #
+
+
+def _ppr_config_json(config: PPRConfig) -> str:
+    return json.dumps(
+        {
+            "alpha": config.alpha,
+            "epsilon": config.epsilon,
+            "variant": config.variant.value,
+            "backend": config.backend.value,
+            "workers": config.workers,
+            "max_iterations": config.max_iterations,
+        },
+        sort_keys=True,
+    )
+
+
+def _serve_config_json(serve: ServeConfig) -> str:
+    # The store config itself is deliberately not nested: a store can be
+    # moved/retuned without invalidating its own checkpoints.
+    return json.dumps(
+        {
+            "cache_capacity": serve.cache_capacity,
+            "admission_batch": serve.admission_batch,
+            "refresh": serve.refresh.value,
+            "num_hubs": serve.num_hubs,
+            "top_k": serve.top_k,
+        },
+        sort_keys=True,
+    )
+
+
+def _parse_ppr_config(payload: str) -> PPRConfig:
+    data = json.loads(payload)
+    data["variant"] = PushVariant(data["variant"])
+    data["backend"] = Backend(data["backend"])
+    return PPRConfig(**data)
+
+
+def _parse_serve_config(payload: str) -> ServeConfig:
+    data = json.loads(payload)
+    data["refresh"] = RefreshPolicy(data["refresh"])
+    return ServeConfig(**data)
+
+
+def config_fingerprint(config: PPRConfig, serve: ServeConfig) -> str:
+    """Stable digest of the configuration a checkpoint was taken under."""
+    blob = (_ppr_config_json(config) + _serve_config_json(serve)).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# writing
+# ---------------------------------------------------------------------- #
+
+
+def write_checkpoint(directory: PathLike, service: PPRService) -> Path:
+    """Write a checkpoint of ``service`` at its current graph version.
+
+    Returns the final path. The write is atomic: a temporary file is
+    fully written and fsynced before being renamed into place.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metrics = service.metrics()
+    arrays: dict[str, np.ndarray] = {
+        "format": np.int64(CHECKPOINT_FORMAT),
+        "graph_version": np.int64(service.graph_version),
+        "updates_ingested": np.int64(metrics.updates_ingested),
+        "batches_ingested": np.int64(metrics.batches_ingested),
+        "ppr_config": np.str_(_ppr_config_json(service.config)),
+        "serve_config": np.str_(_serve_config_json(service.serve)),
+        "fingerprint": np.str_(
+            config_fingerprint(service.config, service.serve)
+        ),
+    }
+    for key, value in service.graph.to_arrays().items():
+        arrays[f"graph_{key}"] = value
+
+    residents = service.cache.entries()  # LRU -> MRU
+    arrays["sources"] = np.array([e.source for e in residents], dtype=np.int64)
+    arrays["resident_meta"] = np.array(
+        [(e.version, e.updates_reflected, e.queries) for e in residents],
+        dtype=np.int64,
+    ).reshape(-1, 3)
+    arrays["resident_lengths"] = np.array(
+        [len(e.state.p) for e in residents], dtype=np.int64
+    )
+    arrays["resident_p"] = (
+        np.concatenate([e.state.p for e in residents]) if residents else np.empty(0)
+    )
+    arrays["resident_r"] = (
+        np.concatenate([e.state.r for e in residents]) if residents else np.empty(0)
+    )
+    pending = [np.array(sorted(e.pending_seeds), dtype=np.int64) for e in residents]
+    arrays["pending_lengths"] = np.array([len(p) for p in pending], dtype=np.int64)
+    arrays["pending"] = (
+        np.concatenate(pending) if pending else np.empty(0, dtype=np.int64)
+    )
+
+    arrays["has_hubs"] = np.int64(service.hub_index is not None)
+    if service.hub_index is not None:
+        for key, value in service.hub_index.to_arrays().items():
+            arrays[f"hub_{key}"] = value
+
+    final = directory / checkpoint_name(service.graph_version)
+    tmp = directory / (final.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+# ---------------------------------------------------------------------- #
+# reading
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class Checkpoint:
+    """One decoded checkpoint, ready to restore a service from."""
+
+    path: Path
+    version: int
+    updates_ingested: int
+    batches_ingested: int
+    config: PPRConfig
+    serve: ServeConfig
+    fingerprint: str
+    graph: DynamicDiGraph
+    residents: list[ResidentSource]
+    hub_arrays: dict[str, np.ndarray] | None
+
+    @property
+    def num_residents(self) -> int:
+        return len(self.residents)
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self.hub_arrays["hubs"]) if self.hub_arrays else 0
+
+
+def read_checkpoint(path: PathLike) -> Checkpoint:
+    """Load and validate one checkpoint file.
+
+    Raises :class:`StoreError` on any structural problem — unreadable
+    container, unknown format, missing keys, or a fingerprint that does
+    not match the embedded configuration (bit rot in the config strings).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StoreError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+    except Exception as exc:  # zip/CRC/format damage
+        raise StoreError(f"unreadable checkpoint {path.name}: {exc}") from exc
+    try:
+        fmt = int(arrays["format"])
+        if fmt != CHECKPOINT_FORMAT:
+            raise StoreError(
+                f"{path.name}: unsupported checkpoint format {fmt}"
+                f" (this build reads {CHECKPOINT_FORMAT})"
+            )
+        config = _parse_ppr_config(str(arrays["ppr_config"]))
+        serve = _parse_serve_config(str(arrays["serve_config"]))
+        fingerprint = str(arrays["fingerprint"])
+        if fingerprint != config_fingerprint(config, serve):
+            raise StoreError(f"{path.name}: configuration fingerprint mismatch")
+        graph = DynamicDiGraph.from_arrays(
+            {
+                "vertices": arrays["graph_vertices"],
+                "out_edges": arrays["graph_out_edges"],
+                "in_edges": arrays["graph_in_edges"],
+            }
+        )
+        residents: list[ResidentSource] = []
+        state_offset = 0
+        pending_offset = 0
+        for i, source in enumerate(arrays["sources"].tolist()):
+            length = int(arrays["resident_lengths"][i])
+            state = PPRState.from_arrays(
+                {
+                    "source": np.int64(source),
+                    "p": arrays["resident_p"][state_offset : state_offset + length],
+                    "r": arrays["resident_r"][state_offset : state_offset + length],
+                }
+            )
+            state_offset += length
+            n_pending = int(arrays["pending_lengths"][i])
+            seeds = set(
+                arrays["pending"][pending_offset : pending_offset + n_pending].tolist()
+            )
+            pending_offset += n_pending
+            version, reflected, queries = arrays["resident_meta"][i].tolist()
+            residents.append(
+                ResidentSource(
+                    state=state,
+                    version=version,
+                    updates_reflected=reflected,
+                    pending_seeds=seeds,
+                    queries=queries,
+                )
+            )
+        hub_arrays = None
+        if int(arrays["has_hubs"]):
+            hub_arrays = {
+                key[len("hub_") :]: value
+                for key, value in arrays.items()
+                if key.startswith("hub_")
+            }
+        return Checkpoint(
+            path=path,
+            version=int(arrays["graph_version"]),
+            updates_ingested=int(arrays["updates_ingested"]),
+            batches_ingested=int(arrays["batches_ingested"]),
+            config=config,
+            serve=serve,
+            fingerprint=fingerprint,
+            graph=graph,
+            residents=residents,
+            hub_arrays=hub_arrays,
+        )
+    except StoreError:
+        raise
+    except Exception as exc:  # missing keys, shape mismatches, bad enums
+        raise StoreError(f"corrupt checkpoint {path.name}: {exc}") from exc
+
+
+def list_checkpoints(directory: PathLike) -> list[Path]:
+    """Checkpoint files in ``directory``, oldest version first."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    found = [p for p in directory.iterdir() if checkpoint_version(p) is not None]
+    return sorted(found, key=checkpoint_version)
+
+
+def latest_checkpoint(directory: PathLike) -> Checkpoint | None:
+    """The newest checkpoint that loads and validates, or ``None``.
+
+    Damaged newer checkpoints are skipped (with their error preserved on
+    the raised :class:`StoreError` if *every* candidate is damaged) —
+    recovery falls back to an older consistent state rather than failing.
+    """
+    candidates = list_checkpoints(directory)
+    errors: list[str] = []
+    for path in reversed(candidates):
+        try:
+            return read_checkpoint(path)
+        except StoreError as exc:
+            errors.append(str(exc))
+    if errors:
+        raise StoreError(
+            "no readable checkpoint; all candidates damaged: " + "; ".join(errors)
+        )
+    return None
+
+
+def restore_service(checkpoint: Checkpoint) -> PPRService:
+    """Materialize a :class:`PPRService` from one decoded checkpoint.
+
+    The service comes back *exactly* as checkpointed: same graph dict
+    order, resident states bit-for-bit, LRU order, hub vectors, version
+    and staleness counters. No pushes run. The returned service has no
+    store attached — :func:`repro.store.recovery.recover` reattaches one
+    after replaying the WAL tail.
+    """
+    hub_index = None
+    if checkpoint.hub_arrays is not None:
+        hub_index = DynamicHubIndex.from_arrays(
+            checkpoint.graph, checkpoint.hub_arrays, checkpoint.config
+        )
+    return PPRService.restore(
+        graph=checkpoint.graph,
+        config=checkpoint.config,
+        serve=checkpoint.serve,
+        residents=checkpoint.residents,
+        hub_index=hub_index,
+        graph_version=checkpoint.version,
+        updates_ingested=checkpoint.updates_ingested,
+        batches_ingested=checkpoint.batches_ingested,
+    )

@@ -1,0 +1,298 @@
+"""Write-ahead log of ingested update batches.
+
+The durability contract of the serving layer (``docs/persistence.md``):
+every batch the service acknowledges is appended here first — after the
+batch fully applies (a rejected batch must not poison the log) but
+before the ingest returns or a checkpoint includes it — so any state a
+crash destroys can be rebuilt as ``newest checkpoint + replay of the
+WAL tail``.
+
+Format — an append-only sequence of framed records per segment file::
+
+    frame   := header payload
+    header  := magic(4s = b"RWAL") seq(uint64) length(uint32) crc(uint32)
+    payload := (m, 3) int64 rows of (u, v, op), little-endian
+
+``seq`` is the graph version the batch produces (version after applying);
+``crc`` is CRC-32 over the packed ``seq`` plus the payload, so a frame
+whose length field survived but whose body (or seq) was torn mid-write is
+rejected. Iteration stops at the first torn or corrupt frame — everything
+before it is intact by construction (frames are written with one
+buffered write and, under :attr:`~repro.config.FsyncPolicy.ALWAYS`, one
+fsync each).
+
+Segments are named ``wal-<first seq>.log``. The store rotates to a fresh
+segment at every checkpoint and drops segments whose records are all
+covered by it — the WAL tail to replay stays bounded by the checkpoint
+interval.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..config import FsyncPolicy
+from ..errors import StoreError
+from ..graph.update import EdgeOp, EdgeUpdate
+
+PathLike = str | os.PathLike
+
+FRAME_MAGIC = b"RWAL"
+_HEADER = struct.Struct("<4sQII")  # magic, seq, payload length, crc32
+_SEQ = struct.Struct("<Q")
+
+#: Upper bound on one frame's payload (64 MiB ≈ 2.8M updates) — a length
+#: field beyond it is treated as tail corruption, not an allocation request.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+
+def encode_updates(updates: Sequence[EdgeUpdate]) -> bytes:
+    """Encode a batch as little-endian ``(m, 3)`` int64 rows of (u, v, op)."""
+    rows = np.empty((len(updates), 3), dtype="<i8")
+    for i, upd in enumerate(updates):
+        rows[i, 0] = upd.u
+        rows[i, 1] = upd.v
+        rows[i, 2] = int(upd.op)
+    return rows.tobytes()
+
+
+def decode_updates(payload: bytes) -> list[EdgeUpdate]:
+    """Decode :func:`encode_updates` output back into update objects."""
+    if len(payload) % 24 != 0:
+        raise StoreError(f"payload length {len(payload)} is not a row multiple")
+    rows = np.frombuffer(payload, dtype="<i8").reshape(-1, 3)
+    updates = []
+    for u, v, op in rows.tolist():
+        if op not in (1, -1):
+            raise StoreError(f"invalid edge op {op} in WAL payload")
+        updates.append(EdgeUpdate(u, v, EdgeOp(op)))
+    return updates
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL frame."""
+
+    seq: int
+    updates: tuple[EdgeUpdate, ...]
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """Result of scanning one segment file."""
+
+    path: Path
+    records: tuple[WalRecord, ...]
+    #: File offset just past the last intact frame.
+    valid_bytes: int
+    #: Whether the file ends exactly at the last intact frame.
+    clean: bool
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.path.stat().st_size - self.valid_bytes
+
+
+def scan_segment(path: PathLike) -> SegmentScan:
+    """Read every intact frame of a segment, stopping at a torn tail.
+
+    A short header, short payload, bad magic, oversized length, or CRC
+    mismatch all terminate the scan — frames after the first damage are
+    unreachable anyway (framing is lost).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    while True:
+        header_end = offset + _HEADER.size
+        if header_end > len(data):
+            break
+        magic, seq, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != FRAME_MAGIC or length > MAX_PAYLOAD:
+            break
+        payload_end = header_end + length
+        if payload_end > len(data):
+            break
+        payload = data[header_end:payload_end]
+        if zlib.crc32(_SEQ.pack(seq) + payload) != crc:
+            break
+        try:
+            updates = decode_updates(payload)
+        except StoreError:
+            break
+        records.append(WalRecord(seq=seq, updates=tuple(updates)))
+        offset = payload_end
+    return SegmentScan(
+        path=path,
+        records=tuple(records),
+        valid_bytes=offset,
+        clean=offset == len(data),
+    )
+
+
+def truncate_torn_tail(path: PathLike) -> int:
+    """Truncate a segment at its last intact frame; return bytes dropped."""
+    scan = scan_segment(path)
+    dropped = scan.torn_bytes
+    if dropped:
+        with open(path, "r+b") as fh:
+            fh.truncate(scan.valid_bytes)
+    return dropped
+
+
+class WriteAheadLog:
+    """Append-only, segmented, CRC-framed log of update batches.
+
+    Parameters
+    ----------
+    directory:
+        Segment directory (created if missing).
+    fsync:
+        Flush discipline per :class:`~repro.config.FsyncPolicy`.
+    """
+
+    def __init__(
+        self, directory: PathLike, *, fsync: FsyncPolicy = FsyncPolicy.ALWAYS
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._fh = None  # current segment file handle
+        self._current: Path | None = None
+        self.records_appended = 0
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def append(self, seq: int, updates: Sequence[EdgeUpdate]) -> Path:
+        """Append one batch frame; returns the segment it landed in.
+
+        The first append after construction or :meth:`rotate` opens a new
+        segment named after ``seq``. The frame is written with a single
+        buffered write + flush (+ fsync under ``ALWAYS``), so a crash can
+        tear at most the frame being written.
+        """
+        if seq < 0:
+            raise StoreError(f"seq must be >= 0, got {seq}")
+        if self._fh is None:
+            self._current = self.directory / (
+                f"{SEGMENT_PREFIX}{seq:016d}{SEGMENT_SUFFIX}"
+            )
+            if self._current.exists():
+                # A leftover from a crash mid-write of this segment's first
+                # frame (recovery truncates the torn frame, leaving the
+                # file). Appending is safe iff every surviving record
+                # predates ``seq``; anything else would shadow live history.
+                leftover = scan_segment(self._current)
+                if not leftover.clean or (
+                    leftover.records and leftover.records[-1].seq >= seq
+                ):
+                    raise StoreError(
+                        f"segment already exists with live records: {self._current}"
+                    )
+            self._fh = open(self._current, "ab")
+        payload = encode_updates(updates)
+        crc = zlib.crc32(_SEQ.pack(seq) + payload)
+        self._fh.write(_HEADER.pack(FRAME_MAGIC, seq, len(payload), crc) + payload)
+        self._fh.flush()
+        if self.fsync is FsyncPolicy.ALWAYS:
+            os.fsync(self._fh.fileno())
+        self.records_appended += 1
+        return self._current
+
+    def rotate(self) -> None:
+        """Close the current segment; the next append starts a fresh one."""
+        self._close_segment()
+
+    def close(self) -> None:
+        self._close_segment()
+
+    def _close_segment(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self.fsync in (FsyncPolicy.ALWAYS, FsyncPolicy.ROTATE):
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+            self._current = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # reading / maintenance
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> list[Path]:
+        """Segment files in seq order (oldest first)."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")
+            if p.is_file()
+        )
+
+    def scan(self) -> list[SegmentScan]:
+        """Scan every segment (oldest first), tolerating torn tails."""
+        return [scan_segment(p) for p in self.segments()]
+
+    def iter_records(self, after_seq: int = -1) -> Iterator[WalRecord]:
+        """Intact records with ``seq > after_seq``, in seq order.
+
+        Raises :class:`StoreError` on a seq gap or regression between
+        consecutive yielded records — a hole in the replay history is not
+        recoverable and must not be silently skipped.
+        """
+        expected = None
+        for scan in self.scan():
+            for record in scan.records:
+                if record.seq <= after_seq:
+                    continue
+                if expected is not None and record.seq != expected:
+                    raise StoreError(
+                        f"WAL sequence gap: expected {expected}, got {record.seq}"
+                        f" in {scan.path.name}"
+                    )
+                expected = record.seq + 1
+                yield record
+
+    def truncate_torn_tails(self) -> int:
+        """Truncate damage in every segment; returns total bytes dropped."""
+        return sum(truncate_torn_tail(p) for p in self.segments())
+
+    def drop_segments_covered_by(self, version: int) -> list[Path]:
+        """Delete segments whose every record has ``seq <= version``.
+
+        Called after a checkpoint at ``version``: those batches are now in
+        the checkpoint, so their log space can be reclaimed. The open
+        segment is never dropped.
+        """
+        dropped = []
+        for scan in self.scan():
+            if scan.path == self._current:
+                continue
+            if scan.records and scan.records[-1].seq > version:
+                continue
+            scan.path.unlink()
+            dropped.append(scan.path)
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(dir={str(self.directory)!r},"
+            f" segments={len(self.segments())}, fsync={self.fsync.value})"
+        )

@@ -45,3 +45,84 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "slide 1" in out
         assert "certified top-5" in out
+
+
+class TestStoreCommands:
+    """The durable-store trio: checkpoint a workload, inspect, recover."""
+
+    def _checkpoint(self, root, slides: int = 4) -> list[str]:
+        return [
+            "store-checkpoint",
+            "youtube",
+            "--root",
+            str(root),
+            "--slides",
+            str(slides),
+            "--sources",
+            "6",
+            "--interval",
+            "3",
+        ]
+
+    def test_checkpoint_then_inspect_then_recover_verifies(self, capsys, tmp_path):
+        root = tmp_path / "store"
+        assert main(self._checkpoint(root)) == 0
+        out = capsys.readouterr().out
+        assert "persisted youtube" in out
+        assert "served top-5 transcript" in out
+        assert (root / "served_topk.txt").exists()
+        assert (root / "checkpoints").is_dir()
+        assert (root / "wal").is_dir()
+
+        assert main(["store-inspect", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "Checkpoints" in out and "WAL segments" in out
+        assert "checkpoint-" in out
+        # slides=4, interval=3: one batch lives in the WAL tail, clean.
+        assert "wal-" in out and "clean" in out
+
+        assert main(["store-recover", "--root", str(root), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered v3 -> v4 (1 batches" in out
+        assert "verify: OK" in out
+
+    def test_recover_without_transcript_still_serves(self, capsys, tmp_path):
+        root = tmp_path / "store"
+        assert main(self._checkpoint(root)) == 0
+        capsys.readouterr()
+        (root / "served_topk.txt").unlink()
+        assert main(["store-recover", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "resident sources:" in out
+
+    def test_verify_honors_transcript_depth_not_default_k(self, capsys, tmp_path):
+        """A store checkpointed at --k 7 must verify with default flags."""
+        root = tmp_path / "store"
+        assert main(self._checkpoint(root) + ["--k", "7"]) == 0
+        capsys.readouterr()
+        assert main(["store-recover", "--root", str(root), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert " 6 " in out  # rank 6 rows served, matching the transcript
+
+    def test_recover_verify_fails_on_tampered_transcript(self, capsys, tmp_path):
+        root = tmp_path / "store"
+        assert main(self._checkpoint(root)) == 0
+        transcript = root / "served_topk.txt"
+        lines = transcript.read_text().splitlines()
+        lines[0] = lines[0].rsplit(" ", 1)[0] + " 0.123456"
+        transcript.write_text("\n".join(lines) + "\n")
+        assert main(["store-recover", "--root", str(root), "--verify"]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+    def test_inspect_missing_root_fails(self, capsys, tmp_path):
+        assert main(["store-inspect", "--root", str(tmp_path / "nope")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_recover_empty_store_fails(self, capsys, tmp_path):
+        assert main(["store-recover", "--root", str(tmp_path)]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_store_checkpoint_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store-checkpoint", "youtube"])

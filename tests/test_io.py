@@ -49,6 +49,29 @@ class TestEdgeList:
         with pytest.raises(GraphError):
             save_edge_list(np.zeros((2, 3), dtype=np.int64), tmp_path / "x.txt")
 
+    def test_explicit_num_nodes_header(self, edges, tmp_path):
+        """Trailing isolated vertices are only countable by the caller."""
+        path = tmp_path / "g.txt"
+        save_edge_list(edges, path, num_nodes=10)
+        assert "# Nodes: 10 Edges: 3" in path.read_text()
+
+    def test_inferred_num_nodes_header(self, edges, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(edges, path)
+        assert "# Nodes: 3 Edges: 3" in path.read_text()
+
+    def test_fast_path_matches_fallback_on_large_list(self, tmp_path):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 500, size=(2000, 2)).astype(np.int64)
+        path = tmp_path / "big.txt"
+        save_edge_list(edges, path, comment="header\nlines")
+        assert np.array_equal(load_edge_list(path), edges)
+
+    def test_empty_edge_list(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        assert load_edge_list(path).shape == (0, 2)
+
 
 class TestNpz:
     def test_roundtrip(self, edges, tmp_path):
@@ -76,3 +99,25 @@ class TestLoadGraph:
         expected = DynamicDiGraph(map(tuple, edges.tolist()))
         assert load_graph(txt) == expected
         assert load_graph(npz) == expected
+
+
+class TestFromEdgeArray:
+    def test_matches_from_edges(self):
+        rng = np.random.default_rng(9)
+        edges = rng.integers(0, 40, size=(300, 2)).astype(np.int64)
+        fast = DynamicDiGraph.from_edge_array(edges)
+        fast.check_consistency()
+        assert fast == DynamicDiGraph.from_edges(map(tuple, edges.tolist()))
+
+    def test_parallel_edges_collapse_to_multiplicity(self):
+        g = DynamicDiGraph.from_edge_array(np.array([[0, 1], [0, 1], [1, 2]]))
+        assert g.multiplicity(0, 1) == 2
+        assert g.num_edges == 3
+
+    def test_empty(self):
+        g = DynamicDiGraph.from_edge_array(np.empty((0, 2), dtype=np.int64))
+        assert g.num_vertices == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicDiGraph.from_edge_array(np.zeros((3, 3), dtype=np.int64))

@@ -1,0 +1,418 @@
+"""Durable state store: WAL framing, checkpoints, retention, recovery.
+
+The load-bearing test is :class:`TestCrashRecovery` — the acceptance
+contract of :mod:`repro.store`: a service recovered from checkpoint +
+WAL-tail replay answers ``certified_top_k`` bit-for-bit like an
+uninterrupted run at the same graph version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Backend,
+    DynamicDiGraph,
+    FsyncPolicy,
+    PPRConfig,
+    PPRService,
+    ServeConfig,
+    StateStore,
+    StoreConfig,
+    StoreError,
+    insertions,
+    recover_service,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.update import EdgeOp, EdgeUpdate
+from repro.store.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    restore_service,
+    write_checkpoint,
+)
+from repro.store.recovery import recover
+from repro.store.wal import (
+    WriteAheadLog,
+    decode_updates,
+    encode_updates,
+    scan_segment,
+    truncate_torn_tail,
+)
+
+NUMPY_CONFIG = PPRConfig(epsilon=1e-6, backend=Backend.NUMPY, workers=4)
+
+
+def _batch(*pairs: tuple[int, int], op: EdgeOp = EdgeOp.INSERT) -> list[EdgeUpdate]:
+    return [EdgeUpdate(u, v, op) for u, v in pairs]
+
+
+def _service(seed: int = 3, n: int = 50, m: int = 250) -> PPRService:
+    rng = np.random.default_rng(seed)
+    graph = DynamicDiGraph(map(tuple, erdos_renyi_graph(n, m, rng=rng).tolist()))
+    return PPRService(graph, NUMPY_CONFIG, ServeConfig(cache_capacity=16, num_hubs=2))
+
+
+def _random_batches(rng: np.random.Generator, count: int, n: int = 50):
+    batches = []
+    for _ in range(count):
+        pairs = rng.integers(0, n, size=(5, 2))
+        batches.append(insertions((int(a), int(b)) for a, b in pairs if a != b))
+    return [b for b in batches if b]
+
+
+# ---------------------------------------------------------------------- #
+# WAL
+# ---------------------------------------------------------------------- #
+
+
+class TestWalCodec:
+    def test_roundtrip(self):
+        batch = _batch((0, 1), (2, 3)) + _batch((1, 0), op=EdgeOp.DELETE)
+        assert decode_updates(encode_updates(batch)) == batch
+
+    def test_empty_batch(self):
+        assert decode_updates(encode_updates([])) == []
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(StoreError):
+            decode_updates(b"\x00" * 23)
+
+    def test_bad_op_rejected(self):
+        rows = np.array([[0, 1, 7]], dtype="<i8")
+        with pytest.raises(StoreError):
+            decode_updates(rows.tobytes())
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, _batch((0, 1)))
+        wal.append(2, _batch((1, 2), (2, 0)))
+        wal.close()
+        records = list(WriteAheadLog(tmp_path).iter_records())
+        assert [r.seq for r in records] == [1, 2]
+        assert list(records[1].updates) == _batch((1, 2), (2, 0))
+
+    def test_rotation_creates_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, _batch((0, 1)))
+        wal.rotate()
+        wal.append(2, _batch((1, 2)))
+        wal.close()
+        assert len(wal.segments()) == 2
+        assert [r.seq for r in wal.iter_records()] == [1, 2]
+
+    def test_iter_after_seq_skips_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for seq in (1, 2, 3):
+            wal.append(seq, _batch((seq, 0)))
+        wal.close()
+        assert [r.seq for r in wal.iter_records(after_seq=2)] == [3]
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, _batch((0, 1)))
+        wal.rotate()
+        wal.append(5, _batch((1, 2)))  # hole: 2..4 missing
+        wal.close()
+        with pytest.raises(StoreError, match="gap"):
+            list(wal.iter_records())
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        segment = wal.append(1, _batch((0, 1)))
+        wal.append(2, _batch((1, 2)))
+        wal.close()
+        whole = segment.read_bytes()
+        segment.write_bytes(whole[:-5])  # tear mid-frame
+        scan = scan_segment(segment)
+        assert [r.seq for r in scan.records] == [1]
+        assert not scan.clean
+        dropped = truncate_torn_tail(segment)
+        assert dropped > 0
+        assert scan_segment(segment).clean
+
+    def test_corrupt_crc_stops_scan(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        segment = wal.append(1, _batch((0, 1)))
+        wal.append(2, _batch((1, 2)))
+        wal.close()
+        data = bytearray(segment.read_bytes())
+        data[25] ^= 0xFF  # flip one payload byte of the first frame
+        segment.write_bytes(bytes(data))
+        assert scan_segment(segment).records == ()
+
+    def test_drop_segments_covered_by(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, _batch((0, 1)))
+        wal.rotate()
+        wal.append(2, _batch((1, 2)))
+        wal.rotate()
+        wal.append(3, _batch((2, 0)))
+        wal.close()
+        wal.drop_segments_covered_by(2)
+        assert [r.seq for r in wal.iter_records()] == [3]
+
+    def test_fsync_policies_accepted(self, tmp_path):
+        for policy in FsyncPolicy:
+            directory = tmp_path / policy.value
+            wal = WriteAheadLog(directory, fsync=policy)
+            wal.append(1, _batch((0, 1)))
+            wal.close()
+            assert [r.seq for r in wal.iter_records()] == [1]
+
+
+# ---------------------------------------------------------------------- #
+# checkpoints
+# ---------------------------------------------------------------------- #
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_bit_exact_state(self, tmp_path):
+        service = _service()
+        service.query_many([0, 1, 2])
+        service.ingest(insertions([(0, 5), (5, 9)]))
+        path = write_checkpoint(tmp_path, service)
+        restored = restore_service(read_checkpoint(path))
+        assert restored.graph_version == service.graph_version
+        assert restored.graph == service.graph
+        assert restored.resident_sources() == service.resident_sources()
+        assert restored.hubs == service.hubs
+        for s in (0, 1, 2):
+            a = restored.cache.peek(s)
+            b = service.cache.peek(s)
+            assert np.array_equal(a.state.p, b.state.p)
+            assert np.array_equal(a.state.r, b.state.r)
+            assert a.pending_seeds == b.pending_seeds
+            assert a.version == b.version
+
+    def test_restored_csr_is_bit_identical(self, tmp_path):
+        from repro.graph.csr import CSRGraph
+
+        service = _service()
+        service.ingest(insertions([(3, 7)]))
+        path = write_checkpoint(tmp_path, service)
+        restored = restore_service(read_checkpoint(path))
+        a = CSRGraph.from_digraph(service.graph)
+        b = CSRGraph.from_digraph(restored.graph)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.dout, b.dout)
+
+    def test_config_survives(self, tmp_path):
+        service = _service()
+        path = write_checkpoint(tmp_path, service)
+        checkpoint = read_checkpoint(path)
+        assert checkpoint.config == NUMPY_CONFIG
+        assert checkpoint.serve.cache_capacity == 16
+        assert checkpoint.serve.num_hubs == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            read_checkpoint(tmp_path / "checkpoint-000000000000.npz")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "checkpoint-000000000007.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(StoreError, match="unreadable"):
+            read_checkpoint(path)
+
+    def test_latest_falls_back_past_damage(self, tmp_path):
+        service = _service()
+        write_checkpoint(tmp_path, service)
+        service.ingest(insertions([(1, 4)]))
+        newest = write_checkpoint(tmp_path, service)
+        newest.write_bytes(b"garbage")
+        checkpoint = latest_checkpoint(tmp_path)
+        assert checkpoint.version == 0
+
+    def test_latest_none_for_empty_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None
+
+
+# ---------------------------------------------------------------------- #
+# StateStore: cadence, retention, compaction
+# ---------------------------------------------------------------------- #
+
+
+class TestStateStore:
+    def test_checkpoint_cadence_and_wal_compaction(self, tmp_path):
+        service = _service()
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=2)
+        )
+        service.attach_store(store)  # baseline checkpoint at v0
+        rng = np.random.default_rng(0)
+        for batch in _random_batches(rng, 5):
+            service.ingest(batch)
+        status = store.status()
+        # v0 baseline pruned down to retain_checkpoints=2: v2 and v4 remain.
+        assert [c.version for c in status.checkpoints] == [2, 4]
+        # WAL holds only the tail past the newest checkpoint.
+        assert status.replay_batches == 1
+        assert status.wal_records == 1
+
+    def test_retention_prunes_old_checkpoints(self, tmp_path):
+        service = _service()
+        store = StateStore(
+            tmp_path,
+            StoreConfig(
+                root=str(tmp_path), checkpoint_interval=1, retain_checkpoints=3
+            ),
+        )
+        service.attach_store(store)
+        rng = np.random.default_rng(1)
+        for batch in _random_batches(rng, 6):
+            service.ingest(batch)
+        versions = [c.version for c in store.status().checkpoints]
+        assert len(versions) == 3
+        assert versions == sorted(versions)
+        assert versions[-1] == service.graph_version
+
+    def test_serve_config_auto_attaches_store(self, tmp_path):
+        root = tmp_path / "auto"
+        rng = np.random.default_rng(2)
+        graph = DynamicDiGraph(map(tuple, erdos_renyi_graph(30, 120, rng=rng).tolist()))
+        service = PPRService(
+            graph,
+            NUMPY_CONFIG,
+            ServeConfig(store=StoreConfig(root=str(root), checkpoint_interval=1)),
+        )
+        assert service.store is not None
+        assert (root / "checkpoints").exists()
+        service.ingest(insertions([(0, 7)]))
+        recovered = recover_service(root)
+        assert recovered.graph_version == 1
+        assert recovered.graph == service.graph
+
+
+# ---------------------------------------------------------------------- #
+# recovery
+# ---------------------------------------------------------------------- #
+
+
+class TestCrashRecovery:
+    SOURCES = [0, 1, 2, 3, 4, 5]
+
+    def _twin_runs(self, tmp_path, num_batches: int = 8, interval: int = 3):
+        """An uninterrupted service and a persisted twin fed identically."""
+        reference = _service()
+        persisted = _service()
+        reference.query_many(self.SOURCES)
+        persisted.query_many(self.SOURCES)
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=interval)
+        )
+        persisted.attach_store(store)
+        rng = np.random.default_rng(11)
+        for batch in _random_batches(rng, num_batches):
+            reference.ingest(batch)
+            persisted.ingest(batch)
+        store.close()
+        return reference, persisted.graph_version
+
+    def test_recovered_topk_bit_exact_vs_uninterrupted(self, tmp_path):
+        """The acceptance criterion: ingest K batches, crash, recover,
+        and certified_top_k matches the uninterrupted run exactly."""
+        reference, version = self._twin_runs(tmp_path)
+        result = recover(tmp_path, attach=False)
+        recovered = result.service
+        assert recovered.graph_version == reference.graph_version == version
+        assert result.replayed_batches > 0  # the WAL tail actually replayed
+        for s in self.SOURCES:
+            assert (
+                recovered.query(s, 10).entries == reference.query(s, 10).entries
+            )
+
+    def test_recovered_hub_rankings_bit_exact(self, tmp_path):
+        reference, _ = self._twin_runs(tmp_path)
+        recovered = recover_service(tmp_path, attach=False)
+        assert recovered.hubs == reference.hubs
+        for hub in reference.hubs:
+            assert recovered.rank_for_hub(hub, 5) == reference.rank_for_hub(hub, 5)
+
+    def test_recovery_survives_torn_wal_tail(self, tmp_path):
+        reference, _ = self._twin_runs(tmp_path)
+        # Tear the last WAL frame mid-payload, as a crash during append would.
+        segments = WriteAheadLog(tmp_path / "wal").segments()
+        last = segments[-1]
+        last.write_bytes(last.read_bytes()[:-7])
+        result = recover(tmp_path, attach=False)
+        assert result.torn_bytes_dropped > 0
+        # The torn batch is lost; everything up to it is intact.
+        assert result.service.graph_version == reference.graph_version - 1
+
+    def test_recovery_reattaches_store_and_keeps_persisting(self, tmp_path):
+        self._twin_runs(tmp_path)
+        recovered = recover_service(tmp_path)
+        assert recovered.store is not None
+        before = recovered.graph_version
+        recovered.ingest(insertions([(2, 9)]))
+        recovered.store.close()
+        again = recover_service(tmp_path, attach=False)
+        assert again.graph_version == before + 1
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no checkpoint"):
+            recover_service(tmp_path)
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="not found"):
+            recover_service(tmp_path / "nope")
+
+    def test_rejected_batch_never_poisons_the_log(self, tmp_path):
+        """A batch the graph rejects must not reach the WAL: the store
+        stays recoverable and later good batches log clean sequence."""
+        service = _service()
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=100)
+        )
+        service.attach_store(store)
+        service.ingest(insertions([(0, 7)]))
+        from repro import EdgeError, deletions
+
+        with pytest.raises(EdgeError):
+            service.ingest(deletions([(45, 46)]))  # edge never existed
+        service.ingest(insertions([(1, 8)]))  # service keeps going
+        store.close()
+        recovered = recover_service(tmp_path, attach=False)
+        assert recovered.graph_version == 2
+        assert recovered.graph.has_edge(0, 7)
+        assert recovered.graph.has_edge(1, 8)
+        assert not recovered.graph.has_edge(45, 46)
+
+    def test_ingest_works_after_recovering_fully_torn_segment(self, tmp_path):
+        """A crash tearing the *first* frame of a fresh segment leaves an
+        empty file behind after truncation; the recovered service must be
+        able to reuse that segment name and keep ingesting."""
+        service = _service()
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=100)
+        )
+        service.attach_store(store)
+        service.ingest(insertions([(0, 7)]))
+        store.close()
+        # Tear the single frame of the only segment down to a partial header.
+        segment = WriteAheadLog(tmp_path / "wal").segments()[0]
+        segment.write_bytes(segment.read_bytes()[:9])
+        recovered = recover_service(tmp_path)  # reattaches a store
+        assert recovered.graph_version == 0  # the torn batch is lost
+        recovered.ingest(insertions([(0, 7)]))  # must not raise
+        recovered.store.close()
+        again = recover_service(tmp_path, attach=False)
+        assert again.graph_version == 1
+        assert again.graph.has_edge(0, 7)
+
+    def test_config_mismatch_refused(self, tmp_path):
+        self._twin_runs(tmp_path)
+        with pytest.raises(StoreError, match="mismatch"):
+            recover_service(tmp_path, config=NUMPY_CONFIG.with_(epsilon=1e-4))
+
+    def test_matching_config_accepted(self, tmp_path):
+        _, version = self._twin_runs(tmp_path)
+        recovered = recover_service(tmp_path, config=NUMPY_CONFIG, attach=False)
+        assert recovered.graph_version == version
