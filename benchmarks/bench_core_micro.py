@@ -1,7 +1,9 @@
 """Micro-benchmarks of the core primitives (not tied to a paper figure).
 
 Times the pieces the paper's latency decomposes into: restore-invariant,
-CSR snapshotting, the pure vs vectorized engines, and the sequential push.
+CSR snapshotting (full rebuild vs delta overlay), the pure vs vectorized
+engines, the sequential push, and the scatter-add crossover behind
+``push_vectorized._BINCOUNT_THRESHOLD``.
 """
 
 from __future__ import annotations
@@ -13,8 +15,10 @@ from repro.config import Backend, PPRConfig
 from repro.core.invariant import restore_invariant
 from repro.core.push_parallel import parallel_local_push
 from repro.core.push_sequential import sequential_local_push
+from repro.core.push_vectorized import _scatter_add
 from repro.core.state import PPRState
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import DeltaCSRGraph
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.generators import rmat_graph
 from repro.graph.update import EdgeOp, EdgeUpdate
@@ -37,6 +41,72 @@ def test_csr_from_digraph(benchmark, scale_free):
     _, graph = scale_free
     csr = benchmark(CSRGraph.from_digraph, graph)
     assert csr.num_edges == graph.num_edges
+
+
+def test_delta_snapshot_apply(benchmark, scale_free):
+    """One batch layered as a delta overlay — the O(batch) rebuild killer."""
+    edges, graph = scale_free
+    view = DeltaCSRGraph.wrap(CSRGraph.from_digraph(graph))
+    updates = [
+        EdgeUpdate(int(u), int(v), EdgeOp.INSERT) for u, v in edges[:100].tolist()
+    ]
+    for update in updates:
+        graph.apply(update)
+
+    applied = benchmark(view.apply_updates, graph, updates)
+    for update in updates:
+        graph.remove_edge(update.u, update.v)
+    assert applied.num_edges == graph.num_edges + len(updates)
+
+
+def test_delta_snapshot_consolidate(benchmark, scale_free):
+    """The amortized merge back into a frozen base (vectorized O(n + m))."""
+    edges, graph = scale_free
+    view = DeltaCSRGraph.wrap(CSRGraph.from_digraph(graph))
+    updates = [
+        EdgeUpdate(int(u), int(v), EdgeOp.INSERT) for u, v in edges[:500].tolist()
+    ]
+    for update in updates:
+        graph.apply(update)
+    view = view.apply_updates(graph, updates)
+
+    csr = benchmark(view.consolidate)
+    for update in updates:
+        graph.remove_edge(update.u, update.v)
+    assert csr.num_edges == view.num_edges
+
+
+@pytest.mark.parametrize("num_targets", [2048, 16384, 65536, 262144])
+@pytest.mark.parametrize("strategy", ["add_at", "full_bincount"])
+def test_scatter_add_crossover(benchmark, num_targets, strategy):
+    """The scatter-add crossover that sets ``_scatter_add``'s policy.
+
+    ``add_at`` allocates nothing; ``full_bincount`` (the historical
+    every-large-call path) allocates a capacity-sized accumulator. On
+    numpy ≥ 2 the crossover sits where the traversal count reaches the
+    state-vector capacity (here 50k) — which is exactly where
+    ``_scatter_add`` now switches.
+    """
+    cap = 50_000
+    rng = np.random.default_rng(11)
+    r = np.zeros(cap)
+    targets = rng.integers(0, cap, size=num_targets)
+    values = rng.random(num_targets)
+
+    if strategy == "add_at":
+        run = lambda: np.add.at(r, targets, values)  # noqa: E731
+    else:
+        def run():
+            np.add(r, np.bincount(targets, weights=values, minlength=cap), out=r)
+
+    benchmark(run)
+    benchmark.extra_info["num_targets"] = num_targets
+    # Whichever branch the dispatcher picks, the sums must agree (the two
+    # primitives accumulate in different orders, so only up to rounding).
+    expect = r.copy()
+    np.add.at(expect, targets, values)
+    _scatter_add(r, targets, values, cap)
+    np.testing.assert_allclose(r, expect)
 
 
 def test_restore_invariant_throughput(benchmark, scale_free):

@@ -1,0 +1,60 @@
+"""Ingest hot path — delta-CSR snapshots vs per-batch full rebuild.
+
+Regenerates the ingest-benchmark table (the Fig-8 batch-size sweep on
+the twitter analog, served queries included) and asserts the delta
+snapshot acceptance bar: at the smallest batch size the
+:attr:`~repro.config.SnapshotStrategy.DELTA` ingest+query path is >= 3x
+the full-rebuild path, with every served ``certified_top_k`` ranking
+bit-identical between the two strategies.
+
+Run with ``PYTHONPATH=src python -m pytest --import-mode=importlib
+benchmarks/bench_ingest.py -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ingest import ingest_benchmark
+from repro.config import SnapshotStrategy
+
+from .conftest import RESULTS_DIR
+
+
+@pytest.fixture(scope="module")
+def ingest_result():
+    return ingest_benchmark("twitter", num_slides=5)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ingest_table(ingest_result):
+    table = ingest_result.table()
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ingest.txt").write_text(table + "\n")
+
+
+def test_delta_speedup_at_small_batches(ingest_result):
+    """The acceptance bar: >= 3x at the Fig-8-style smallest batch."""
+    row = ingest_result.smallest_batch_row
+    assert row.speedup >= 3.0, (
+        f"delta {row.delta.updates_per_second:,.0f} upd/s vs rebuild"
+        f" {row.rebuild.updates_per_second:,.0f} upd/s at batch"
+        f" {row.batch_size} — only {row.speedup:.1f}x"
+    )
+
+
+def test_delta_answers_bit_identical(ingest_result):
+    """Order-exactness contract: same rankings, bit for bit, every batch."""
+    assert ingest_result.all_match
+    for row in ingest_result.rows:
+        assert row.rebuild.answers  # the comparison actually saw answers
+
+
+def test_delta_path_actually_ran(ingest_result):
+    """The delta side must advance incrementally, not fall back to rebuilds."""
+    for row in ingest_result.rows:
+        m = row.delta.metrics
+        assert m.snapshot_delta_applies + m.snapshot_consolidations >= row.num_slides - 1
+        assert m.snapshot_rebuilds <= 1  # the cold start only
+        assert row.delta.strategy is SnapshotStrategy.DELTA

@@ -67,6 +67,7 @@ from .errors import (
 )
 from .graph import (
     CSRGraph,
+    DeltaCSRGraph,
     DATASETS,
     DatasetSpec,
     DynamicDiGraph,
@@ -108,6 +109,7 @@ __all__ = [
     "BatchStats",
     "CPUCostModel",
     "CSRGraph",
+    "DeltaCSRGraph",
     "ConfigError",
     "ConvergenceError",
     "DATASETS",

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import GraphError
-from ...graph.csr import CSRGraph
+from ...graph.delta import CSRView
 
 #: Ligra's dense/sparse switching threshold: |edges from frontier| > m / 20.
 DENSE_DIVISOR = 20
@@ -118,7 +118,7 @@ def edge_map(
     ids = frontier.to_ids()
     if ids.size == 0:
         return EdgeMapResult(VertexSubset.empty(frontier.num_vertices), 0, False, 0, 0)
-    frontier_edges = int((csr.indptr[ids + 1] - csr.indptr[ids]).sum())
+    frontier_edges = int(csr.in_degrees(ids).sum())
     threshold = max(1, csr.num_edges // dense_divisor)
     dense = (len(ids) + frontier_edges) > threshold
 
@@ -165,9 +165,14 @@ def vertex_map(
 
 
 class LigraGraph:
-    """Graph wrapper holding the CSR direction(s) edgeMap needs."""
+    """Graph wrapper holding the snapshot view(s) edgeMap needs.
 
-    def __init__(self, in_csr: CSRGraph) -> None:
+    Any object satisfying the narrow snapshot interface works — a frozen
+    :class:`~repro.graph.csr.CSRGraph` or a delta overlay
+    (:class:`~repro.graph.delta.DeltaCSRGraph`).
+    """
+
+    def __init__(self, in_csr: CSRView) -> None:
         self.in_csr = in_csr
 
     @property

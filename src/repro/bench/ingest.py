@@ -1,0 +1,263 @@
+"""Steady-state ingest+query throughput: delta snapshots vs full rebuild.
+
+The experiment behind ``python -m repro ingest-bench`` and
+``benchmarks/bench_ingest.py``: replay the same sliding-window update
+stream through two identically-configured :class:`~repro.serve.PPRService`
+instances — one deriving its per-version CSR view with the
+:attr:`~repro.config.SnapshotStrategy.DELTA` overlay
+(:class:`~repro.graph.delta.DeltaCSRGraph`), one paying the
+:attr:`~repro.config.SnapshotStrategy.REBUILD` full O(n + m) rebuild —
+while a fixed source mix issues top-k queries after every batch, across
+the paper's Fig-8 batch-size sweep (1%, 0.1%, 0.01% of the window).
+
+Two things are measured per batch size:
+
+* *steady-state ingest+query throughput* — stream updates ingested per
+  second with the per-batch queries included on both sides (the workload
+  a serving deployment actually runs);
+* *answer equality* — the served ``certified_top_k`` rankings must be
+  **bit-identical** between the strategies after every batch, which is
+  the delta overlay's order-exactness contract.
+
+The acceptance bar asserted by ``benchmarks/bench_ingest.py``: at the
+smallest (Fig-8-style) batch size the delta path is ≥ 3x the rebuild
+path. See ``docs/performance.md`` for why the gap grows as batches
+shrink.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import Backend, PPRConfig, ServeConfig, SnapshotStrategy
+from ..errors import ConfigError
+from ..graph.digraph import DynamicDiGraph
+from ..graph.stream import SlidingWindow
+from ..serve import PPRService, ServiceMetrics
+from ..utils.tables import format_table
+from .workloads import WorkloadSpec, default_config, prepare_workload
+
+
+@dataclass
+class IngestStrategyRun:
+    """One strategy's measured steady state at one batch size."""
+
+    strategy: SnapshotStrategy
+    seconds: float
+    updates: int
+    queries: int
+    metrics: ServiceMetrics = field(repr=False, default_factory=ServiceMetrics)
+    #: Served rankings, one ``(source, [(vertex, estimate), ...])`` per
+    #: query in issue order — compared bit-for-bit across strategies.
+    answers: list[tuple[int, list[tuple[int, float]]]] = field(
+        repr=False, default_factory=list
+    )
+
+    @property
+    def updates_per_second(self) -> float:
+        return self.updates / self.seconds if self.seconds else 0.0
+
+
+@dataclass
+class IngestBenchRow:
+    """Delta vs rebuild at one batch size."""
+
+    batch_size: int
+    batch_fraction: float
+    num_slides: int
+    rebuild: IngestStrategyRun
+    delta: IngestStrategyRun
+
+    @property
+    def speedup(self) -> float:
+        if not self.rebuild.seconds:
+            return float("inf")
+        return self.rebuild.seconds / self.delta.seconds if self.delta.seconds else float("inf")
+
+    @property
+    def answers_match(self) -> bool:
+        """Bit-identical served rankings under both snapshot strategies."""
+        return self.rebuild.answers == self.delta.answers
+
+
+@dataclass
+class IngestBenchResult:
+    """Outcome of one delta-vs-rebuild ingest benchmark."""
+
+    dataset: str
+    num_sources: int
+    rows: list[IngestBenchRow]
+
+    @property
+    def all_match(self) -> bool:
+        return all(row.answers_match for row in self.rows)
+
+    @property
+    def smallest_batch_row(self) -> IngestBenchRow:
+        return min(self.rows, key=lambda row: row.batch_size)
+
+    def table(self) -> str:
+        rows = []
+        for row in sorted(self.rows, key=lambda r: -r.batch_size):
+            m = row.delta.metrics
+            rows.append(
+                [
+                    f"{row.batch_size} ({row.batch_fraction:.2%})",
+                    f"{row.rebuild.updates_per_second:,.0f}",
+                    f"{row.delta.updates_per_second:,.0f}",
+                    f"{row.speedup:,.1f}x",
+                    f"{m.snapshot_delta_applies}/{m.snapshot_consolidations}"
+                    f"/{m.snapshot_rebuilds}",
+                    "bit-identical" if row.answers_match else "MISMATCH",
+                ]
+            )
+        return format_table(
+            [
+                "batch (of window)",
+                "rebuild upd/s",
+                "delta upd/s",
+                "speedup",
+                "applies/consol/rebuilds",
+                "answers",
+            ],
+            rows,
+            title=(
+                f"Ingest+query steady state, delta vs rebuild — {self.dataset}"
+                f" ({self.num_sources} resident sources, queries included)"
+            ),
+        )
+
+
+def _run_strategy(
+    prepared,
+    strategy: SnapshotStrategy,
+    *,
+    batch_size: int,
+    num_slides: int,
+    num_sources: int,
+    k: int,
+    config: PPRConfig,
+    serve: ServeConfig,
+) -> IngestStrategyRun:
+    """Replay one measured steady-state run under ``strategy``.
+
+    Warm-up (source admission and the first snapshot build) is excluded;
+    the timed loop is exactly the steady state: ingest one slide, answer
+    the query mix, repeat.
+    """
+    window = SlidingWindow(
+        prepared.stream_edges,
+        window_fraction=prepared.spec.window_fraction,
+        batch_size=batch_size,
+        undirected=prepared.undirected,
+    )
+    graph = (
+        DynamicDiGraph.from_undirected_edges(map(tuple, window.initial_edges.tolist()))
+        if prepared.undirected
+        else DynamicDiGraph.from_edges(map(tuple, window.initial_edges.tolist()))
+    )
+    service = PPRService(graph, config, serve.with_(snapshot=strategy))
+    sources = _source_mix(graph, num_sources)
+    service.query_many(sources, k)  # warm: admit the mix, build snapshot v0
+
+    run = IngestStrategyRun(strategy=strategy, seconds=0.0, updates=0, queries=0)
+    start = time.perf_counter()
+    for slide in window.slides(num_slides):
+        service.ingest(list(slide.updates))
+        for s in sources:
+            served = service.query(s, k)
+            run.answers.append(
+                (s, [(e.vertex, e.estimate) for e in served.entries])
+            )
+        run.updates += slide.num_updates
+        run.queries += len(sources)
+    run.seconds = time.perf_counter() - start
+    run.metrics = service.metrics()
+    return run
+
+
+def _source_mix(
+    graph: DynamicDiGraph, num_sources: int, *, tier: int = 1000, seed: int = 9
+) -> list[int]:
+    """Deterministic Table-2-style source mix: spread across the top tier.
+
+    The paper selects sources at random among the top-``K`` out-degrees
+    (Table 2's 10 / 1000 / 10^6 tiers). Picking evenly-spaced ranks
+    inside the mid tier keeps the query mix realistic without every
+    source being a hub — hub sources turn each refresh into a large
+    cascade, which measures push cost, not the snapshot cost this
+    benchmark isolates.
+    """
+    ranked = sorted(
+        ((graph.out_degree(v), v) for v in graph.vertices()), reverse=True
+    )
+    if len(ranked) < num_sources:
+        raise ConfigError(
+            f"graph has only {len(ranked)} vertices for {num_sources} sources"
+        )
+    tier = min(tier, len(ranked))
+    step = max(tier // (num_sources + 1), 1)
+    picks = [(seed + (i + 1) * step) % tier for i in range(num_sources)]
+    chosen = []
+    for rank in picks:
+        while ranked[rank][1] in chosen:  # pragma: no cover - tiny tiers
+            rank = (rank + 1) % tier
+        chosen.append(ranked[rank][1])
+    return chosen
+
+
+def ingest_benchmark(
+    dataset: str = "pokec",
+    *,
+    batch_fractions: tuple[float, ...] = (0.01, 0.001, 0.0001),
+    num_slides: int = 6,
+    num_sources: int = 4,
+    k: int = 10,
+    epsilon: float = 1e-5,
+    workers: int = 40,
+    overlay_threshold: float = 0.25,
+    config: PPRConfig | None = None,
+) -> IngestBenchResult:
+    """Sweep batch sizes, racing delta snapshots against full rebuilds.
+
+    Both strategies replay *exactly* the same stream, admit the same
+    sources and answer the same queries; only
+    :attr:`~repro.config.ServeConfig.snapshot` differs. Every served
+    ranking is recorded and compared bit-for-bit.
+    """
+    prepared = prepare_workload(WorkloadSpec(dataset=dataset))
+    cfg = config or default_config(epsilon=epsilon).with_(
+        backend=Backend.NUMPY, workers=workers
+    )
+    serve = ServeConfig(
+        cache_capacity=max(num_sources, 1),
+        admission_batch=max(num_sources, 1),
+        top_k=k,
+        snapshot_overlay_threshold=overlay_threshold,
+    )
+    rows = []
+    for fraction in batch_fractions:
+        batch_size = SlidingWindow.batch_for_fraction(prepared.window_size, fraction)
+        runs = {}
+        for strategy in (SnapshotStrategy.REBUILD, SnapshotStrategy.DELTA):
+            runs[strategy] = _run_strategy(
+                prepared,
+                strategy,
+                batch_size=batch_size,
+                num_slides=num_slides,
+                num_sources=num_sources,
+                k=k,
+                config=cfg,
+                serve=serve,
+            )
+        rows.append(
+            IngestBenchRow(
+                batch_size=batch_size,
+                batch_fraction=fraction,
+                num_slides=num_slides,
+                rebuild=runs[SnapshotStrategy.REBUILD],
+                delta=runs[SnapshotStrategy.DELTA],
+            )
+        )
+    return IngestBenchResult(dataset=dataset, num_sources=num_sources, rows=rows)

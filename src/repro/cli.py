@@ -14,6 +14,12 @@ Commands
 ``serve-bench <dataset> [--sources N] [--slides N] [--queries N]``
     Benchmark the multi-query serving layer (:mod:`repro.serve`) against
     per-query from-scratch recomputation; see ``docs/serving.md``.
+``ingest-bench <dataset> [--slides N] [--sources N] [--tiny]``
+    Race delta-CSR snapshots against per-batch full rebuilds on the
+    ingest hot path (Fig-8 batch-size sweep, queries included); exits
+    nonzero unless the delta path wins with bit-identical answers.
+    ``--tiny`` runs the single-batch-size CI smoke; see
+    ``docs/performance.md``.
 ``store-checkpoint <dataset> --root DIR [--slides N] [--sources N]``
     Stream a workload through a *persisted* service (WAL + checkpoints
     under ``--root``) and record its served top-k answers for later
@@ -271,6 +277,40 @@ def _cmd_store_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest_bench(args: argparse.Namespace) -> int:
+    from .bench.ingest import ingest_benchmark
+
+    if args.tiny:
+        # CI smoke: one small batch size, few slides — asserts the delta
+        # path beats the rebuild path with bit-identical answers, without
+        # the full sweep's runtime.
+        fractions: tuple[float, ...] = (0.001,)
+        slides = min(args.slides, 3)
+        bar = 1.0
+    else:
+        fractions = (0.01, 0.001, 0.0001)
+        slides = args.slides
+        bar = 3.0
+    result = ingest_benchmark(
+        args.dataset,
+        batch_fractions=fractions,
+        num_slides=slides,
+        num_sources=args.sources,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    row = result.smallest_batch_row
+    ok = result.all_match and row.speedup >= bar
+    print(
+        f"smallest batch ({row.batch_size}): {row.speedup:.1f}x"
+        f" (bar {bar:.0f}x) — answers"
+        f" {'bit-identical' if result.all_match else 'MISMATCH'}"
+    )
+    return 0 if ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -327,6 +367,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=1e-5)
     serve.add_argument("--workers", type=int, default=40)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    ingest = sub.add_parser(
+        "ingest-bench",
+        help="race delta-CSR snapshots against per-batch full rebuilds",
+    )
+    ingest.add_argument("dataset", choices=sorted(DATASETS))
+    ingest.add_argument("--slides", type=int, default=5)
+    ingest.add_argument("--sources", type=int, default=4)
+    ingest.add_argument("--k", type=int, default=10)
+    ingest.add_argument("--epsilon", type=float, default=1e-5)
+    ingest.add_argument("--workers", type=int, default=40)
+    ingest.add_argument(
+        "--tiny",
+        action="store_true",
+        help="single small batch size, few slides (the CI smoke mode)",
+    )
+    ingest.set_defaults(func=_cmd_ingest_bench)
 
     ckpt = sub.add_parser(
         "store-checkpoint",

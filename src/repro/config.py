@@ -150,6 +150,43 @@ class StoreConfig:
         return replace(self, **changes)
 
 
+class SnapshotStrategy(enum.Enum):
+    """How the serving layer derives the shared CSR view after a batch.
+
+    ``REBUILD``
+        Rebuild a frozen :class:`repro.graph.csr.CSRGraph` from the
+        dynamic graph whenever the version moves — O(n + m) per batch,
+        independent of batch size (the pre-delta behaviour).
+    ``DELTA``
+        Layer the batch as a row overlay on the previous snapshot
+        (:class:`repro.graph.delta.DeltaCSRGraph`) and consolidate into a
+        fresh base only when the overlay exceeds
+        ``snapshot_overlay_threshold`` — amortized cost proportional to
+        the *change*, not the graph. Bit-identical answers to ``REBUILD``
+        (the overlay is order-exact; see ``docs/performance.md``).
+    """
+
+    REBUILD = "rebuild"
+    DELTA = "delta"
+
+
+class HubRefresh(enum.Enum):
+    """When the always-resident hub tier re-converges after an ingest.
+
+    ``EAGER``
+        Every ingested batch immediately pushes all hub vectors back to
+        convergence (the pre-existing behaviour) — hub queries are always
+        fresh, ingest pays the hub work whether or not hubs are queried.
+    ``LAZY``
+        Ingest only restores the hub invariants (cheap, O(hubs * batch))
+        and accumulates the touched seeds; the pushes run on the next hub
+        query. Delta-sized batches skip hub work they don't need.
+    """
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
 class RefreshPolicy(enum.Enum):
     """When the serving layer re-converges resident PPR states.
 
@@ -187,8 +224,19 @@ class ServeConfig:
     num_hubs:
         Size of the always-resident :class:`repro.core.hub_index.DynamicHubIndex`
         tier maintained alongside the query cache; ``0`` disables it.
+    hub_refresh:
+        When the hub tier re-converges after an ingest (see
+        :class:`HubRefresh`); irrelevant when ``num_hubs`` is 0.
     top_k:
         Default ranking depth returned by queries.
+    snapshot:
+        How the per-version shared CSR view is derived (see
+        :class:`SnapshotStrategy`). ``DELTA`` keeps ingest cost
+        proportional to batch size; answers are bit-identical either way.
+    snapshot_overlay_threshold:
+        ``DELTA`` only: consolidate the overlay into a fresh frozen base
+        once it holds more than this fraction of the base's edges
+        (see ``docs/performance.md`` for tuning guidance).
     store:
         Durable-state-store configuration (:class:`StoreConfig`); ``None``
         keeps the service purely in-memory. When set, the service attaches
@@ -202,7 +250,10 @@ class ServeConfig:
     admission_batch: int = 8
     refresh: RefreshPolicy = RefreshPolicy.LAZY
     num_hubs: int = 0
+    hub_refresh: HubRefresh = HubRefresh.EAGER
     top_k: int = 10
+    snapshot: SnapshotStrategy = SnapshotStrategy.DELTA
+    snapshot_overlay_threshold: float = 0.25
     store: "StoreConfig | None" = None
 
     def __post_init__(self) -> None:
@@ -218,8 +269,21 @@ class ServeConfig:
             raise ConfigError(f"refresh must be a RefreshPolicy, got {self.refresh!r}")
         if self.num_hubs < 0:
             raise ConfigError(f"num_hubs must be >= 0, got {self.num_hubs}")
+        if not isinstance(self.hub_refresh, HubRefresh):
+            raise ConfigError(
+                f"hub_refresh must be a HubRefresh, got {self.hub_refresh!r}"
+            )
         if self.top_k < 1:
             raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if not isinstance(self.snapshot, SnapshotStrategy):
+            raise ConfigError(
+                f"snapshot must be a SnapshotStrategy, got {self.snapshot!r}"
+            )
+        if not 0.0 < self.snapshot_overlay_threshold:
+            raise ConfigError(
+                "snapshot_overlay_threshold must be > 0,"
+                f" got {self.snapshot_overlay_threshold}"
+            )
         if self.store is not None and not isinstance(self.store, StoreConfig):
             raise ConfigError(f"store must be a StoreConfig, got {self.store!r}")
 

@@ -25,6 +25,7 @@ import numpy as np
 from ..config import Backend, PPRConfig
 from ..errors import ConfigError, VertexError
 from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView
 from ..graph.digraph import DynamicDiGraph
 from ..graph.update import EdgeUpdate
 from .certify import CertifiedEntry, certified_top_k
@@ -139,7 +140,7 @@ class DynamicHubIndex:
         self,
         seeds: Sequence[int],
         *,
-        snapshot: CSRGraph | None = None,
+        snapshot: CSRView | None = None,
     ) -> dict[int, PushStats]:
         """Push every hub vector back to convergence from ``seeds``.
 
@@ -161,7 +162,7 @@ class DynamicHubIndex:
         self,
         updates: Sequence[EdgeUpdate],
         *,
-        snapshot: CSRGraph | None = None,
+        snapshot: CSRView | None = None,
     ) -> dict[int, PushStats]:
         """Apply a stream batch and re-converge every hub vector.
 

@@ -44,6 +44,7 @@ from collections.abc import Iterable, Sequence
 from ..config import Backend, Phase, PPRConfig
 from ..errors import BackendError, ConvergenceError
 from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView
 from ..graph.digraph import DynamicDiGraph
 from .state import PPRState
 from .stats import IterationRecord, PushStats
@@ -203,14 +204,18 @@ def parallel_local_push(
     config: PPRConfig,
     *,
     seeds: Iterable[int] | None = None,
-    csr: CSRGraph | None = None,
+    csr: CSRView | None = None,
 ) -> PushStats:
     """Run the parallel local push to convergence (``max |r| <= epsilon``).
 
     Dispatches on ``config.backend``: the pure reference engine works
-    directly on the dynamic graph; the numpy engine requires (or builds) a
-    :class:`CSRGraph` snapshot of the *current* graph. Seeds restrict the
-    initial frontier scan — pass the vertices touched by restore-invariant.
+    directly on the dynamic graph; the numpy and multiprocess engines
+    require (or build) a snapshot of the *current* graph — either a
+    frozen :class:`CSRGraph` or a delta overlay view
+    (:class:`~repro.graph.delta.DeltaCSRGraph`); both satisfy the narrow
+    degree/neighbors-array interface the engines consume. Seeds restrict
+    the initial frontier scan — pass the vertices touched by
+    restore-invariant.
     """
     state.ensure_capacity(graph.capacity)
     stats = PushStats()

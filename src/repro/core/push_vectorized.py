@@ -28,18 +28,68 @@ import numpy as np
 
 from ..config import Phase, PPRConfig
 from ..errors import ConvergenceError
-from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView
 from .state import PPRState
 from .stats import IterationRecord, PushStats
 
-#: Below this many edge updates, ``np.add.at`` beats allocating a
-#: capacity-sized bincount buffer.
+#: Floor below which the scatter-add never considers the bincount path.
+#: The measured crossover (``benchmarks/bench_core_micro.py``,
+#: ``test_scatter_add_crossover``) sits where a chunk's traversals exceed
+#: the state-vector capacity — buffered ``np.add.at`` wins everywhere
+#: below it on numpy ≥ 2 and allocates nothing, whereas the historical
+#: policy paid a capacity-sized ``np.bincount`` output for every call
+#: above this constant.
 _BINCOUNT_THRESHOLD = 2048
 
 
+class _Scratch:
+    """Process-wide reusable buffers for the push hot path.
+
+    The vectorized push used to allocate two capacity-sized arrays per
+    propagation chunk (a ``np.bincount`` accumulator and the
+    ``passing_mask`` boolean); at delta-sized batches those allocations
+    dominated the chunk cost. The mask lives here instead, grown
+    monotonically and *cleared by the borrower* (reset exactly the
+    positions it set) so reuse costs O(touched), not O(capacity).
+    """
+
+    __slots__ = ("mask",)
+
+    def __init__(self) -> None:
+        self.mask = np.zeros(0, dtype=bool)
+
+    def bool_mask(self, size: int) -> np.ndarray:
+        """An all-``False`` mask of at least ``size``; caller re-clears it."""
+        if len(self.mask) < size:
+            self.mask = np.zeros(max(size, 2 * len(self.mask)), dtype=bool)
+        return self.mask
+
+
+_SCRATCH = _Scratch()
+
+
 def _scatter_add(r: np.ndarray, targets: np.ndarray, values: np.ndarray, cap: int) -> None:
-    """Atomic-add equivalent: accumulate ``values`` into ``r[targets]``."""
-    if len(targets) > _BINCOUNT_THRESHOLD:
+    """Atomic-add equivalent: accumulate ``values`` into ``r[targets]``.
+
+    Policy set by the crossover micro-bench
+    (``benchmarks/bench_core_micro.py::test_scatter_add_crossover``):
+    buffered ``np.add.at`` allocates nothing and wins until a chunk's
+    traversal count reaches the state-vector capacity, so the full-width
+    ``np.bincount`` accumulator — a capacity-sized allocation per call —
+    runs only in that denser-than-the-vector regime where its output is
+    no larger than its input. (``np.bincount`` cannot write into caller
+    memory, so the reusable scratch of this hot path lives at the
+    ``passing_mask`` in ``_propagate_chunk`` instead.)
+
+    The two branches agree only up to float rounding (``add.at`` folds
+    each increment into ``r`` as it goes; ``bincount`` totals them from
+    0.0 first) — but the branch choice is a deterministic function of
+    the input sizes, so any two runs being compared bit-for-bit (delta
+    vs rebuild snapshots, recovery vs uninterrupted) take the same
+    branch on the same data and stay bit-identical. Do not make the
+    threshold depend on anything that can differ between such runs.
+    """
+    if len(targets) > max(_BINCOUNT_THRESHOLD, cap):
         r += np.bincount(targets, weights=values, minlength=cap)
     else:
         np.add.at(r, targets, values)
@@ -70,7 +120,7 @@ def _prepare_seeds(
 
 def _propagate_chunk(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     phase: Phase,
     config: PPRConfig,
     chunk: np.ndarray,
@@ -104,9 +154,10 @@ def _propagate_chunk(
     passing = touched[passes_after]
     # Attempts: adds landing on vertices whose post-chunk value passes.
     if passing.size:
-        passing_mask = np.zeros(len(r), dtype=bool)
+        passing_mask = _SCRATCH.bool_mask(len(r))
         passing_mask[passing] = True
         attempts = int(passing_mask[targets].sum())
+        passing_mask[passing] = False  # leave the scratch clean
     else:
         attempts = 0
     rec.enqueue_attempts += attempts
@@ -126,7 +177,7 @@ def _propagate_chunk(
 
 def _snapshot_iteration(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     phase: Phase,
     config: PPRConfig,
     frontier: np.ndarray,
@@ -149,7 +200,7 @@ def _snapshot_iteration(
 
 def _eager_iteration(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     phase: Phase,
     config: PPRConfig,
     frontier: np.ndarray,
@@ -197,7 +248,7 @@ def _eager_iteration(
 
 def vectorized_phase(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     phase: Phase,
     config: PPRConfig,
     seeds: Iterable[int] | None,

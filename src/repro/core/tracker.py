@@ -19,9 +19,10 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from ..config import Backend, PPRConfig
+from ..config import Backend, PPRConfig, SnapshotStrategy
 from ..errors import ConfigError
 from ..graph.csr import CSRGraph
+from ..graph.delta import DEFAULT_OVERLAY_THRESHOLD, CSRView, DeltaCSRGraph
 from ..graph.digraph import DynamicDiGraph
 from ..graph.update import EdgeUpdate
 from .groundtruth import ground_truth_ppr, max_estimate_error
@@ -51,6 +52,13 @@ class DynamicPPRTracker:
         push — this is how the CPU-Seq baseline is expressed at this
         level. (CPU-Base additionally pushes after every single update;
         see :func:`repro.core.push_sequential.cpu_base_update`.)
+    snapshot_strategy:
+        How the tracker's CSR view advances across batches:
+        ``REBUILD`` (default) rebuilds from the graph when dirty;
+        ``DELTA`` layers each batch as a
+        :class:`~repro.graph.delta.DeltaCSRGraph` overlay on the previous
+        view (O(batch) instead of O(m)), consolidating at
+        ``overlay_threshold``. Answers are bit-identical either way.
 
     Examples
     --------
@@ -69,14 +77,18 @@ class DynamicPPRTracker:
         config: PPRConfig | None = None,
         *,
         sequential: bool = False,
+        snapshot_strategy: SnapshotStrategy = SnapshotStrategy.REBUILD,
+        overlay_threshold: float = DEFAULT_OVERLAY_THRESHOLD,
     ) -> None:
         self.config = config or PPRConfig()
         self.graph = graph
         self.sequential = sequential
+        self.snapshot_strategy = snapshot_strategy
+        self.overlay_threshold = overlay_threshold
         if not graph.has_vertex(source):
             graph.add_vertex(source)
         self.state = PPRState.initial(source, graph.capacity)
-        self._csr: CSRGraph | None = None
+        self._csr: CSRView | None = None
         self._csr_dirty = True
         self.batches_processed = 0
         self.updates_processed = 0
@@ -106,13 +118,36 @@ class DynamicPPRTracker:
     # maintenance
     # ------------------------------------------------------------------ #
 
-    def _snapshot(self) -> CSRGraph:
+    def _snapshot(self) -> CSRView:
         if self._csr is None or self._csr_dirty:
             self._csr = CSRGraph.from_digraph(self.graph)
             self._csr_dirty = False
         return self._csr
 
-    def set_snapshot(self, csr: CSRGraph) -> None:
+    def _advance_snapshot(self, updates: Sequence[EdgeUpdate]) -> None:
+        """Move the CSR view past ``updates`` (already applied to the graph).
+
+        ``DELTA`` strategy with a clean view: layer the batch as a row
+        overlay (consolidating past ``overlay_threshold``); otherwise
+        mark the view dirty so the next push rebuilds it.
+        """
+        if (
+            self.snapshot_strategy is SnapshotStrategy.DELTA
+            and self.config.backend is not Backend.PURE
+            and self._csr is not None
+            and not self._csr_dirty
+        ):
+            view = self._csr
+            if not isinstance(view, DeltaCSRGraph):
+                view = DeltaCSRGraph.wrap(view)
+            view = view.apply_updates(self.graph, updates)
+            if view.should_consolidate(self.overlay_threshold):
+                view = view.consolidated()
+            self._csr = view
+        else:
+            self._csr_dirty = True
+
+    def set_snapshot(self, csr: CSRView) -> None:
         """Install an externally-built CSR snapshot of the *current* graph.
 
         The sliding-window benchmark harness builds snapshots directly
@@ -141,7 +176,7 @@ class DynamicPPRTracker:
         self,
         updates: Sequence[EdgeUpdate],
         *,
-        snapshot: CSRGraph | None = None,
+        snapshot: CSRView | None = None,
     ) -> BatchStats:
         """Process one update batch: k restore-invariants, then one push.
 
@@ -161,9 +196,11 @@ class DynamicPPRTracker:
             delta = restore_invariant(self.state, self.graph, update, self.config.alpha)
             touched.append(update.u)
             change += abs(delta)
-        self._csr_dirty = True
         if snapshot is not None:
+            self._csr_dirty = True
             self.set_snapshot(snapshot)
+        else:
+            self._advance_snapshot(updates)
         batch = self._push(seeds=touched)
         batch.restore = RestoreStats(len(updates), change)
         batch.wall_time = time.perf_counter() - start
@@ -241,7 +278,7 @@ class MultiSourceTracker:
         self,
         updates: Sequence[EdgeUpdate],
         *,
-        snapshot: CSRGraph | None = None,
+        snapshot: CSRView | None = None,
     ) -> dict[int, PushStats]:
         """Apply a batch to the graph and re-converge every source.
 

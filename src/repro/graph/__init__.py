@@ -2,6 +2,7 @@
 
 from .csr import CSRGraph
 from .datasets import DATASETS, DatasetSpec, load_dataset
+from .delta import DeltaCSRGraph
 from .digraph import DynamicDiGraph
 from .generators import (
     complete_graph,
@@ -20,6 +21,7 @@ __all__ = [
     "CSRGraph",
     "DATASETS",
     "DatasetSpec",
+    "DeltaCSRGraph",
     "DynamicDiGraph",
     "EdgeOp",
     "EdgeStream",

@@ -108,6 +108,17 @@ class CSRGraph:
     def in_degree(self, u: int) -> int:
         return int(self.indptr[u + 1] - self.indptr[u])
 
+    def in_degrees(self, ids: np.ndarray) -> np.ndarray:
+        """In-degrees of ``ids`` as an array (vectorized :meth:`in_degree`).
+
+        Part of the narrow snapshot interface (together with ``dout``,
+        :meth:`gather_in_edges`, :meth:`in_neighbors` and
+        :meth:`ensure_covers`) that the push engines and the Ligra
+        baseline consume — implemented by both this frozen CSR and the
+        delta overlay view (:class:`repro.graph.delta.DeltaCSRGraph`).
+        """
+        return self.indptr[ids + 1] - self.indptr[ids]
+
     def gather_in_edges(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """All in-edges of ``frontier`` vertices as flat arrays.
 

@@ -185,6 +185,24 @@ class DynamicDiGraph:
         """
         return iter(self._in.get(u, {}).items())
 
+    def in_row(self, u: int) -> np.ndarray:
+        """Dense in-adjacency row of ``u``, multiplicities expanded.
+
+        *Order-exact* with :meth:`CSRGraph.from_digraph
+        <repro.graph.csr.CSRGraph.from_digraph>`: neighbors appear in the
+        ``_in[u]`` dict iteration order with each neighbor's parallel
+        copies contiguous — the exact sequence a full CSR rebuild would
+        store for ``u``. This is what lets the delta overlay
+        (:class:`repro.graph.delta.DeltaCSRGraph`) patch single rows and
+        still stay bit-compatible with a rebuilt snapshot.
+        """
+        nbrs = self._in.get(u)
+        if not nbrs:
+            return np.empty(0, dtype=np.int64)
+        ids = np.fromiter(nbrs.keys(), dtype=np.int64, count=len(nbrs))
+        counts = np.fromiter(nbrs.values(), dtype=np.int64, count=len(nbrs))
+        return np.repeat(ids, counts)
+
     def out_degree_array(self, capacity: int | None = None) -> np.ndarray:
         """Dense ``int64`` array of out-degrees indexed by vertex id."""
         cap = self.capacity if capacity is None else capacity

@@ -26,19 +26,21 @@ import numpy as np
 
 from ..config import Phase, PPRConfig
 from ..errors import BackendError, ConvergenceError
-from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView
 from ..core.state import PPRState
 from ..core.stats import IterationRecord, PushStats
 
 # Worker-process globals installed by the pool initializer; shipping the
-# CSR once per pool instead of once per task keeps the demo usable.
-_WORKER_CSR: CSRGraph | None = None
+# snapshot once per pool instead of once per task keeps the demo usable.
+# Workers only touch the narrow snapshot interface (``gather_in_edges``
+# and ``dout``), so a frozen CSR and a delta overlay view both work.
+_WORKER_CSR: CSRView | None = None
 _WORKER_ALPHA: float = 0.15
 
 
-def _init_worker(indptr: np.ndarray, indices: np.ndarray, dout: np.ndarray, alpha: float) -> None:
+def _init_worker(csr: CSRView, alpha: float) -> None:
     global _WORKER_CSR, _WORKER_ALPHA
-    _WORKER_CSR = CSRGraph(indptr, indices, dout)
+    _WORKER_CSR = csr
     _WORKER_ALPHA = alpha
 
 
@@ -55,7 +57,7 @@ def _propagate_shard(args: tuple[np.ndarray, np.ndarray]) -> tuple[np.ndarray, n
 
 def multiprocess_push(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     config: PPRConfig,
     *,
     seeds: Iterable[int] | None = None,
@@ -74,7 +76,7 @@ def multiprocess_push(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(csr.indptr, csr.indices, csr.dout, config.alpha),
+        initargs=(csr, config.alpha),
     ) as pool:
         for phase in (Phase.POS, Phase.NEG):
             _run_phase(state, csr, phase, config, seeds, stats, pool, workers)
@@ -85,7 +87,7 @@ def multiprocess_push(
 
 def _run_phase(
     state: PPRState,
-    csr: CSRGraph,
+    csr: CSRView,
     phase: Phase,
     config: PPRConfig,
     seeds: Iterable[int] | None,

@@ -20,7 +20,7 @@ from ..config import PPRConfig, ServeConfig
 from ..core.push_parallel import parallel_local_push
 from ..core.state import PPRState
 from ..core.stats import PushStats
-from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView
 from ..graph.digraph import DynamicDiGraph
 
 
@@ -70,7 +70,7 @@ class AdmissionPool:
     def admit(
         self,
         graph: DynamicDiGraph,
-        snapshot: CSRGraph | None,
+        snapshot: CSRView | None,
         sources: Sequence[int] | None = None,
     ) -> dict[int, PPRState]:
         """Push the given (or all pending) cold sources from scratch.
@@ -102,7 +102,7 @@ class AdmissionPool:
         return admitted
 
     def drain(
-        self, graph: DynamicDiGraph, snapshot: CSRGraph | None
+        self, graph: DynamicDiGraph, snapshot: CSRView | None
     ) -> dict[int, PPRState]:
         """Admit *everything* pending, in as many batches as needed."""
         admitted: dict[int, PPRState] = {}

@@ -7,9 +7,12 @@ state. The service owns
 
 * one :class:`~repro.graph.digraph.DynamicDiGraph` — every stream update
   is applied to it exactly once;
-* a *versioned* CSR snapshot — rebuilt lazily, at most once per ingested
-  batch, and shared by every push that version triggers (resident
-  refreshes, cold admissions, hub re-convergence);
+* a *versioned* CSR snapshot shared by every push that version triggers
+  (resident refreshes, cold admissions, hub re-convergence) — advanced
+  per batch as a :class:`~repro.graph.delta.DeltaCSRGraph` overlay under
+  the default :attr:`~repro.config.SnapshotStrategy.DELTA` strategy
+  (O(batch) per ingest, amortized consolidation), or rebuilt lazily at
+  most once per batch under ``REBUILD``;
 * a :class:`~repro.serve.cache.SourceCache` of resident per-source states
   with LRU eviction;
 * an :class:`~repro.serve.pool.AdmissionPool` that admits cold sources in
@@ -37,7 +40,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..config import Backend, PPRConfig, RefreshPolicy, ServeConfig
+from ..config import (
+    Backend,
+    HubRefresh,
+    PPRConfig,
+    RefreshPolicy,
+    ServeConfig,
+    SnapshotStrategy,
+)
 from ..core.certify import CertifiedEntry, certified_top_k
 from ..core.hub_index import DynamicHubIndex
 from ..core.invariant import restore_invariant
@@ -46,6 +56,7 @@ from ..core.state import PPRState
 from ..core.stats import PushStats
 from ..errors import ConfigError
 from ..graph.csr import CSRGraph
+from ..graph.delta import CSRView, DeltaCSRGraph
 from ..graph.digraph import DynamicDiGraph
 from ..graph.stream import WindowSlide
 from ..graph.update import EdgeUpdate
@@ -99,6 +110,8 @@ class ServiceMetrics:
     evictions: int = 0
     resident: int = 0
     snapshot_rebuilds: int = 0
+    snapshot_delta_applies: int = 0
+    snapshot_consolidations: int = 0
     updates_ingested: int = 0
     batches_ingested: int = 0
     staleness_samples: list[int] = field(default_factory=list, repr=False)
@@ -144,6 +157,8 @@ class ServiceMetrics:
                 f"updates ingested:   {self.updates_ingested}"
                 f" in {self.batches_ingested} batches,"
                 f" {self.snapshot_rebuilds} snapshot rebuilds",
+                f"delta snapshots:    {self.snapshot_delta_applies} applied,"
+                f" {self.snapshot_consolidations} consolidations",
                 f"staleness (updates): p50={self.staleness_percentile(50):.0f}"
                 f" p99={self.staleness_percentile(99):.0f}",
             ]
@@ -211,8 +226,9 @@ class PPRService:
                 config=self.config,
             )
         self.graph_version = 0
-        self._csr: CSRGraph | None = None
+        self._csr: CSRView | None = None
         self._csr_version = -1
+        self._hub_pending: set[int] = set()
         self._metrics = ServiceMetrics()
         self.store: "StateStore | None" = None
         if store is None and self.serve.store is not None:
@@ -254,12 +270,14 @@ class PPRService:
         graph_version: int,
         updates_ingested: int,
         batches_ingested: int,
+        hub_pending: Sequence[int] = (),
     ) -> "PPRService":
         """Rebuild a service from checkpointed state, running no pushes.
 
         The restoration path of :mod:`repro.store`: ``residents`` are
         installed as-is in the given (LRU→MRU) order, ``hub_index`` is
-        adopted without re-convergence, and the version/staleness
+        adopted without re-convergence (``hub_pending`` restores any
+        deferred lazy-refresh seeds), and the version/staleness
         counters resume where the checkpoint left them. Lifetime query
         metrics (hits, admissions, …) restart at zero — they are
         observability, not state.
@@ -268,6 +286,7 @@ class PPRService:
         service = cls(graph, config, serve_inert)
         service.serve = serve
         service.hub_index = hub_index
+        service._hub_pending = set(int(v) for v in hub_pending)
         service.graph_version = graph_version
         service._metrics.updates_ingested = updates_ingested
         service._metrics.batches_ingested = batches_ingested
@@ -282,22 +301,65 @@ class PPRService:
     # snapshots
     # ------------------------------------------------------------------ #
 
-    def _snapshot(self) -> CSRGraph | None:
-        """The shared CSR view of the current graph version (lazy rebuild)."""
+    def _snapshot(self) -> CSRView | None:
+        """The shared CSR view of the current graph version (lazy rebuild).
+
+        Under :attr:`~repro.config.SnapshotStrategy.DELTA` the view is
+        normally advanced incrementally by :meth:`ingest`
+        (:meth:`_advance_snapshot`); the full rebuild here is the cold
+        start and the fallback when the version chain was broken.
+        """
         if self.config.backend is Backend.PURE:
             return None
         if self._csr is None or self._csr_version != self.graph_version:
-            self._csr = CSRGraph.from_digraph(self.graph)
+            csr = CSRGraph.from_digraph(self.graph)
+            if self.serve.snapshot is SnapshotStrategy.DELTA:
+                self._csr = DeltaCSRGraph.wrap(csr)
+            else:
+                self._csr = csr
             self._csr_version = self.graph_version
             self._metrics.snapshot_rebuilds += 1
         return self._csr
 
-    def set_snapshot(self, csr: CSRGraph) -> None:
+    def _advance_snapshot(self, updates: Sequence[EdgeUpdate]) -> bool:
+        """Derive the new version's view from the previous one, if possible.
+
+        The delta hot path: when the cached view covers the *previous*
+        version, layer this batch's row overlay on it (O(batch), not
+        O(m)) and consolidate once the overlay outgrows
+        ``serve.snapshot_overlay_threshold``. Returns whether the view
+        now covers the current version.
+        """
+        if (
+            self.serve.snapshot is not SnapshotStrategy.DELTA
+            or self.config.backend is Backend.PURE
+            or self._csr is None
+            or self._csr_version != self.graph_version - 1
+        ):
+            return False
+        view = self._csr
+        if not isinstance(view, DeltaCSRGraph):
+            view = DeltaCSRGraph.wrap(view)
+        view = view.apply_updates(self.graph, updates)
+        if view.should_consolidate(self.serve.snapshot_overlay_threshold):
+            view = view.consolidated()
+            self._metrics.snapshot_consolidations += 1
+        else:
+            self._metrics.snapshot_delta_applies += 1
+        self._csr = view
+        self._csr_version = self.graph_version
+        return True
+
+    def set_snapshot(self, csr: CSRView) -> None:
         """Install an externally-built snapshot of the *current* version.
 
         The sliding-window harness builds snapshots straight from its
-        window edge arrays (:meth:`repro.graph.stream.SlidingWindow.snapshot`);
+        window edge arrays (:meth:`repro.graph.stream.SlidingWindow.snapshot`
+        or, incrementally,
+        :meth:`~repro.graph.stream.SlidingWindow.delta_snapshot`);
         installing them here spares the service its own O(n + m) rebuild.
+        Accepts a frozen :class:`~repro.graph.csr.CSRGraph` or a
+        :class:`~repro.graph.delta.DeltaCSRGraph` overlay view.
         """
         csr.ensure_covers(self.graph.capacity)
         self._csr = csr
@@ -324,8 +386,10 @@ class PPRService:
         then fans out to every resident source and every hub vector.
         Under :attr:`~repro.config.RefreshPolicy.LAZY` resident pushes are
         deferred to the next query of each source; under ``EAGER`` they
-        run now, sharing one snapshot. The hub tier is always re-converged
-        eagerly. Returns the push traces of the pushes that ran.
+        run now, sharing one snapshot. The hub tier re-converges according
+        to ``serve.hub_refresh``: eagerly here, or (``LAZY``) deferred to
+        the next hub query with the touched seeds accumulated. Returns the
+        push traces of the pushes that ran.
 
         ``snapshot`` may supply a pre-built CSR view of the graph *after*
         this batch (see :meth:`set_snapshot`).
@@ -361,12 +425,17 @@ class PPRService:
         self._metrics.batches_ingested += 1
         if snapshot is not None:
             self.set_snapshot(snapshot)
+        else:
+            self._advance_snapshot(updates)
 
         traces: dict[int, PushStats] = {}
         if self.hub_index is not None:
-            traces.update(
-                self.hub_index.reconverge(touched, snapshot=self._snapshot())
-            )
+            if self.serve.hub_refresh is HubRefresh.EAGER:
+                traces.update(
+                    self.hub_index.reconverge(touched, snapshot=self._snapshot())
+                )
+            else:
+                self._hub_pending.update(touched_set)
         if self.serve.refresh is RefreshPolicy.EAGER:
             for entry in residents:
                 traces[entry.source] = self._refresh(entry)
@@ -469,7 +538,20 @@ class PPRService:
             if not self.graph.has_vertex(s):
                 self.graph.add_vertex(s)
                 grew = True
-        if grew:
+        if not grew:
+            return
+        if (
+            self._csr is not None
+            and self._csr_version == self.graph_version
+            and self.serve.snapshot is SnapshotStrategy.DELTA
+        ):
+            # Registering vertices adds no adjacency: pad the overlay's
+            # dense arrays instead of invalidating the whole snapshot.
+            view = self._csr
+            if not isinstance(view, DeltaCSRGraph):
+                view = DeltaCSRGraph.wrap(view)
+            self._csr = view.with_capacity(self.graph.capacity)
+        else:
             self._csr_version = -1
 
     def _admit(self, source: int) -> ResidentSource:
@@ -516,16 +598,36 @@ class PPRService:
         """Hub ids of the always-resident tier ([] when disabled)."""
         return self.hub_index.hubs if self.hub_index is not None else []
 
+    @property
+    def hub_pending_seeds(self) -> set[int]:
+        """Seeds awaiting a deferred hub re-convergence (LAZY hub refresh)."""
+        return set(self._hub_pending)
+
+    def _flush_hubs(self) -> dict[int, PushStats]:
+        """Run any deferred hub re-convergence (LAZY ``hub_refresh``).
+
+        Ingest restored every hub invariant already, so pushing from the
+        accumulated touched seeds brings each hub vector to the same
+        ε-converged state an eager refresh would have reached.
+        """
+        if self.hub_index is None or not self._hub_pending:
+            return {}
+        seeds = sorted(self._hub_pending)
+        self._hub_pending.clear()
+        return self.hub_index.reconverge(seeds, snapshot=self._snapshot())
+
     def hub_scores(self, v: int) -> dict[int, float]:
         """``v``'s contribution to every hub (requires the hub tier)."""
         if self.hub_index is None:
             raise ConfigError("hub tier disabled: set ServeConfig.num_hubs > 0")
+        self._flush_hubs()
         return self.hub_index.hub_scores(v)
 
     def rank_for_hub(self, hub: int, k: int) -> list[CertifiedEntry]:
         """Certified top-k contributors of ``hub`` (requires the hub tier)."""
         if self.hub_index is None:
             raise ConfigError("hub tier disabled: set ServeConfig.num_hubs > 0")
+        self._flush_hubs()
         return self.hub_index.rank_for_hub(hub, k)
 
     # ------------------------------------------------------------------ #

@@ -33,7 +33,15 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import PPRConfig, ServeConfig, Backend, PushVariant, RefreshPolicy
+from ..config import (
+    Backend,
+    HubRefresh,
+    PPRConfig,
+    PushVariant,
+    RefreshPolicy,
+    ServeConfig,
+    SnapshotStrategy,
+)
 from ..core.hub_index import DynamicHubIndex
 from ..core.state import PPRState
 from ..errors import StoreError
@@ -44,7 +52,9 @@ from ..serve.service import PPRService
 PathLike = str | os.PathLike
 
 #: Bumped when the npz layout changes incompatibly.
-CHECKPOINT_FORMAT = 1
+#: 2: serve-config fingerprint covers snapshot/hub-refresh knobs;
+#:    deferred lazy hub-refresh seeds (``hubs_pending``) serialized.
+CHECKPOINT_FORMAT = 2
 
 _NAME_RE = re.compile(r"^checkpoint-(\d{12})\.npz$")
 
@@ -87,7 +97,10 @@ def _serve_config_json(serve: ServeConfig) -> str:
             "admission_batch": serve.admission_batch,
             "refresh": serve.refresh.value,
             "num_hubs": serve.num_hubs,
+            "hub_refresh": serve.hub_refresh.value,
             "top_k": serve.top_k,
+            "snapshot": serve.snapshot.value,
+            "snapshot_overlay_threshold": serve.snapshot_overlay_threshold,
         },
         sort_keys=True,
     )
@@ -103,6 +116,8 @@ def _parse_ppr_config(payload: str) -> PPRConfig:
 def _parse_serve_config(payload: str) -> ServeConfig:
     data = json.loads(payload)
     data["refresh"] = RefreshPolicy(data["refresh"])
+    data["hub_refresh"] = HubRefresh(data["hub_refresh"])
+    data["snapshot"] = SnapshotStrategy(data["snapshot"])
     return ServeConfig(**data)
 
 
@@ -165,6 +180,12 @@ def write_checkpoint(directory: PathLike, service: PPRService) -> Path:
     if service.hub_index is not None:
         for key, value in service.hub_index.to_arrays().items():
             arrays[f"hub_{key}"] = value
+    # Deferred lazy hub-refresh seeds (empty under eager refresh): the
+    # hub vectors are checkpointed mid-deferral, so recovery must know
+    # which seeds the next flush has to push from.
+    arrays["hubs_pending"] = np.array(
+        sorted(service.hub_pending_seeds), dtype=np.int64
+    )
 
     final = directory / checkpoint_name(service.graph_version)
     tmp = directory / (final.name + ".tmp")
@@ -195,6 +216,7 @@ class Checkpoint:
     graph: DynamicDiGraph
     residents: list[ResidentSource]
     hub_arrays: dict[str, np.ndarray] | None
+    hub_pending: list[int]
 
     @property
     def num_residents(self) -> int:
@@ -274,6 +296,7 @@ def read_checkpoint(path: PathLike) -> Checkpoint:
                 for key, value in arrays.items()
                 if key.startswith("hub_")
             }
+        hub_pending = arrays["hubs_pending"].tolist()
         return Checkpoint(
             path=path,
             version=int(arrays["graph_version"]),
@@ -285,6 +308,7 @@ def read_checkpoint(path: PathLike) -> Checkpoint:
             graph=graph,
             residents=residents,
             hub_arrays=hub_arrays,
+            hub_pending=hub_pending,
         )
     except StoreError:
         raise
@@ -345,4 +369,5 @@ def restore_service(checkpoint: Checkpoint) -> PPRService:
         graph_version=checkpoint.version,
         updates_ingested=checkpoint.updates_ingested,
         batches_ingested=checkpoint.batches_ingested,
+        hub_pending=checkpoint.hub_pending,
     )

@@ -1,0 +1,303 @@
+"""Serving-layer behaviour of delta snapshots and lazy hub refresh.
+
+The service-level contracts layered on :mod:`repro.graph.delta`:
+
+* ``SnapshotStrategy.DELTA`` advances the shared view incrementally
+  (counted by the new metrics) and serves answers bit-identical to
+  ``REBUILD``;
+* registering new vertices pads the overlay instead of invalidating it;
+* ``ServeConfig.hub_refresh = LAZY`` defers hub re-convergence to the
+  next hub query, stays ε-correct, and survives checkpoint/recovery with
+  its pending seeds intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    Backend,
+    HubRefresh,
+    PPRConfig,
+    ServeConfig,
+    SnapshotStrategy,
+    StoreConfig,
+)
+from repro.errors import ConfigError
+from repro.graph import DeltaCSRGraph, DynamicDiGraph, SlidingWindow
+from repro.graph.generators import erdos_renyi_graph, rmat_graph
+from repro.graph.update import EdgeOp, EdgeUpdate
+from repro.core.tracker import DynamicPPRTracker
+from repro.serve import PPRService
+from repro.store.recovery import recover
+from repro.store.store import StateStore
+
+NUMPY_CONFIG = PPRConfig(epsilon=1e-5, backend=Backend.NUMPY, workers=4)
+
+
+def _graph(seed: int = 3, n: int = 40, m: int = 220) -> DynamicDiGraph:
+    rng = np.random.default_rng(seed)
+    return DynamicDiGraph(map(tuple, erdos_renyi_graph(n, m, rng=rng).tolist()))
+
+
+def _random_batches(rng, count: int, graph: DynamicDiGraph, size: int = 6):
+    batches = []
+    for _ in range(count):
+        batch = []
+        for _ in range(size):
+            arr = graph.edge_array()
+            if len(arr) and rng.random() < 0.35:
+                u, v = arr[rng.integers(0, len(arr))]
+                batch.append(EdgeUpdate(int(u), int(v), EdgeOp.DELETE))
+                graph.remove_edge(int(u), int(v))
+            else:
+                u, v = rng.integers(0, 44, size=2)
+                batch.append(EdgeUpdate(int(u), int(v), EdgeOp.INSERT))
+                graph.add_edge(int(u), int(v))
+        batches.append(batch)
+    return batches
+
+
+def _scripted_batches(seed: int = 7, count: int = 6):
+    """A deterministic update script valid against ``_graph(seed=3)``."""
+    shadow = _graph()
+    return _random_batches(np.random.default_rng(seed), count, shadow)
+
+
+# ---------------------------------------------------------------------- #
+# delta snapshot strategy in the service
+# ---------------------------------------------------------------------- #
+
+
+class TestDeltaStrategy:
+    def test_ingest_advances_without_rebuilds(self):
+        service = PPRService(
+            _graph(), NUMPY_CONFIG, ServeConfig(snapshot=SnapshotStrategy.DELTA)
+        )
+        service.query(0)  # cold start builds the base (1 rebuild)
+        for batch in _scripted_batches():
+            service.ingest(batch)
+            service.query(0)
+        m = service.metrics()
+        assert m.snapshot_rebuilds == 1
+        assert m.snapshot_delta_applies + m.snapshot_consolidations == 6
+        assert "delta snapshots" in m.describe()
+
+    def test_rebuild_strategy_rebuilds_every_version(self):
+        service = PPRService(
+            _graph(), NUMPY_CONFIG, ServeConfig(snapshot=SnapshotStrategy.REBUILD)
+        )
+        service.query(0)
+        for batch in _scripted_batches(count=3):
+            service.ingest(batch)
+            service.query(0)
+        m = service.metrics()
+        assert m.snapshot_rebuilds == 4
+        assert m.snapshot_delta_applies == 0
+
+    def test_overlay_threshold_controls_consolidation(self):
+        def consolidations(threshold: float) -> int:
+            service = PPRService(
+                _graph(),
+                NUMPY_CONFIG,
+                ServeConfig(
+                    snapshot=SnapshotStrategy.DELTA,
+                    snapshot_overlay_threshold=threshold,
+                ),
+            )
+            service.query(0)
+            for batch in _scripted_batches():
+                service.ingest(batch)
+            return service.metrics().snapshot_consolidations
+
+        assert consolidations(1e-9) == 6  # every batch outgrows the overlay
+        assert consolidations(1e9) == 0  # nothing ever does
+
+    def test_answers_bit_identical_to_rebuild(self):
+        def run(strategy):
+            service = PPRService(
+                _graph(), NUMPY_CONFIG, ServeConfig(snapshot=strategy)
+            )
+            sources = [0, 5, 11]
+            service.query_many(sources)
+            out = []
+            for batch in _scripted_batches():
+                service.ingest(batch)
+                for s in sources:
+                    out.append(
+                        [(e.vertex, e.estimate) for e in service.query(s).entries]
+                    )
+            return out
+
+        assert run(SnapshotStrategy.REBUILD) == run(SnapshotStrategy.DELTA)
+
+    def test_new_vertex_registration_pads_the_overlay(self):
+        service = PPRService(
+            _graph(), NUMPY_CONFIG, ServeConfig(snapshot=SnapshotStrategy.DELTA)
+        )
+        service.query(0)
+        service.ingest(_scripted_batches(count=1)[0])
+        rebuilds = service.metrics().snapshot_rebuilds
+        service.query(90)  # unknown id: grows the graph's id space
+        assert service.graph.has_vertex(90)
+        assert service.metrics().snapshot_rebuilds == rebuilds  # padded, not rebuilt
+        assert service.query(90).entries[0].vertex == 90
+
+    def test_external_window_snapshot_feeds_the_delta_chain(self):
+        edges = rmat_graph(64, 500, rng=5)
+        window = SlidingWindow(edges, batch_size=6)
+        graph = DynamicDiGraph(map(tuple, window.initial_edges.tolist()))
+        service = PPRService(
+            graph, NUMPY_CONFIG, ServeConfig(snapshot=SnapshotStrategy.DELTA)
+        )
+        source = int(window.initial_edges[0, 0])
+        service.query(source)
+        for _ in range(3):
+            slide = window.slide()
+            service.ingest(
+                list(slide.updates),
+                snapshot=window.delta_snapshot(service.graph.capacity),
+            )
+            assert service.snapshot_version == service.graph_version
+            service.query(source)
+        # The externally-maintained view spares the service every rebuild
+        # after the cold start.
+        assert service.metrics().snapshot_rebuilds == 1
+
+
+# ---------------------------------------------------------------------- #
+# lazy hub refresh
+# ---------------------------------------------------------------------- #
+
+
+class TestLazyHubRefresh:
+    SERVE = ServeConfig(num_hubs=3, hub_refresh=HubRefresh.LAZY)
+
+    def test_ingest_defers_hub_pushes(self):
+        service = PPRService(_graph(), NUMPY_CONFIG, self.SERVE)
+        traces = service.ingest(_scripted_batches(count=1)[0])
+        assert traces == {}  # no hub pushes ran
+        assert service.hub_pending_seeds  # but the seeds are queued
+
+    def test_hub_query_flushes_and_matches_eager_within_epsilon(self):
+        eager = PPRService(
+            _graph(), NUMPY_CONFIG, self.SERVE.with_(hub_refresh=HubRefresh.EAGER)
+        )
+        lazy = PPRService(_graph(), NUMPY_CONFIG, self.SERVE)
+        assert eager.hubs == lazy.hubs
+        for batch in _scripted_batches():
+            eager.ingest(batch)
+            lazy.ingest(batch)
+        for hub in eager.hubs:
+            a = eager.rank_for_hub(hub, 5)
+            b = lazy.rank_for_hub(hub, 5)
+            for ea, eb in zip(a, b):
+                assert ea.vertex == eb.vertex or abs(
+                    ea.estimate - eb.estimate
+                ) <= 2 * NUMPY_CONFIG.epsilon
+        assert not lazy.hub_pending_seeds  # flushed by the queries
+
+    def test_hub_scores_flush_too(self):
+        service = PPRService(_graph(), NUMPY_CONFIG, self.SERVE)
+        service.ingest(_scripted_batches(count=1)[0])
+        assert service.hub_pending_seeds
+        service.hub_scores(0)
+        assert not service.hub_pending_seeds
+
+    def test_resident_answers_independent_of_hub_refresh(self):
+        def run(hub_refresh):
+            service = PPRService(
+                _graph(), NUMPY_CONFIG, self.SERVE.with_(hub_refresh=hub_refresh)
+            )
+            service.query_many([0, 5])
+            out = []
+            for batch in _scripted_batches():
+                service.ingest(batch)
+                for s in (0, 5):
+                    out.append(
+                        [(e.vertex, e.estimate) for e in service.query(s).entries]
+                    )
+            return out
+
+        assert run(HubRefresh.EAGER) == run(HubRefresh.LAZY)
+
+    def test_pending_seeds_survive_checkpoint_recovery(self, tmp_path):
+        reference = PPRService(_graph(), NUMPY_CONFIG, self.SERVE)
+        persisted = PPRService(_graph(), NUMPY_CONFIG, self.SERVE)
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=2)
+        )
+        persisted.attach_store(store)
+        for batch in _scripted_batches(count=5):
+            reference.ingest(batch)
+            persisted.ingest(batch)
+        assert persisted.hub_pending_seeds  # crash mid-deferral
+        store.close()
+        recovered = recover(tmp_path, attach=False).service
+        assert recovered.graph_version == reference.graph_version
+        assert recovered.hub_pending_seeds == reference.hub_pending_seeds
+        # The deferred flush answers bit-identically to the uninterrupted run.
+        for hub in reference.hubs:
+            assert recovered.rank_for_hub(hub, 5) == reference.rank_for_hub(hub, 5)
+
+
+# ---------------------------------------------------------------------- #
+# tracker delta strategy
+# ---------------------------------------------------------------------- #
+
+
+def test_tracker_delta_strategy_matches_rebuild_bitwise():
+    def run(strategy):
+        tracker = DynamicPPRTracker(
+            _graph(), 0, NUMPY_CONFIG, snapshot_strategy=strategy
+        )
+        for batch in _scripted_batches():
+            tracker.apply_batch(batch)
+        return tracker.state
+
+    a = run(SnapshotStrategy.REBUILD)
+    b = run(SnapshotStrategy.DELTA)
+    assert np.array_equal(a.p, b.p)
+    assert np.array_equal(a.r, b.r)
+
+
+def test_tracker_delta_keeps_overlay_view():
+    tracker = DynamicPPRTracker(
+        _graph(),
+        0,
+        NUMPY_CONFIG,
+        snapshot_strategy=SnapshotStrategy.DELTA,
+        overlay_threshold=1e9,
+    )
+    for batch in _scripted_batches(count=3):
+        tracker.apply_batch(batch)
+    assert isinstance(tracker._csr, DeltaCSRGraph)
+    assert tracker._csr.overlay_rows > 0
+    assert not tracker._csr_dirty
+
+
+# ---------------------------------------------------------------------- #
+# config plumbing
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"snapshot": "delta"},
+        {"snapshot_overlay_threshold": 0.0},
+        {"snapshot_overlay_threshold": -1.0},
+        {"hub_refresh": "lazy"},
+    ],
+)
+def test_serve_config_rejects_bad_delta_knobs(kwargs):
+    with pytest.raises(ConfigError):
+        ServeConfig(**kwargs)
+
+
+def test_serve_config_delta_defaults():
+    cfg = ServeConfig()
+    assert cfg.snapshot is SnapshotStrategy.DELTA
+    assert cfg.hub_refresh is HubRefresh.EAGER
+    assert cfg.snapshot_overlay_threshold == 0.25
