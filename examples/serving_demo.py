@@ -4,9 +4,12 @@ A miniature who-to-follow deployment (the workload of the paper's
 Section 6): one :class:`repro.serve.PPRService` owns the dynamic graph
 and answers recommendation queries for a mix of users from maintained
 state, while a sliding stream of follow/unfollow events is ingested
-between query bursts. Demonstrates cold admission, LRU residency, lazy
-per-query refresh, the always-fresh hub tier, and the freshness contract
-(served answers match a from-scratch recomputation at the same ε).
+between query bursts. Traffic flows through the typed gateway API's
+embedded :class:`repro.api.Client` (the canonical entry point — the same
+protocol ``python -m repro serve`` exposes over HTTP; see docs/api.md).
+Demonstrates cold admission, LRU residency, lazy per-query refresh, the
+always-fresh hub tier, and the freshness contract (served answers match
+a from-scratch recomputation at the same ε).
 
 Run:  PYTHONPATH=src python examples/serving_demo.py
 Docs: docs/serving.md
@@ -33,6 +36,7 @@ def main() -> None:
         config,
         ServeConfig(cache_capacity=8, admission_batch=4, num_hubs=4, top_k=5),
     )
+    client = service.api  # the typed gateway's embedded client
     print(f"workload: {prepared.describe()}")
     print(f"service:  {service}\n")
 
@@ -40,7 +44,7 @@ def main() -> None:
     # neighbors — admitted cold on first query, resident afterwards.
     users = [prepared.source] + service.hubs[:3]
     for user in users:
-        answer = service.query(user)
+        answer = client.top_k(user)
         kind = "cold admission" if answer.cold else "cache hit"
         top = ", ".join(f"v{e.vertex}:{e.estimate:.4f}" for e in answer.entries[:3])
         print(f"query u{user:<6d} [{kind:>14s}]  top-3: {top}")
@@ -48,24 +52,24 @@ def main() -> None:
     # Ingest stream batches between query bursts; answers stay ε-fresh.
     window = prepared.new_window()
     for slide in window.slides(3):
-        service.ingest(slide)
-        answer = service.query(prepared.source)
+        client.ingest(list(slide.updates))
+        answer = client.top_k(prepared.source)
         print(
             f"\nslide {slide.step}: ingested {len(slide.updates)} updates"
             f" -> version {answer.snapshot_version},"
-            f" query arrived {answer.staleness_updates} updates stale,"
+            f" query arrived {answer.staleness} updates stale,"
             f" answered fresh"
         )
 
     # Freshness contract: the served ranking matches a from-scratch
     # vectorized push at the same epsilon on the same graph.
-    served = service.query(prepared.source)
+    served = client.top_k(prepared.source)
     fresh = PPRState.initial(prepared.source, graph.capacity)
     parallel_local_push(
         fresh, graph, config, seeds=[prepared.source], csr=CSRGraph.from_digraph(graph)
     )
     reference = certified_top_k(fresh, 5)
-    assert topk_matches(served.entries, reference, config.epsilon), (
+    assert topk_matches(list(served.entries), reference, config.epsilon), (
         "served top-k diverged from fresh recomputation"
     )
     print("\nserved top-5 matches a from-scratch recomputation at the same ε")

@@ -1,0 +1,121 @@
+"""Gateway CI smoke: HTTP answers must equal the embedded client's.
+
+Starts ``python -m repro serve`` on a toy dataset analog as a real
+subprocess, waits for ``/v1/healthz``, requests a certified top-k over
+the socket, and asserts it is **bit-for-bit identical** (vertex ids and
+float estimates) to the answer the embedded :class:`repro.api.Client`
+produces for the same snapshot version — the service bootstrap
+(:func:`repro.bench.gateway.workload_service`) is deterministic, so two
+processes built from the same arguments must serve the same floats.
+Also exercises the 4xx paths: malformed JSON, unknown route, unknown op.
+
+Run from the repository root:  PYTHONPATH=src python scripts/gateway_smoke.py
+CI runs this after the test suite (.github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api.http import HttpClient  # noqa: E402
+from repro.bench.gateway import workload_service  # noqa: E402
+from repro.errors import RequestError, VertexError  # noqa: E402
+
+DATASET = "youtube"
+PORT = 8711
+K = 5
+
+
+def wait_healthy(base: str, deadline_s: float = 60.0) -> None:
+    start = time.time()
+    while time.time() - start < deadline_s:
+        try:
+            with urllib.request.urlopen(f"{base}/v1/healthz", timeout=2) as response:
+                if json.loads(response.read()).get("status") == "ok":
+                    return
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.3)
+    raise SystemExit(f"server on {base} never became healthy")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", DATASET, "--port", str(PORT)],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    base = f"http://127.0.0.1:{PORT}"
+    try:
+        wait_healthy(base)
+        http = HttpClient(base)
+
+        # The embedded twin: same deterministic bootstrap, same query.
+        service, prepared = workload_service(DATASET)
+        embedded = service.api.top_k(prepared.source, k=K)
+
+        answer = http.query({"source": prepared.source, "k": K})
+        if answer["snapshot_version"] != embedded.snapshot_version:
+            print("snapshot versions diverged", file=sys.stderr)
+            return 1
+        got = [(e["vertex"], e["estimate"]) for e in answer["entries"]]
+        want = [(e.vertex, e.estimate) for e in embedded.entries]
+        if got != want:
+            print(f"top-{K} mismatch:\n  http     {got}\n  embedded {want}",
+                  file=sys.stderr)
+            return 1
+        print(f"top-{K} over HTTP is bit-identical to the embedded client: {got}")
+
+        # Stats and error paths.
+        stats = http.stats()
+        assert stats["ok"] and stats["stats"]["queries"] >= 1, stats
+        try:
+            http.query({"op": "bogus"})
+            raise SystemExit("unknown op did not fail")
+        except RequestError as exc:
+            print(f"unknown op -> REQUEST: {exc}")
+        try:
+            http.query({"op": "score", "source": prepared.source, "target": 10**9})
+            raise SystemExit("unknown target did not fail")
+        except VertexError as exc:
+            print(f"unknown score target -> VERTEX: {exc}")
+        request = urllib.request.Request(
+            f"{base}/v1/query", data=b"{not json", method="POST"
+        )
+        try:
+            urllib.request.urlopen(request, timeout=5)
+            raise SystemExit("malformed JSON did not fail")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400, exc.code
+            print("malformed JSON -> 400")
+        try:
+            urllib.request.urlopen(f"{base}/v1/nope", timeout=5)
+            raise SystemExit("unknown route did not fail")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404, exc.code
+            print("unknown route -> 404")
+        print("gateway smoke: OK")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,8 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: the typed request/response API is visible to type-checkers.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
@@ -35,5 +37,6 @@ setup(
         "Intended Audience :: Science/Research",
         "Programming Language :: Python :: 3",
         "Topic :: Scientific/Engineering :: Information Analysis",
+        "Typing :: Typed",
     ],
 )

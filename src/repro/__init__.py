@@ -22,8 +22,18 @@ Quickstart
 True
 """
 
+from .api import (
+    Client,
+    Consistency,
+    ErrorInfo,
+    Gateway,
+    HttpClient,
+    request_from_dict,
+)
 from .config import (
+    ApiConfig,
     Backend,
+    ConsistencyLevel,
     FsyncPolicy,
     Phase,
     PPRConfig,
@@ -55,15 +65,19 @@ from .core.state import PPRState
 from .core.stats import BatchStats, IterationRecord, PushStats
 from .core.tracker import DynamicPPRTracker, MultiSourceTracker
 from .errors import (
+    ERROR_CODES,
     BackendError,
     ConfigError,
+    ConflictError,
     ConvergenceError,
     EdgeError,
     GraphError,
     ReproError,
+    RequestError,
     StoreError,
     StreamError,
     VertexError,
+    error_from_dict,
 )
 from .graph import (
     CSRGraph,
@@ -87,6 +101,7 @@ from .serve import (
     PPRService,
     ResidentSource,
     ServedQuery,
+    ServedScore,
     ServiceMetrics,
     SourceCache,
 )
@@ -104,14 +119,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionPool",
+    "ApiConfig",
     "Backend",
     "BackendError",
     "BatchStats",
     "CPUCostModel",
     "CSRGraph",
+    "Client",
+    "Consistency",
+    "ConsistencyLevel",
     "DeltaCSRGraph",
     "ConfigError",
+    "ConflictError",
     "ConvergenceError",
+    "ERROR_CODES",
+    "ErrorInfo",
     "DATASETS",
     "DatasetSpec",
     "DynamicDiGraph",
@@ -123,7 +145,9 @@ __all__ = [
     "EdgeUpdate",
     "FsyncPolicy",
     "GPUCostModel",
+    "Gateway",
     "GraphError",
+    "HttpClient",
     "IterationRecord",
     "LabeledDiGraph",
     "LigraCostModel",
@@ -138,9 +162,11 @@ __all__ = [
     "RecoveryResult",
     "RefreshPolicy",
     "ReproError",
+    "RequestError",
     "ResidentSource",
     "ServeConfig",
     "ServedQuery",
+    "ServedScore",
     "ServiceMetrics",
     "SlidingWindow",
     "SourceCache",
@@ -159,6 +185,7 @@ __all__ = [
     "cpu_seq_update",
     "deletions",
     "error_bound",
+    "error_from_dict",
     "ground_truth_linear",
     "ground_truth_ppr",
     "insertions",
@@ -173,6 +200,7 @@ __all__ = [
     "profile_gpu",
     "random_permutation_stream",
     "recover_service",
+    "request_from_dict",
     "residual_change_bound",
     "residual_decay",
     "restore_invariant",

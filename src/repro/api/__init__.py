@@ -1,0 +1,90 @@
+"""Typed gateway API — the single public entry point of the engine.
+
+The seam every future scaling layer (sharding, async execution,
+replication) plugs into, separating a typed query/operation protocol from
+the storage/execution engines beneath it:
+
+* :mod:`~repro.api.requests` / :mod:`~repro.api.responses` — frozen
+  dataclasses for every operation, with per-request
+  :class:`~repro.api.requests.Consistency` levels (FRESH / BOUNDED / ANY)
+  and stable error codes;
+* :class:`~repro.api.gateway.Gateway` — validates, routes, and schedules
+  mixed read/write traffic (reads coalesced between write barriers,
+  writes orderable against snapshot versions);
+* :class:`~repro.api.client.Client` — the embedded canonical API;
+* :mod:`~repro.api.http` — the stdlib HTTP/JSON front-end behind
+  ``python -m repro serve``.
+
+See ``docs/api.md`` for the protocol reference.
+"""
+
+from .client import Client
+from .gateway import Gateway
+from .http import GatewayHTTPServer, HttpClient, make_server, serve_http
+from .requests import (
+    ANY,
+    FRESH,
+    ApiRequest,
+    BatchQuery,
+    CheckpointNow,
+    Consistency,
+    Health,
+    HubQuery,
+    IngestBatch,
+    Prefetch,
+    REQUEST_TYPES,
+    ScoreQuery,
+    Stats,
+    TopKQuery,
+    consistency_for,
+    request_from_dict,
+)
+from .responses import (
+    ApiResponse,
+    BatchResult,
+    CheckpointResult,
+    ErrorInfo,
+    HealthResult,
+    HubResult,
+    IngestResult,
+    PrefetchResult,
+    ScoreResult,
+    StatsResult,
+    TopKResult,
+)
+
+__all__ = [
+    "ANY",
+    "ApiRequest",
+    "ApiResponse",
+    "BatchQuery",
+    "BatchResult",
+    "CheckpointNow",
+    "CheckpointResult",
+    "Client",
+    "Consistency",
+    "ErrorInfo",
+    "FRESH",
+    "Gateway",
+    "GatewayHTTPServer",
+    "Health",
+    "HealthResult",
+    "HttpClient",
+    "HubQuery",
+    "HubResult",
+    "IngestBatch",
+    "IngestResult",
+    "Prefetch",
+    "PrefetchResult",
+    "REQUEST_TYPES",
+    "ScoreQuery",
+    "ScoreResult",
+    "Stats",
+    "StatsResult",
+    "TopKQuery",
+    "TopKResult",
+    "consistency_for",
+    "make_server",
+    "request_from_dict",
+    "serve_http",
+]

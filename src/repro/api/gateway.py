@@ -1,0 +1,380 @@
+"""The gateway: validate, route, and schedule typed requests.
+
+:class:`Gateway` is the single public seam between callers (embedded
+:class:`~repro.api.client.Client`, the HTTP front-end, the ``PPRService``
+compatibility shims) and the serving engine beneath. It owns three
+responsibilities the engine should not:
+
+* **protocol** — requests are validated dataclasses, answers are typed
+  responses, failures are :class:`~repro.api.responses.ErrorInfo` with
+  the stable codes of :mod:`repro.errors` (never raw tracebacks);
+* **scheduling** — :meth:`submit_many` runs mixed read/write traffic in
+  arrival order with writes as barriers, and *coalesces* runs of
+  same-shaped top-k reads between writes into one batched engine call,
+  deduplicating repeated sources (heavy-tailed query mixes repeat the
+  same hot sources constantly — one certify serves them all);
+* **ordering** — an :class:`~repro.api.requests.IngestBatch` carrying
+  ``expect_version`` applies only against that exact snapshot version
+  (optimistic concurrency), so external writers can order their writes
+  against the versions their reads observed.
+
+One lock serializes execution: the HTTP front-end's worker threads and
+embedded callers share a gateway safely. Consistency levels (FRESH /
+BOUNDED / ANY) are enforced per read via the engine's staleness contract.
+See ``docs/api.md`` for the full protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import replace as dc_replace
+from typing import TYPE_CHECKING
+
+from ..config import ApiConfig
+from ..errors import ConfigError, ConflictError, ReproError, RequestError
+from .requests import (
+    ApiRequest,
+    BatchQuery,
+    CheckpointNow,
+    Health,
+    HubQuery,
+    IngestBatch,
+    Prefetch,
+    ScoreQuery,
+    Stats,
+    TopKQuery,
+)
+from .responses import (
+    ApiResponse,
+    BatchResult,
+    CheckpointResult,
+    ErrorInfo,
+    HealthResult,
+    HubResult,
+    IngestResult,
+    PrefetchResult,
+    ScoreResult,
+    StatsResult,
+    TopKResult,
+)
+
+if TYPE_CHECKING:
+    from ..serve.service import PPRService, ServedQuery
+
+#: Request class -> response class, used to shape error responses.
+RESPONSE_FOR: dict[type[ApiRequest], type[ApiResponse]] = {
+    TopKQuery: TopKResult,
+    BatchQuery: BatchResult,
+    HubQuery: HubResult,
+    ScoreQuery: ScoreResult,
+    IngestBatch: IngestResult,
+    Prefetch: PrefetchResult,
+    CheckpointNow: CheckpointResult,
+    Stats: StatsResult,
+    Health: HealthResult,
+}
+
+
+class Gateway:
+    """Typed request/response front door of one :class:`PPRService`.
+
+    Parameters
+    ----------
+    service:
+        The serving engine to front. The gateway becomes its single
+        entry point; the engine's legacy methods delegate back here.
+    config:
+        Gateway knobs (:class:`repro.config.ApiConfig`): read-coalescing
+        width, bind address for the HTTP front-end, defaults.
+
+    Examples
+    --------
+    >>> from repro import DynamicDiGraph, PPRService
+    >>> from repro.api import TopKQuery
+    >>> service = PPRService(DynamicDiGraph([(1, 0), (2, 0), (0, 1)]))
+    >>> response = service.gateway.submit(TopKQuery(source=0, k=2))
+    >>> response.ok and response.vertices[0] == 0
+    True
+    """
+
+    def __init__(self, service: "PPRService", config: ApiConfig | None = None) -> None:
+        self.service = service
+        self.config = config or ApiConfig()
+        # One engine, one scheduler: a directly-constructed gateway becomes
+        # the service's own (so the compatibility shims route through it,
+        # not through a second lazily-created one); if the service already
+        # has a gateway, share its lock so serialization still holds across
+        # both front doors.
+        if service._gateway is None:
+            service._gateway = self
+            self._lock = threading.RLock()
+        else:
+            self._lock = service._gateway._lock
+        #: Per-op request counts plus scheduler counters (stats surface).
+        self.counters: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # single-request paths
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        """Execute one request; failures become error-carrying responses.
+
+        The protocol edge: every :class:`~repro.errors.ReproError` is
+        mapped to a typed response whose ``error`` holds the stable code
+        and structured details. Non-library exceptions propagate — they
+        are bugs, not protocol outcomes.
+        """
+        try:
+            return self.execute(request)
+        except ReproError as exc:
+            self.counters["errors"] += 1
+            shape = RESPONSE_FOR.get(type(request), ApiResponse)
+            return shape.failure(
+                ErrorInfo.from_exception(exc),
+                snapshot_version=self.service.graph_version,
+            )
+
+    def execute(self, request: ApiRequest) -> ApiResponse:
+        """Execute one request, raising typed errors (the embedded path)."""
+        if not isinstance(request, ApiRequest):
+            raise RequestError(f"not an ApiRequest: {request!r}")
+        with self._lock:
+            self.counters[request.op] += 1
+            start = time.perf_counter()
+            if isinstance(request, TopKQuery):
+                served = self.service._execute_query(
+                    request.source,
+                    request.k,
+                    max_staleness=request.consistency.max_staleness,
+                )
+                return self._topk_result(served, request.k)
+            if isinstance(request, BatchQuery):
+                return self._execute_batch(request, start)
+            if isinstance(request, ScoreQuery):
+                score = self.service._execute_score(
+                    request.source,
+                    request.target,
+                    max_staleness=request.consistency.max_staleness,
+                )
+                return ScoreResult(
+                    source=score.source,
+                    target=score.target,
+                    estimate=score.estimate,
+                    error_bound=score.error_bound,
+                    cold=score.cold,
+                    snapshot_version=score.snapshot_version,
+                    staleness=score.staleness_updates,
+                    wall_time_s=score.wall_time,
+                )
+            if isinstance(request, HubQuery):
+                entries = self.service._execute_rank_for_hub(request.hub, request.k)
+                return HubResult(
+                    hub=request.hub,
+                    k=len(entries),
+                    entries=tuple(entries),
+                    snapshot_version=self.service.graph_version,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            if isinstance(request, IngestBatch):
+                return self._execute_ingest(request, start)
+            if isinstance(request, Prefetch):
+                for source in request.sources:
+                    self.service._execute_prefetch(source)
+                return PrefetchResult(
+                    requested=len(request.sources),
+                    pending=len(self.service.pool.pending),
+                    snapshot_version=self.service.graph_version,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            if isinstance(request, CheckpointNow):
+                if self.service.store is None:
+                    raise ConfigError(
+                        "no state store attached: set ServeConfig.store or"
+                        " call PPRService.attach_store"
+                    )
+                path = self.service.store.checkpoint(self.service)
+                return CheckpointResult(
+                    path=str(path),
+                    written=True,
+                    snapshot_version=self.service.graph_version,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            if isinstance(request, Stats):
+                stats = dict(self.service.metrics().to_dict())
+                stats["gateway"] = dict(self.counters)
+                return StatsResult(
+                    stats=stats,
+                    snapshot_version=self.service.graph_version,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            if isinstance(request, Health):
+                service = self.service
+                return HealthResult(
+                    status="ok",
+                    graph_version=service.graph_version,
+                    num_vertices=service.graph.num_vertices,
+                    num_edges=service.graph.num_edges,
+                    resident=len(service.cache),
+                    hubs=len(service.hubs),
+                    snapshot_version=service.graph_version,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            raise RequestError(f"unhandled request type: {type(request).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # scheduling: mixed read/write traffic
+    # ------------------------------------------------------------------ #
+
+    def submit_many(
+        self, requests: Sequence[ApiRequest], *, coalesce: bool | None = None
+    ) -> list[ApiResponse]:
+        """Run a request sequence in order, coalescing reads between writes.
+
+        Writes (:attr:`~repro.api.requests.ApiRequest.is_write`) execute
+        at their arrival position — a read never observes a version its
+        predecessor writes had not produced, nor one a successor write
+        already advanced. Between writes, maximal runs of
+        :class:`~repro.api.requests.TopKQuery` sharing ``(k,
+        consistency)`` are answered by **one** batched engine call:
+        repeated sources are deduplicated (one certify answers all
+        duplicates bit-identically — with the gateway lock held there is
+        no intervening write, so the duplicate answers are the ones
+        per-request dispatch would have produced) and cold sources are
+        admitted together in shared-snapshot push batches. Responses come
+        back in request order.
+        """
+        if coalesce is None:
+            coalesce = self.config.coalesce_reads
+        with self._lock:  # one atomic schedule; RLock keeps submit() happy
+            responses: list[ApiResponse | None] = [None] * len(requests)
+            i = 0
+            while i < len(requests):
+                request = requests[i]
+                if coalesce and isinstance(request, TopKQuery):
+                    group = [i]
+                    unique: dict[int, None] = {request.source: None}
+                    j = i + 1
+                    while (
+                        j < len(requests)
+                        and isinstance(requests[j], TopKQuery)
+                        and requests[j].k == request.k
+                        and requests[j].consistency == request.consistency
+                        and len(unique) < self.config.max_batch
+                    ):
+                        unique.setdefault(requests[j].source, None)
+                        group.append(j)
+                        j += 1
+                    if len(group) > 1:
+                        self._coalesce_group(requests, group, unique, responses)
+                        i = j
+                        continue
+                responses[i] = self.submit(request)
+                i += 1
+            return [r for r in responses if r is not None]
+
+    def _coalesce_group(
+        self,
+        requests: Sequence[ApiRequest],
+        group: list[int],
+        unique: dict[int, None],
+        responses: list[ApiResponse | None],
+    ) -> None:
+        """Answer one coalesced run of top-k reads via a single batch."""
+        first = requests[group[0]]
+        assert isinstance(first, TopKQuery)
+        self.counters["reads_coalesced"] += len(group) - len(unique)
+        batch = self.submit(
+            BatchQuery(
+                sources=tuple(unique),
+                k=first.k,
+                consistency=first.consistency,
+            )
+        )
+        if batch.error is not None:
+            for position in group:
+                request = requests[position]
+                assert isinstance(request, TopKQuery)
+                responses[position] = TopKResult.failure(
+                    batch.error,
+                    snapshot_version=batch.snapshot_version,
+                    source=request.source,
+                )
+            return
+        assert isinstance(batch, BatchResult)
+        by_source = {result.source: result for result in batch.results}
+        seen: set[int] = set()
+        for position in group:
+            request = requests[position]
+            assert isinstance(request, TopKQuery)
+            result = by_source[request.source]
+            if request.source in seen and result.cold:
+                # Per-request dispatch would have admitted on the first
+                # occurrence only; duplicates of a cold source are hits.
+                served = (
+                    dc_replace(result.served, cold=False)
+                    if result.served is not None
+                    else None
+                )
+                result = dc_replace(result, cold=False, served=served)
+            seen.add(request.source)
+            responses[position] = result
+
+    # ------------------------------------------------------------------ #
+    # response shaping
+    # ------------------------------------------------------------------ #
+
+    def _topk_result(self, served: "ServedQuery", k: int | None) -> TopKResult:
+        return TopKResult(
+            source=served.source,
+            k=k if k is not None else self.service.serve.top_k,
+            entries=tuple(served.entries),
+            cold=served.cold,
+            served=served,
+            snapshot_version=served.snapshot_version,
+            staleness=served.staleness_updates,
+            wall_time_s=served.wall_time,
+        )
+
+    def _execute_batch(self, request: BatchQuery, start: float) -> BatchResult:
+        served = self.service._execute_query_many(
+            list(request.sources),
+            request.k,
+            max_staleness=request.consistency.max_staleness,
+        )
+        results = tuple(self._topk_result(answer, request.k) for answer in served)
+        return BatchResult(
+            results=results,
+            snapshot_version=self.service.graph_version,
+            staleness=max((r.staleness for r in results), default=0),
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def _execute_ingest(self, request: IngestBatch, start: float) -> IngestResult:
+        service = self.service
+        if (
+            request.expect_version is not None
+            and request.expect_version != service.graph_version
+        ):
+            raise ConflictError(request.expect_version, service.graph_version)
+        previous = service.graph_version
+        traces = service._execute_ingest(
+            list(request.updates), snapshot=request.snapshot
+        )
+        return IngestResult(
+            accepted=len(request.updates),
+            previous_version=previous,
+            pushes=len(traces),
+            traces=traces,
+            snapshot_version=service.graph_version,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway(service={self.service!r},"
+            f" requests={sum(self.counters.values())})"
+        )

@@ -1,0 +1,264 @@
+"""Stdlib HTTP/JSON front-end for the gateway (``repro serve``).
+
+A thin :mod:`http.server`-based adapter — no third-party web framework —
+mapping routes onto the typed protocol:
+
+========  =============== =================================================
+method    route           operation
+========  =============== =================================================
+``POST``  ``/v1/query``   one request object, or ``{"requests": [...]}``
+                          for a scheduled (read-coalesced) sequence
+``POST``  ``/v1/ingest``  an :class:`~repro.api.requests.IngestBatch`
+``GET``   ``/v1/stats``   structured metrics
+``GET``   ``/v1/healthz`` liveness probe
+========  =============== =================================================
+
+Bodies and responses are the ``to_dict`` forms of the request/response
+dataclasses, so the wire protocol is exactly the embedded one — an HTTP
+answer is bit-identical JSON to the embedded client's ``to_dict()`` for
+the same snapshot version (floats serialize via ``repr``, the shortest
+round-trip form). Error codes map onto HTTP statuses (``REQUEST`` → 400,
+``VERTEX``/``EDGE`` → 404, ``CONFLICT`` → 409, …); unknown routes and
+malformed JSON come back as the same structured error envelope.
+
+The server is a :class:`~http.server.ThreadingHTTPServer`; the gateway's
+internal lock serializes engine access across worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from ..errors import ReproError, RequestError
+from .gateway import Gateway
+from .requests import Health, IngestBatch, Stats, request_from_dict
+from .responses import ErrorInfo
+
+#: Stable error code -> HTTP status.
+STATUS_FOR_CODE = {
+    "REQUEST": 400,
+    "CONFIG": 400,
+    "VERTEX": 404,
+    "EDGE": 404,
+    "GRAPH": 400,
+    "CONFLICT": 409,
+    "STREAM": 400,
+    "CONVERGENCE": 500,
+    "BACKEND": 500,
+    "STORE": 500,
+    "REPRO": 500,
+    "INTERNAL": 500,
+}
+
+
+def status_for(error: ErrorInfo | None) -> int:
+    """The HTTP status expressing a response's error (200 when ok)."""
+    if error is None:
+        return 200
+    return STATUS_FOR_CODE.get(error.code, 500)
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one gateway."""
+
+    daemon_threads = True
+
+    def __init__(self, gateway: Gateway, host: str, port: int) -> None:
+        self.gateway = gateway
+        super().__init__((host, port), GatewayRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Route HTTP traffic onto the typed gateway protocol."""
+
+    server_version = "repro-gateway"
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default; ``repro serve --verbose`` flips it.
+    log_traffic = False
+
+    @property
+    def gateway(self) -> Gateway:
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.log_traffic:
+            super().log_message(format, *args)
+
+    # -------------------------------------------------------------- #
+    # plumbing
+    # -------------------------------------------------------------- #
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_info(self, error: ErrorInfo, status: int | None = None) -> None:
+        self._send_json(
+            status_for(error) if status is None else status,
+            {"ok": False, "error": error.to_dict()},
+        )
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("empty request body (want a JSON object)")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"malformed JSON body: {exc}") from exc
+
+    # -------------------------------------------------------------- #
+    # routes
+    # -------------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self.path == "/v1/healthz":
+            self._send_gateway(Health())
+        elif self.path == "/v1/stats":
+            self._send_gateway(Stats())
+        else:
+            self._send_error_info(
+                ErrorInfo(code="REQUEST", message=f"unknown route: GET {self.path}"),
+                status=404,
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        try:
+            if self.path == "/v1/query":
+                payload = self._read_body()
+                if isinstance(payload, dict) and "requests" in payload:
+                    items = payload["requests"]
+                    if not isinstance(items, list):
+                        raise RequestError("'requests' must be a JSON array")
+                    requests = [request_from_dict(item) for item in items]
+                    responses = self.gateway.submit_many(requests)
+                    self._send_json(
+                        200, {"responses": [r.to_dict() for r in responses]}
+                    )
+                else:
+                    self._send_gateway(request_from_dict(payload))
+            elif self.path == "/v1/ingest":
+                payload = self._read_body()
+                if not isinstance(payload, dict):
+                    raise RequestError("ingest body must be a JSON object")
+                self._send_gateway(IngestBatch.from_dict(payload))
+            else:
+                self._send_error_info(
+                    ErrorInfo(
+                        code="REQUEST", message=f"unknown route: POST {self.path}"
+                    ),
+                    status=404,
+                )
+        except ReproError as exc:
+            self._send_error_info(ErrorInfo.from_exception(exc))
+
+    def _send_gateway(self, request: Any) -> None:
+        response = self.gateway.submit(request)
+        self._send_json(status_for(response.error), response.to_dict())
+
+
+def make_server(
+    gateway: Gateway, host: str | None = None, port: int | None = None
+) -> GatewayHTTPServer:
+    """Bind (but do not run) the HTTP front-end.
+
+    Defaults come from the gateway's :class:`~repro.config.ApiConfig`;
+    port ``0`` gets an ephemeral port (check ``server.server_address``).
+    Call ``serve_forever()`` (from any thread) and ``shutdown()`` to stop.
+    """
+    return GatewayHTTPServer(
+        gateway,
+        gateway.config.host if host is None else host,
+        gateway.config.port if port is None else port,
+    )
+
+
+def serve_http(
+    gateway: Gateway, host: str | None = None, port: int | None = None
+) -> None:
+    """Run the HTTP front-end until interrupted (the ``repro serve`` loop)."""
+    server = make_server(gateway, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+
+
+class HttpClient:
+    """Minimal stdlib HTTP client speaking the gateway protocol.
+
+    The network twin of :class:`repro.api.client.Client`, used by tests,
+    the smoke script, and ``examples/http_client_demo.py``. Raises the
+    typed :class:`~repro.errors.ReproError` a failed response encodes.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, route: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        url = f"{self.base_url}{route}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            body = json.loads(exc.read() or b"{}")
+            info = body.get("error")
+            if info:
+                raise ErrorInfo(
+                    code=str(info.get("code", "INTERNAL")),
+                    message=str(info.get("message", "")),
+                    details=dict(info.get("details", {})),
+                ).to_exception() from None
+            raise
+
+    def query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST one request object to ``/v1/query``."""
+        return self._request("POST", "/v1/query", payload)
+
+    def query_many(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """POST a scheduled request sequence to ``/v1/query``."""
+        body = self._request("POST", "/v1/query", {"requests": payloads})
+        return list(body["responses"])
+
+    def ingest(
+        self,
+        updates: list[list[Any]],
+        *,
+        expect_version: int | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"updates": updates}
+        if expect_version is not None:
+            payload["expect_version"] = expect_version
+        return self._request("POST", "/v1/ingest", payload)
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")

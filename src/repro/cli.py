@@ -29,6 +29,16 @@ Commands
 ``store-recover --root DIR [--verify]``
     Recover a service from a store and serve from it; ``--verify`` checks
     the answers bit-for-bit against the ones ``store-checkpoint`` served.
+``serve <dataset> [--host H] [--port P] [--hubs N]``
+    Run the typed-gateway HTTP front-end (:mod:`repro.api.http`) over a
+    deterministic dataset-analog service: ``POST /v1/query``,
+    ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``. See
+    ``docs/api.md``.
+``gateway-bench <dataset> [--tiny]``
+    Race one mixed read/write request trace through the gateway's
+    read-coalescing scheduler vs per-request dispatch; exits nonzero
+    unless coalescing wins >= 2x with bit-identical answers. ``--tiny``
+    is the CI smoke mode.
 """
 
 from __future__ import annotations
@@ -311,6 +321,67 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api.gateway import Gateway
+    from .api.http import GatewayRequestHandler, make_server
+    from .bench.gateway import workload_service
+    from .config import ApiConfig
+
+    service, prepared = workload_service(
+        args.dataset,
+        epsilon=args.epsilon,
+        workers=args.workers,
+        cache_capacity=args.cache,
+        num_hubs=args.hubs,
+        top_k=args.k,
+    )
+    gateway = Gateway(service, ApiConfig(host=args.host, port=args.port))
+    if args.verbose:
+        GatewayRequestHandler.log_traffic = True
+    server = make_server(gateway)
+    print(f"workload: {prepared.describe()}")
+    print(f"service:  {service}")
+    print(f"listening on {server.url} "
+          f"(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    from .bench.gateway import gateway_benchmark
+
+    if args.tiny:
+        # CI smoke: a shorter trace with the same heavy-tailed shape —
+        # asserts coalescing beats per-request dispatch with bit-identical
+        # answers, without the full trace's runtime.
+        slides, requests, sources = 2, 96, 24
+    else:
+        slides, requests, sources = args.slides, args.requests, args.sources
+    result = gateway_benchmark(
+        args.dataset,
+        num_sources=sources,
+        num_slides=slides,
+        requests_per_slide=requests,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    bar = 2.0
+    ok = result.matched and result.speedup >= bar
+    print(
+        f"read-coalescing: {result.speedup:.1f}x over per-request dispatch"
+        f" (bar {bar:.0f}x) — answers"
+        f" {'bit-identical' if result.matched else 'MISMATCH'}"
+    )
+    return 0 if ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -384,6 +455,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="single small batch size, few slides (the CI smoke mode)",
     )
     ingest.set_defaults(func=_cmd_ingest_bench)
+
+    serve_http = sub.add_parser(
+        "serve", help="run the typed-gateway HTTP front-end"
+    )
+    serve_http.add_argument("dataset", choices=sorted(DATASETS))
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8707)
+    serve_http.add_argument("--cache", type=int, default=64)
+    serve_http.add_argument("--hubs", type=int, default=0)
+    serve_http.add_argument("--k", type=int, default=10)
+    serve_http.add_argument("--epsilon", type=float, default=1e-5)
+    serve_http.add_argument("--workers", type=int, default=40)
+    serve_http.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_http.set_defaults(func=_cmd_serve)
+
+    gwb = sub.add_parser(
+        "gateway-bench",
+        help="race gateway read-coalescing against per-request dispatch",
+    )
+    gwb.add_argument("dataset", choices=sorted(DATASETS))
+    gwb.add_argument("--slides", type=int, default=3)
+    gwb.add_argument("--requests", type=int, default=256, help="reads per slide")
+    gwb.add_argument("--sources", type=int, default=48)
+    gwb.add_argument("--k", type=int, default=10)
+    gwb.add_argument("--epsilon", type=float, default=1e-5)
+    gwb.add_argument("--workers", type=int, default=40)
+    gwb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="short trace, same shape (the CI smoke mode)",
+    )
+    gwb.set_defaults(func=_cmd_gateway_bench)
 
     ckpt = sub.add_parser(
         "store-checkpoint",

@@ -187,6 +187,80 @@ class HubRefresh(enum.Enum):
     LAZY = "lazy"
 
 
+class ConsistencyLevel(enum.Enum):
+    """Per-request read consistency of the gateway API (:mod:`repro.api`).
+
+    Replaces the *global* :class:`RefreshPolicy` knob with a per-request
+    contract (``RefreshPolicy`` still controls what ingest does eagerly;
+    consistency controls what a read is allowed to return):
+
+    ``FRESH``
+        Refresh-before-read: the answer is ε-approximate on the latest
+        snapshot version (the pre-gateway behaviour of every query).
+    ``BOUNDED``
+        The answer may lag the latest snapshot by at most ``s`` versions
+        (``Consistency.bounded(s)``); a resident state within the bound
+        is served as-is, a staler one is refreshed first.
+    ``ANY``
+        Serve whatever resident state exists, however stale; only a cold
+        source (no resident state at all) pays a push.
+    """
+
+    FRESH = "fresh"
+    BOUNDED = "bounded"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class ApiConfig:
+    """Configuration of the typed gateway API (:mod:`repro.api`).
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the HTTP front-end (``repro serve``); port ``0``
+        asks the OS for an ephemeral port (tests do this).
+    coalesce_reads:
+        Whether :meth:`repro.api.Gateway.submit_many` groups consecutive
+        same-shaped top-k reads between writes into one batched engine
+        call (deduplicating repeated sources); see ``docs/api.md``.
+    max_batch:
+        Maximum reads coalesced into one engine batch.
+    default_consistency:
+        Consistency applied when a request does not name one.
+    staleness_bound:
+        Version bound used when ``default_consistency`` is ``BOUNDED``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8707
+    coalesce_reads: bool = True
+    max_batch: int = 256
+    default_consistency: ConsistencyLevel = ConsistencyLevel.FRESH
+    staleness_bound: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if not isinstance(self.default_consistency, ConsistencyLevel):
+            raise ConfigError(
+                "default_consistency must be a ConsistencyLevel,"
+                f" got {self.default_consistency!r}"
+            )
+        if self.staleness_bound < 0:
+            raise ConfigError(
+                f"staleness_bound must be >= 0, got {self.staleness_bound}"
+            )
+
+    def with_(self, **changes: Any) -> "ApiConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 class RefreshPolicy(enum.Enum):
     """When the serving layer re-converges resident PPR states.
 

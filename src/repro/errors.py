@@ -3,52 +3,118 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still being able to distinguish graph errors from configuration errors.
+
+Every class carries a stable machine-readable :attr:`~ReproError.code` —
+the contract the gateway API (:mod:`repro.api`) exposes to clients: codes
+never change once shipped, even if class names or messages do. An
+exception serializes to a JSON-safe payload with :meth:`~ReproError.to_dict`
+and round-trips back (best effort, preserving the concrete class) through
+:func:`error_from_dict`; see ``docs/api.md`` for the full code table.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
+    #: Stable machine-readable error code; part of the public API protocol.
+    code = "REPRO"
+
+    def __str__(self) -> str:
+        # KeyError-derived subclasses would otherwise inherit its repr-style
+        # quoting, which renders badly inside JSON payloads.
+        return str(self.args[0]) if self.args else self.__class__.__name__
+
+    def details(self) -> dict[str, Any]:
+        """JSON-safe structured context beyond the message (subclass hook)."""
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe payload: stable code, message, and structured details."""
+        payload: dict[str, Any] = {"code": self.code, "message": str(self)}
+        details = self.details()
+        if details:
+            payload["details"] = details
+        return payload
+
 
 class ConfigError(ReproError, ValueError):
     """An invalid configuration value was supplied (e.g. ``alpha >= 1``)."""
+
+    code = "CONFIG"
+
+
+class RequestError(ReproError, ValueError):
+    """A malformed API request: bad payload, unknown operation, bad field."""
+
+    code = "REQUEST"
+
+
+class ConflictError(ReproError):
+    """An optimistic-concurrency check failed (snapshot version moved)."""
+
+    code = "CONFLICT"
+
+    def __init__(
+        self, expected: int, actual: int, message: str | None = None
+    ) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            message
+            or f"version conflict: expected snapshot {expected}, engine is at {actual}"
+        )
+
+    def details(self) -> dict[str, Any]:
+        return {"expected": self.expected, "actual": self.actual}
 
 
 class GraphError(ReproError):
     """Base class for errors related to graph structure or mutation."""
 
+    code = "GRAPH"
+
 
 class VertexError(GraphError, KeyError):
     """A vertex id is invalid or unknown to the graph."""
+
+    code = "VERTEX"
 
     def __init__(self, vertex: object, message: str | None = None) -> None:
         self.vertex = vertex
         super().__init__(message or f"invalid vertex: {vertex!r}")
 
-    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
-        return self.args[0]
+    def details(self) -> dict[str, Any]:
+        return {"vertex": self.vertex}
 
 
 class EdgeError(GraphError, KeyError):
     """An edge does not exist (for deletion) or is malformed."""
+
+    code = "EDGE"
 
     def __init__(self, u: object, v: object, message: str | None = None) -> None:
         self.u = u
         self.v = v
         super().__init__(message or f"invalid edge: {u!r} -> {v!r}")
 
-    def __str__(self) -> str:
-        return self.args[0]
+    def details(self) -> dict[str, Any]:
+        return {"u": self.u, "v": self.v}
 
 
 class StreamError(ReproError):
     """An edge stream or sliding window was used incorrectly."""
 
+    code = "STREAM"
+
 
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget."""
+
+    code = "CONVERGENCE"
 
     def __init__(self, iterations: int, residual: float, message: str | None = None) -> None:
         self.iterations = iterations
@@ -58,10 +124,53 @@ class ConvergenceError(ReproError):
             or f"failed to converge after {iterations} iterations (residual={residual:.3e})"
         )
 
+    def details(self) -> dict[str, Any]:
+        return {"iterations": self.iterations, "residual": self.residual}
+
 
 class BackendError(ReproError):
     """A push/execution backend was asked to do something it cannot."""
 
+    code = "BACKEND"
+
 
 class StoreError(ReproError):
     """The durable state store hit corrupt, missing, or mismatched data."""
+
+    code = "STORE"
+
+
+#: Stable code -> exception class. The reverse of each class's ``code``;
+#: consumed by :func:`error_from_dict` and the API protocol docs.
+ERROR_CODES: dict[str, type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        ConfigError,
+        RequestError,
+        ConflictError,
+        GraphError,
+        VertexError,
+        EdgeError,
+        StreamError,
+        ConvergenceError,
+        BackendError,
+        StoreError,
+    )
+}
+
+
+def error_from_dict(payload: dict[str, Any]) -> ReproError:
+    """Reconstruct an exception from a :meth:`ReproError.to_dict` payload.
+
+    The concrete class is recovered through its stable code (unknown codes
+    fall back to plain :class:`ReproError`); structured details become
+    attributes again. Construction bypasses subclass ``__init__`` so the
+    round-trip works regardless of constructor signature.
+    """
+    cls = ERROR_CODES.get(str(payload.get("code", "")), ReproError)
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, str(payload.get("message", "")))
+    for key, value in dict(payload.get("details", {})).items():
+        setattr(exc, key, value)
+    return exc

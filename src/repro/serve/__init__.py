@@ -16,13 +16,14 @@ and see ``docs/serving.md`` for the design.
 
 from .cache import ResidentSource, SourceCache
 from .pool import AdmissionPool
-from .service import PPRService, ServedQuery, ServiceMetrics
+from .service import PPRService, ServedQuery, ServedScore, ServiceMetrics
 
 __all__ = [
     "AdmissionPool",
     "PPRService",
     "ResidentSource",
     "ServedQuery",
+    "ServedScore",
     "ServiceMetrics",
     "SourceCache",
 ]

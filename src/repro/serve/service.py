@@ -20,15 +20,24 @@ state. The service owns
 * optionally a :class:`~repro.core.hub_index.DynamicHubIndex` tier that is
   always resident and re-converged eagerly at ingest.
 
-Freshness contract: every answer is ε-approximate on the *latest* graph
-version — a lazy refresh pushes the queried source to convergence before
-answering, seeded only by the vertices updates touched since that source
-last converged. The recorded *staleness* of a query is how many ingested
-updates the state was behind when the query arrived (what the answer's
-age would have been had we served without refreshing).
+Freshness contract: under the default FRESH consistency every answer is
+ε-approximate on the *latest* graph version — a lazy refresh pushes the
+queried source to convergence before answering, seeded only by the
+vertices updates touched since that source last converged. Per-request
+BOUNDED/ANY contracts (``max_staleness``) may serve the resident state
+as-is; the answer's ``snapshot_version`` reports the version it is
+actually ε-approximate on. The recorded *staleness* of a query is how
+many ingested updates the state was behind when the query arrived (what
+the answer's age would have been had we served without refreshing).
 
-See ``docs/serving.md`` for the design rationale and
-``examples/serving_demo.py`` for a runnable walkthrough.
+The service is the *engine* behind the typed gateway API
+(:mod:`repro.api`): the public methods here are thin compatibility
+shims that build typed requests and delegate through :attr:`PPRService.gateway`,
+while the ``_execute_*`` methods are the engine the gateway drives.
+
+See ``docs/serving.md`` for the design rationale, ``docs/api.md`` for
+the gateway protocol, and ``examples/serving_demo.py`` for a runnable
+walkthrough.
 """
 
 from __future__ import annotations
@@ -48,13 +57,13 @@ from ..config import (
     ServeConfig,
     SnapshotStrategy,
 )
-from ..core.certify import CertifiedEntry, certified_top_k
+from ..core.certify import CertifiedEntry, certified_top_k, error_bound
 from ..core.hub_index import DynamicHubIndex
 from ..core.invariant import restore_invariant
 from ..core.push_parallel import parallel_local_push
 from ..core.state import PPRState
 from ..core.stats import PushStats
-from ..errors import ConfigError
+from ..errors import ConfigError, VertexError
 from ..graph.csr import CSRGraph
 from ..graph.delta import CSRView, DeltaCSRGraph
 from ..graph.digraph import DynamicDiGraph
@@ -63,7 +72,9 @@ from ..graph.update import EdgeUpdate
 from .cache import ResidentSource, SourceCache
 from .pool import AdmissionPool
 
-if TYPE_CHECKING:  # repro.store imports repro.serve; keep runtime one-way
+if TYPE_CHECKING:  # repro.store / repro.api import repro.serve; keep runtime one-way
+    from ..api.client import Client
+    from ..api.gateway import Gateway
     from ..store.store import StateStore
 
 
@@ -86,6 +97,21 @@ class ServedQuery:
     def vertices(self) -> list[int]:
         """Ranked vertex ids, best first."""
         return [entry.vertex for entry in self.entries]
+
+
+@dataclass(frozen=True)
+class ServedScore:
+    """One answered point-score lookup plus serving metadata."""
+
+    source: int
+    target: int
+    estimate: float
+    #: Rigorous bound: |estimate - true PPR| <= error_bound.
+    error_bound: float
+    snapshot_version: int
+    staleness_updates: int
+    cold: bool
+    wall_time: float
 
 
 @dataclass
@@ -133,15 +159,52 @@ class ServiceMetrics:
             del self.query_seconds[: self.MAX_SAMPLES // 2]
 
     def staleness_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of per-query arrival staleness."""
+        """The ``q``-th percentile of per-query arrival staleness.
+
+        Returns ``0.0`` with no recorded queries — a fresh or restored
+        service must report clean zeros, not NaN, on its stats surface.
+        """
         if not self.staleness_samples:
             return 0.0
         return float(np.percentile(np.asarray(self.staleness_samples), q))
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-query wall time, in seconds."""
+        if not self.query_seconds:
+            return 0.0
+        return float(np.percentile(np.asarray(self.query_seconds), q))
 
     @property
     def queries_per_second(self) -> float:
         total = sum(self.query_seconds)
         return len(self.query_seconds) / total if total > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe structured snapshot (the ``/v1/stats`` payload).
+
+        Every value is a plain int/float — the sample buffers themselves
+        stay private; percentiles summarize them.
+        """
+        return {
+            "queries": self.queries,
+            "queries_per_second": self.queries_per_second,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "resident": self.resident,
+            "cold_admissions": self.cold_admissions,
+            "admission_batches": self.admission_batches,
+            "updates_ingested": self.updates_ingested,
+            "batches_ingested": self.batches_ingested,
+            "snapshot_rebuilds": self.snapshot_rebuilds,
+            "snapshot_delta_applies": self.snapshot_delta_applies,
+            "snapshot_consolidations": self.snapshot_consolidations,
+            "staleness_p50": self.staleness_percentile(50),
+            "staleness_p99": self.staleness_percentile(99),
+            "latency_p50_s": self.latency_percentile(50),
+            "latency_p99_s": self.latency_percentile(99),
+        }
 
     def describe(self) -> str:
         """Multi-line human-readable summary (CLI / demo output)."""
@@ -230,6 +293,7 @@ class PPRService:
         self._csr_version = -1
         self._hub_pending: set[int] = set()
         self._metrics = ServiceMetrics()
+        self._gateway: "Gateway | None" = None
         self.store: "StateStore | None" = None
         if store is None and self.serve.store is not None:
             from ..store.store import StateStore  # runtime import: no cycle
@@ -237,6 +301,33 @@ class PPRService:
             store = StateStore.from_config(self.serve.store)
         if store is not None:
             self.attach_store(store)
+
+    # ------------------------------------------------------------------ #
+    # gateway seam
+    # ------------------------------------------------------------------ #
+
+    @property
+    def gateway(self) -> "Gateway":
+        """The typed request/response gateway fronting this engine.
+
+        The single public seam of the serving layer (:mod:`repro.api`):
+        the legacy convenience methods below (:meth:`query`,
+        :meth:`ingest`, …) are thin shims that build typed requests and
+        delegate here, so every operation — embedded or over HTTP —
+        flows through one validation/scheduling path.
+        """
+        if self._gateway is None:
+            from ..api.gateway import Gateway  # runtime import: no cycle
+
+            self._gateway = Gateway(self)
+        return self._gateway
+
+    @property
+    def api(self) -> "Client":
+        """An embedded :class:`repro.api.Client` bound to this engine."""
+        from ..api.client import Client  # runtime import: no cycle
+
+        return Client(self.gateway)
 
     # ------------------------------------------------------------------ #
     # durability
@@ -380,6 +471,28 @@ class PPRService:
         *,
         snapshot: CSRGraph | None = None,
     ) -> dict[int, PushStats]:
+        """Apply one update batch (compatibility shim over the gateway).
+
+        Builds an :class:`~repro.api.requests.IngestBatch` and delegates
+        through :attr:`gateway`; see :meth:`_execute_ingest` for the
+        engine semantics and durability contract. Returns the push traces
+        of the pushes the ingest ran.
+        """
+        from ..api.requests import IngestBatch
+
+        if isinstance(updates, WindowSlide):
+            updates = list(updates.updates)
+        result = self.gateway.execute(
+            IngestBatch(updates=tuple(updates), snapshot=snapshot)
+        )
+        return dict(result.traces)
+
+    def _execute_ingest(
+        self,
+        updates: Sequence[EdgeUpdate],
+        *,
+        snapshot: CSRGraph | None = None,
+    ) -> dict[int, PushStats]:
         """Apply one update batch and restore every maintained consumer.
 
         The graph is mutated exactly once per update; the invariant repair
@@ -402,10 +515,7 @@ class PPRService:
         checkpoint may be written after the ingest completes (every
         ``StoreConfig.checkpoint_interval`` batches).
         """
-        if isinstance(updates, WindowSlide):
-            updates = list(updates.updates)
-        else:
-            updates = list(updates)
+        updates = list(updates)
         touched: list[int] = []
         residents = self.cache.entries()
         for update in updates:
@@ -459,16 +569,40 @@ class PPRService:
     # query path
     # ------------------------------------------------------------------ #
 
-    def query(self, source: int, k: int | None = None) -> ServedQuery:
-        """Answer one top-k query, ε-fresh on the latest graph version.
+    def query(
+        self,
+        source: int,
+        k: int | None = None,
+        *,
+        max_staleness: int | None = 0,
+    ) -> ServedQuery:
+        """Answer one top-k query (compatibility shim over the gateway).
 
-        Resident sources are refreshed in place if stale (LAZY policy);
-        cold sources are admitted through the pool — together with any
-        other pending admission requests, so their from-scratch pushes
-        share one snapshot.
+        Builds a :class:`~repro.api.requests.TopKQuery` at the matching
+        consistency (``max_staleness=0`` → FRESH, ``s`` → BOUNDED(s),
+        ``None`` → ANY) and delegates through :attr:`gateway`; see
+        :meth:`_execute_query` for the engine semantics.
         """
-        k = self.serve.top_k if k is None else k
-        start = time.perf_counter()
+        from ..api.requests import TopKQuery, consistency_for
+
+        result = self.gateway.execute(
+            TopKQuery(
+                source=source, k=k, consistency=consistency_for(max_staleness)
+            )
+        )
+        assert result.served is not None  # embedded execution always attaches it
+        return result.served
+
+    def _resident(
+        self, source: int, max_staleness: int | None
+    ) -> tuple[ResidentSource, int, bool]:
+        """The resident entry serving ``source`` under a staleness contract.
+
+        Returns ``(entry, arrival_staleness, cold)``. Cold sources are
+        admitted (always fresh); resident ones are refreshed only when
+        their version lag exceeds ``max_staleness`` (``None`` = never,
+        the ANY contract).
+        """
         entry = self.cache.get(source)
         cold = entry is None
         if entry is None:
@@ -476,8 +610,32 @@ class PPRService:
             entry = self._admit(source)
         else:
             staleness = self._metrics.updates_ingested - entry.updates_reflected
-            if entry.version != self.graph_version:
+            behind = self.graph_version - entry.version
+            if behind > 0 and max_staleness is not None and behind > max_staleness:
                 self._refresh(entry)
+        return entry, staleness, cold
+
+    def _execute_query(
+        self,
+        source: int,
+        k: int | None = None,
+        *,
+        max_staleness: int | None = 0,
+    ) -> ServedQuery:
+        """Answer one top-k query, ε-fresh up to the staleness contract.
+
+        Under the default contract (``max_staleness=0``, FRESH) the
+        answer is ε-approximate on the *latest* graph version: resident
+        sources are refreshed in place if stale; cold sources are
+        admitted through the pool — together with any other pending
+        admission requests, so their from-scratch pushes share one
+        snapshot. A looser contract (BOUNDED/ANY) may serve the resident
+        state as-is; the answer's ``snapshot_version`` then reports the
+        version it is actually ε-approximate on.
+        """
+        k = self.serve.top_k if k is None else k
+        start = time.perf_counter()
+        entry, staleness, cold = self._resident(source, max_staleness)
         answer = certified_top_k(entry.state, k)
         entry.queries += 1
         wall = time.perf_counter() - start
@@ -485,14 +643,71 @@ class PPRService:
         return ServedQuery(
             source=source,
             entries=answer,
-            snapshot_version=self.graph_version,
+            snapshot_version=entry.version,
+            staleness_updates=staleness,
+            cold=cold,
+            wall_time=wall,
+        )
+
+    def _execute_score(
+        self,
+        source: int,
+        target: int,
+        *,
+        max_staleness: int | None = 0,
+    ) -> ServedScore:
+        """One point score: ``target``'s value in ``source``'s PPR vector.
+
+        Same residency/consistency mechanics as :meth:`_execute_query`,
+        but the answer is a single estimate with its rigorous error
+        bound instead of a ranking. Unknown targets raise
+        :class:`~repro.errors.VertexError` (a query cannot register a
+        vertex it only *scores*; sources, as in :meth:`_execute_query`,
+        are registered on demand).
+        """
+        start = time.perf_counter()
+        if not self.graph.has_vertex(target):
+            raise VertexError(target)
+        entry, staleness, cold = self._resident(source, max_staleness)
+        entry.queries += 1
+        wall = time.perf_counter() - start
+        self._metrics.record_query(staleness, wall)
+        return ServedScore(
+            source=source,
+            target=target,
+            estimate=entry.state.estimate(target),
+            error_bound=error_bound(entry.state),
+            snapshot_version=entry.version,
             staleness_updates=staleness,
             cold=cold,
             wall_time=wall,
         )
 
     def query_many(
-        self, sources: Sequence[int], k: int | None = None
+        self,
+        sources: Sequence[int],
+        k: int | None = None,
+        *,
+        max_staleness: int | None = 0,
+    ) -> list[ServedQuery]:
+        """Answer a query batch (compatibility shim over the gateway)."""
+        from ..api.requests import BatchQuery, consistency_for
+
+        result = self.gateway.execute(
+            BatchQuery(
+                sources=tuple(sources),
+                k=k,
+                consistency=consistency_for(max_staleness),
+            )
+        )
+        return [r.served for r in result.results]
+
+    def _execute_query_many(
+        self,
+        sources: Sequence[int],
+        k: int | None = None,
+        *,
+        max_staleness: int | None = 0,
     ) -> list[ServedQuery]:
         """Answer a batch of queries, admitting all cold sources together.
 
@@ -512,7 +727,7 @@ class PPRService:
             self._install(self.pool.drain(self.graph, self._snapshot()))
         answers = []
         for s in sources:
-            answer = self.query(s, k)
+            answer = self._execute_query(s, k, max_staleness=max_staleness)
             if s in cold:
                 # This admission answered its first query: flag it cold,
                 # and reclassify the pre-installed lookup as the miss it
@@ -581,10 +796,16 @@ class PPRService:
             )
 
     def prefetch(self, source: int) -> None:
+        """Request admission of ``source`` (compatibility shim)."""
+        from ..api.requests import Prefetch
+
+        self.gateway.execute(Prefetch(sources=(source,)))
+
+    def _execute_prefetch(self, source: int) -> None:
         """Request admission of ``source`` without answering a query.
 
         The from-scratch push runs with the next admission batch — either
-        a later cold query's or an explicit :meth:`query_many` drain.
+        a later cold query's or an explicit batch-query drain.
         """
         if source not in self.cache:
             self.pool.request(source)
@@ -624,11 +845,18 @@ class PPRService:
         return self.hub_index.hub_scores(v)
 
     def rank_for_hub(self, hub: int, k: int) -> list[CertifiedEntry]:
+        """Certified top-k contributors of ``hub`` (compatibility shim)."""
+        from ..api.requests import HubQuery
+
+        result = self.gateway.execute(HubQuery(hub=hub, k=k))
+        return list(result.entries)
+
+    def _execute_rank_for_hub(self, hub: int, k: int | None) -> list[CertifiedEntry]:
         """Certified top-k contributors of ``hub`` (requires the hub tier)."""
         if self.hub_index is None:
             raise ConfigError("hub tier disabled: set ServeConfig.num_hubs > 0")
         self._flush_hubs()
-        return self.hub_index.rank_for_hub(hub, k)
+        return self.hub_index.rank_for_hub(hub, self.serve.top_k if k is None else k)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -33,6 +33,7 @@ def load_example(name: str):
         "who_to_follow",
         "local_community",
         "serving_demo",
+        "http_client_demo",
     ],
 )
 def test_example_runs(name, capsys):

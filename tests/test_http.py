@@ -1,0 +1,178 @@
+"""HTTP front-end tests: live round-trips against an ephemeral server.
+
+Spins a real :class:`repro.api.GatewayHTTPServer` on an OS-assigned port
+and exercises the JSON protocol end to end: query/ingest/stats/healthz
+round-trips bit-identical to the embedded client, the scheduled
+``{"requests": [...]}`` form, and the 4xx paths (malformed JSON, unknown
+route, unknown op, bad field types, version conflicts).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import Backend, PPRConfig, PPRService, ServeConfig
+from repro.api import HttpClient, make_server
+from repro.errors import ConflictError, RequestError, VertexError
+
+from tests.conftest import random_graph
+
+NUMPY_CONFIG = PPRConfig(epsilon=1e-6, backend=Backend.NUMPY, workers=4)
+
+
+@pytest.fixture()
+def live():
+    """(server, HttpClient, service) on an ephemeral port; torn down after."""
+    graph = random_graph(np.random.default_rng(13), n=40, m=200)
+    service = PPRService(
+        graph, NUMPY_CONFIG, ServeConfig(cache_capacity=16, admission_batch=4)
+    )
+    server = make_server(service.gateway, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, HttpClient(server.url), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def raw_post(url: str, body: bytes) -> urllib.error.HTTPError | dict:
+    request = urllib.request.Request(
+        url, data=body, method="POST", headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc
+
+
+class TestRoundTrips:
+    def test_topk_bit_identical_to_embedded_client(self, live):
+        _, http, service = live
+        answer = http.query({"source": 0, "k": 5})
+        # The HTTP query itself ran first; the embedded twin reads the
+        # same resident state at the same snapshot version.
+        embedded = service.api.top_k(0, k=5)
+        assert answer["ok"]
+        assert answer["cold"]  # first query of this source admits it
+        assert not embedded.cold  # the twin reads the now-resident state
+        assert answer["snapshot_version"] == embedded.snapshot_version
+        assert [(e["vertex"], e["estimate"]) for e in answer["entries"]] == [
+            (e.vertex, e.estimate) for e in embedded.entries
+        ]
+
+    def test_scheduled_request_sequence(self, live):
+        _, http, service = live
+        responses = http.query_many(
+            [
+                {"op": "top_k", "source": 0, "k": 3},
+                {"op": "ingest", "updates": [[0, 1]]},
+                {"op": "top_k", "source": 0, "k": 3},
+            ]
+        )
+        assert [r["op"] for r in responses] == ["top_k", "ingest", "top_k"]
+        assert [r["snapshot_version"] for r in responses] == [0, 1, 1]
+        assert service.graph_version == 1
+
+    def test_ingest_endpoint_and_conflict(self, live):
+        _, http, service = live
+        acknowledged = http.ingest([[0, 1], [1, 0, "insert"]], expect_version=0)
+        assert acknowledged["accepted"] == 2
+        assert acknowledged["previous_version"] == 0
+        assert acknowledged["snapshot_version"] == 1
+        with pytest.raises(ConflictError):
+            http.ingest([[1, 2]], expect_version=0)
+
+    def test_stats_and_healthz(self, live):
+        _, http, service = live
+        http.query({"source": 0})
+        stats = http.stats()
+        assert stats["ok"]
+        assert stats["stats"]["queries"] == 1
+        assert stats["stats"]["gateway"]["top_k"] == 1
+        health = http.healthz()
+        assert health["status"] == "ok"
+        assert health["num_vertices"] == service.graph.num_vertices
+        assert health["num_edges"] == service.graph.num_edges
+
+    def test_score_and_consistency_over_http(self, live):
+        _, http, _ = live
+        top = http.query({"source": 0, "k": 1})
+        best = top["entries"][0]
+        score = http.query(
+            {"op": "score", "source": 0, "target": best["vertex"],
+             "consistency": "any"}
+        )
+        assert score["estimate"] == best["estimate"]
+
+
+class TestErrorPaths:
+    def test_malformed_json_is_400(self, live):
+        server, _, _ = live
+        error = raw_post(f"{server.url}/v1/query", b"{definitely not json")
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 400
+        body = json.loads(error.read())
+        assert body["error"]["code"] == "REQUEST"
+
+    def test_empty_body_is_400(self, live):
+        server, _, _ = live
+        error = raw_post(f"{server.url}/v1/query", b"")
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 400
+
+    def test_unknown_route_is_404(self, live):
+        server, _, _ = live
+        for method, route in (("GET", "/v1/nope"), ("POST", "/v2/query")):
+            request = urllib.request.Request(
+                f"{server.url}{route}",
+                data=b"{}" if method == "POST" else None,
+                method=method,
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 404
+            assert json.loads(excinfo.value.read())["error"]["code"] == "REQUEST"
+
+    def test_unknown_op_is_400_with_request_code(self, live):
+        _, http, _ = live
+        with pytest.raises(RequestError):
+            http.query({"op": "frobnicate"})
+
+    def test_bad_field_types_are_400(self, live):
+        server, _, _ = live
+        error = raw_post(
+            f"{server.url}/v1/query", json.dumps({"source": "zero"}).encode()
+        )
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 400
+
+    def test_unknown_score_target_is_404_vertex(self, live):
+        server, http, _ = live
+        with pytest.raises(VertexError):
+            http.query({"op": "score", "source": 0, "target": 10**9})
+        error = raw_post(
+            f"{server.url}/v1/query",
+            json.dumps({"op": "score", "source": 0, "target": 10**9}).encode(),
+        )
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 404
+
+    def test_batch_of_requests_with_one_bad_entry_is_400(self, live):
+        server, _, _ = live
+        error = raw_post(
+            f"{server.url}/v1/query",
+            json.dumps({"requests": [{"source": 0}, {"op": "nope"}]}).encode(),
+        )
+        # Parse failures void the whole schedule (atomic admission).
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 400
+
+    def test_ingest_body_must_be_object(self, live):
+        server, _, _ = live
+        error = raw_post(f"{server.url}/v1/ingest", json.dumps([1, 2]).encode())
+        assert isinstance(error, urllib.error.HTTPError) and error.code == 400
