@@ -1,0 +1,67 @@
+"""Cluster — replicated serving tier vs the single-process gateway.
+
+Regenerates the cluster-benchmark table (one mixed read-heavy trace
+replayed against a 4-replica :class:`repro.cluster.ClusterGateway` and
+a single-process :class:`repro.api.Gateway`) and asserts the acceptance
+bar of the scale-out tier: >= 2.5x throughput with 4 replicas on a
+4-core machine, every response pair bit-identical, and every
+BOUNDED/ANY answer within its staleness contract.
+
+The speedup bar is skipped (not failed) below 4 usable cores — a
+replicated tier cannot beat one process on one core, and the
+correctness assertions are what must hold everywhere.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cluster import available_cores, cluster_benchmark
+
+from .conftest import RESULTS_DIR
+
+REPLICAS = 4
+SPEEDUP_BAR = 2.5
+
+
+@pytest.fixture(scope="module")
+def cluster_result():
+    return cluster_benchmark("youtube", replicas=REPLICAS)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def cluster_table(cluster_result):
+    table = cluster_result.table()
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cluster.txt").write_text(table + "\n")
+
+
+def test_answers_bit_identical_across_arms(cluster_result):
+    """Replication must not change answers, only who computes them."""
+    assert cluster_result.matched
+
+
+def test_staleness_contracts_honored(cluster_result):
+    """Every FRESH/BOUNDED/ANY answer within its version contract."""
+    assert cluster_result.bounded_ok
+
+
+def test_no_replica_respawns_on_a_clean_run(cluster_result):
+    assert cluster_result.respawns == 0
+
+
+def test_replicated_speedup_over_single_process(cluster_result):
+    """The acceptance bar: >= 2.5x with 4 replicas (needs >= 4 cores)."""
+    if available_cores() < REPLICAS:
+        pytest.skip(
+            f"{available_cores()} usable cores cannot host {REPLICAS}"
+            " replicas concurrently; correctness already asserted"
+        )
+    assert cluster_result.speedup >= SPEEDUP_BAR, (
+        f"cluster {cluster_result.cluster_qps:,.0f} reads/s vs single"
+        f" {cluster_result.single_qps:,.0f} reads/s"
+        f" — only {cluster_result.speedup:.1f}x"
+    )

@@ -30,12 +30,16 @@ from .api import (
     HttpClient,
     request_from_dict,
 )
+from .cluster import ClusterGateway, PPRCluster
 from .config import (
     ApiConfig,
     Backend,
+    CatchUpPolicy,
+    ClusterConfig,
     ConsistencyLevel,
     FsyncPolicy,
     Phase,
+    PlacementPolicy,
     PPRConfig,
     PushVariant,
     RefreshPolicy,
@@ -67,6 +71,7 @@ from .core.tracker import DynamicPPRTracker, MultiSourceTracker
 from .errors import (
     ERROR_CODES,
     BackendError,
+    ClusterError,
     ConfigError,
     ConflictError,
     ConvergenceError,
@@ -96,6 +101,14 @@ from .graph import (
     load_dataset,
     random_permutation_stream,
 )
+from .parallel import (
+    CPUCostModel,
+    GPUCostModel,
+    LigraCostModel,
+    MonteCarloCostModel,
+    profile_cpu,
+    profile_gpu,
+)
 from .serve import (
     AdmissionPool,
     PPRService,
@@ -106,14 +119,6 @@ from .serve import (
     SourceCache,
 )
 from .store import RecoveryResult, StateStore, WriteAheadLog, recover_service
-from .parallel import (
-    CPUCostModel,
-    GPUCostModel,
-    LigraCostModel,
-    MonteCarloCostModel,
-    profile_cpu,
-    profile_gpu,
-)
 
 __version__ = "1.0.0"
 
@@ -125,7 +130,11 @@ __all__ = [
     "BatchStats",
     "CPUCostModel",
     "CSRGraph",
+    "CatchUpPolicy",
     "Client",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterGateway",
     "Consistency",
     "ConsistencyLevel",
     "DeltaCSRGraph",
@@ -153,10 +162,12 @@ __all__ = [
     "LigraCostModel",
     "MonteCarloCostModel",
     "MultiSourceTracker",
+    "PPRCluster",
     "PPRConfig",
     "PPRService",
     "PPRState",
     "Phase",
+    "PlacementPolicy",
     "PushStats",
     "PushVariant",
     "RecoveryResult",

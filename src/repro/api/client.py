@@ -55,9 +55,11 @@ class Client:
     Parameters
     ----------
     target:
-        A :class:`~repro.api.gateway.Gateway`, or a ``PPRService`` to
-        front (its own gateway is used, so one engine never ends up
-        behind two schedulers).
+        A :class:`~repro.api.gateway.Gateway` (or any gateway-shaped
+        front door exposing ``submit``/``submit_many``, e.g. the
+        replicated :class:`~repro.cluster.gateway.ClusterGateway`), or a
+        ``PPRService`` to front (its own gateway is used, so one engine
+        never ends up behind two schedulers).
     config:
         Only consulted when ``target`` is a service *without* a gateway
         yet; an existing gateway keeps its configuration.
@@ -77,7 +79,9 @@ class Client:
         target: "Gateway | PPRService",
         config: ApiConfig | None = None,
     ) -> None:
-        if isinstance(target, Gateway):
+        if isinstance(target, Gateway) or (
+            hasattr(target, "submit") and hasattr(target, "submit_many")
+        ):
             self.gateway = target
         else:
             if config is not None and target._gateway is None:

@@ -30,11 +30,11 @@ import threading
 import time
 from collections import Counter
 from collections.abc import Sequence
-from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING
 
 from ..config import ApiConfig
 from ..errors import ConfigError, ConflictError, ReproError, RequestError
+from .scheduling import ReadRun, fail_run, plan_schedule, scatter_run_results
 from .requests import (
     ApiRequest,
     BatchQuery,
@@ -246,82 +246,49 @@ class Gateway:
         per-request dispatch would have produced) and cold sources are
         admitted together in shared-snapshot push batches. Responses come
         back in request order.
+
+        The barrier/coalescing policy itself lives in
+        :mod:`repro.api.scheduling`, shared with the replicated
+        :class:`~repro.cluster.gateway.ClusterGateway` so both schedulers
+        plan identical steps for identical traffic.
         """
         if coalesce is None:
             coalesce = self.config.coalesce_reads
         with self._lock:  # one atomic schedule; RLock keeps submit() happy
             responses: list[ApiResponse | None] = [None] * len(requests)
-            i = 0
-            while i < len(requests):
-                request = requests[i]
-                if coalesce and isinstance(request, TopKQuery):
-                    group = [i]
-                    unique: dict[int, None] = {request.source: None}
-                    j = i + 1
-                    while (
-                        j < len(requests)
-                        and isinstance(requests[j], TopKQuery)
-                        and requests[j].k == request.k
-                        and requests[j].consistency == request.consistency
-                        and len(unique) < self.config.max_batch
-                    ):
-                        unique.setdefault(requests[j].source, None)
-                        group.append(j)
-                        j += 1
-                    if len(group) > 1:
-                        self._coalesce_group(requests, group, unique, responses)
-                        i = j
-                        continue
-                responses[i] = self.submit(request)
-                i += 1
+            steps = plan_schedule(
+                requests, coalesce=coalesce, max_batch=self.config.max_batch
+            )
+            for step in steps:
+                if isinstance(step, ReadRun):
+                    self._coalesce_run(requests, step, responses)
+                else:
+                    responses[step.position] = self.submit(requests[step.position])
             return [r for r in responses if r is not None]
 
-    def _coalesce_group(
+    def _coalesce_run(
         self,
         requests: Sequence[ApiRequest],
-        group: list[int],
-        unique: dict[int, None],
+        run: ReadRun,
         responses: list[ApiResponse | None],
     ) -> None:
         """Answer one coalesced run of top-k reads via a single batch."""
-        first = requests[group[0]]
+        first = requests[run.positions[0]]
         assert isinstance(first, TopKQuery)
-        self.counters["reads_coalesced"] += len(group) - len(unique)
+        self.counters["reads_coalesced"] += run.coalesced
         batch = self.submit(
             BatchQuery(
-                sources=tuple(unique),
+                sources=run.sources,
                 k=first.k,
                 consistency=first.consistency,
             )
         )
         if batch.error is not None:
-            for position in group:
-                request = requests[position]
-                assert isinstance(request, TopKQuery)
-                responses[position] = TopKResult.failure(
-                    batch.error,
-                    snapshot_version=batch.snapshot_version,
-                    source=request.source,
-                )
+            fail_run(requests, run, batch.error, batch.snapshot_version, responses)
             return
         assert isinstance(batch, BatchResult)
         by_source = {result.source: result for result in batch.results}
-        seen: set[int] = set()
-        for position in group:
-            request = requests[position]
-            assert isinstance(request, TopKQuery)
-            result = by_source[request.source]
-            if request.source in seen and result.cold:
-                # Per-request dispatch would have admitted on the first
-                # occurrence only; duplicates of a cold source are hits.
-                served = (
-                    dc_replace(result.served, cold=False)
-                    if result.served is not None
-                    else None
-                )
-                result = dc_replace(result, cold=False, served=served)
-            seen.add(request.source)
-            responses[position] = result
+        scatter_run_results(requests, run, by_source, responses)
 
     # ------------------------------------------------------------------ #
     # response shaping

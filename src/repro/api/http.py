@@ -50,6 +50,7 @@ STATUS_FOR_CODE = {
     "CONVERGENCE": 500,
     "BACKEND": 500,
     "STORE": 500,
+    "CLUSTER": 503,
     "REPRO": 500,
     "INTERNAL": 500,
 }

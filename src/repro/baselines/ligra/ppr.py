@@ -82,7 +82,6 @@ class LigraDynamicPPR:
         rounds = 0
         while len(frontier):
             rec = IterationRecord(phase=phase, frontier_size=len(frontier))
-            ids = frontier.to_ids()
             weights = np.zeros(lgraph.num_vertices)
 
             def self_update(vertices: np.ndarray) -> None:

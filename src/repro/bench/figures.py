@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..config import Backend, PushVariant
-from ..core.tracker import DynamicPPRTracker
+from ..config import PushVariant
 from ..parallel.cost_model import CPUCostModel, GPUCostModel
 from ..parallel.simulator import profile_cpu, profile_gpu
 from ..utils.tables import format_table

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import Backend, PPRConfig, ServeConfig, StoreConfig
+from ..config import Backend, ServeConfig, StoreConfig
 from ..errors import ConfigError
 from ..serve import PPRService
 from ..store.recovery import RecoveryResult, recover

@@ -29,16 +29,24 @@ Commands
 ``store-recover --root DIR [--verify]``
     Recover a service from a store and serve from it; ``--verify`` checks
     the answers bit-for-bit against the ones ``store-checkpoint`` served.
-``serve <dataset> [--host H] [--port P] [--hubs N]``
+``serve <dataset> [--host H] [--port P] [--hubs N] [--replicas N]``
     Run the typed-gateway HTTP front-end (:mod:`repro.api.http`) over a
     deterministic dataset-analog service: ``POST /v1/query``,
-    ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``. See
-    ``docs/api.md``.
+    ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``. With
+    ``--replicas N`` the gateway is the replicated cluster tier
+    (:mod:`repro.cluster`): N worker processes serve reads, writes ship
+    as ordered deltas. See ``docs/api.md`` and ``docs/cluster.md``.
 ``gateway-bench <dataset> [--tiny]``
     Race one mixed read/write request trace through the gateway's
     read-coalescing scheduler vs per-request dispatch; exits nonzero
     unless coalescing wins >= 2x with bit-identical answers. ``--tiny``
     is the CI smoke mode.
+``cluster-bench <dataset> [--replicas N] [--tiny]``
+    Race one read-heavy trace through the replicated cluster tier vs the
+    single-process gateway; exits nonzero unless every answer is
+    bit-identical and within its staleness contract — and, with enough
+    cores to host the replicas, unless the cluster wins >= 2.5x.
+    ``--tiny`` is the CI smoke mode. See ``docs/cluster.md``.
 """
 
 from __future__ import annotations
@@ -325,7 +333,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .api.gateway import Gateway
     from .api.http import GatewayRequestHandler, make_server
     from .bench.gateway import workload_service
-    from .config import ApiConfig
+    from .cluster import ClusterGateway
+    from .config import ApiConfig, ClusterConfig
 
     service, prepared = workload_service(
         args.dataset,
@@ -335,20 +344,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_hubs=args.hubs,
         top_k=args.k,
     )
-    gateway = Gateway(service, ApiConfig(host=args.host, port=args.port))
+    api_config = ApiConfig(host=args.host, port=args.port)
+    cluster = None
+    if args.replicas > 0:
+        cluster = ClusterGateway(
+            service, ClusterConfig(replicas=args.replicas), api_config
+        )
+        gateway = cluster
+    else:
+        gateway = Gateway(service, api_config)
     if args.verbose:
         GatewayRequestHandler.log_traffic = True
     server = make_server(gateway)
     print(f"workload: {prepared.describe()}")
     print(f"service:  {service}")
+    if cluster is not None:
+        print(f"cluster:  {cluster}")
     print(f"listening on {server.url} "
-          f"(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz)")
+          "(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.server_close()
+        if cluster is not None:
+            cluster.close()
     return 0
 
 
@@ -378,6 +399,48 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         f"read-coalescing: {result.speedup:.1f}x over per-request dispatch"
         f" (bar {bar:.0f}x) — answers"
         f" {'bit-identical' if result.matched else 'MISMATCH'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from .bench.cluster import available_cores, cluster_benchmark
+
+    if args.tiny:
+        # CI smoke: fewer replicas, a shorter trace with the same shape —
+        # asserts the full replication machinery (spawn, delta shipping,
+        # partitioned reads, drain) with bit-identical answers, without
+        # demanding cores the runner may not have.
+        replicas, slides, requests, sources = 2, 2, 96, 24
+    else:
+        replicas, slides, requests, sources = (
+            args.replicas, args.slides, args.requests, args.sources
+        )
+    result = cluster_benchmark(
+        args.dataset,
+        replicas=replicas,
+        num_sources=sources,
+        num_slides=slides,
+        requests_per_slide=requests,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    ok = result.matched and result.bounded_ok
+    bar = 2.5
+    if not args.tiny and available_cores() >= replicas:
+        ok = ok and result.speedup >= bar
+        verdict = f"{result.speedup:.1f}x over single-process (bar {bar}x)"
+    else:
+        verdict = (
+            f"{result.speedup:.1f}x over single-process"
+            f" (bar waived: {'tiny mode' if args.tiny else 'too few cores'})"
+        )
+    print(
+        f"replicated serving: {verdict} — answers"
+        f" {'bit-identical' if result.matched else 'MISMATCH'},"
+        f" contracts {'honored' if result.bounded_ok else 'VIOLATED'}"
     )
     return 0 if ok else 1
 
@@ -468,9 +531,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--epsilon", type=float, default=1e-5)
     serve_http.add_argument("--workers", type=int, default=40)
     serve_http.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="serve through N replica worker processes (0 = single-process)",
+    )
+    serve_http.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve_http.set_defaults(func=_cmd_serve)
+
+    clb = sub.add_parser(
+        "cluster-bench",
+        help="race the replicated cluster tier against the single-process gateway",
+    )
+    clb.add_argument("dataset", choices=sorted(DATASETS))
+    clb.add_argument("--replicas", type=int, default=4)
+    clb.add_argument("--slides", type=int, default=3)
+    clb.add_argument("--requests", type=int, default=256, help="reads per slide")
+    clb.add_argument("--sources", type=int, default=48)
+    clb.add_argument("--k", type=int, default=10)
+    clb.add_argument("--epsilon", type=float, default=1e-5)
+    clb.add_argument("--workers", type=int, default=40)
+    clb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2 replicas, short trace, no speedup bar (the CI smoke mode)",
+    )
+    clb.set_defaults(func=_cmd_cluster_bench)
 
     gwb = sub.add_parser(
         "gateway-bench",

@@ -1,0 +1,778 @@
+"""The cluster coordinator: N replica processes behind one typed gateway.
+
+:class:`ClusterGateway` implements the same request/response protocol as
+:class:`repro.api.gateway.Gateway` — ``submit`` / ``submit_many`` /
+``execute`` over the typed dataclasses of :mod:`repro.api` — so the
+embedded :class:`~repro.api.client.Client`, the HTTP front-end, and
+every existing caller work unchanged while queries finally use more than
+one core:
+
+* **writes** (:class:`~repro.api.requests.IngestBatch`) apply on the
+  *primary* engine in-process (which owns durability: WAL, checkpoints,
+  optimistic-concurrency checks), then ship to every replica as ordered
+  WAL-framed deltas over its FIFO pipe;
+* **reads** are load-balanced across replicas per the placement policy —
+  ``HASHED`` keeps each source on one replica so per-source maintenance
+  (lazy refreshes, admissions) partitions across processes; coalesced
+  read runs (:mod:`repro.api.scheduling`, shared with the single-process
+  scheduler) are split into per-replica chunks that execute
+  concurrently;
+* **consistency** rides the channel: a read enqueued behind a delta is
+  served at a version covering it, so ``FRESH`` holds without extra
+  round trips (``PIPELINED``) or with an explicit version barrier
+  (``BARRIER``); ``BOUNDED``/``ANY`` are enforced engine-side on the
+  replica exactly as in a single process;
+* **failures**: a dead replica (crash, kill, wedge) is detected at the
+  next interaction, respawned — recovering from the primary's durable
+  store when one is attached, else from an order-exact graph snapshot —
+  and the interrupted chunk is re-dispatched. Respawns beyond
+  ``ClusterConfig.max_respawns`` surface as
+  :class:`~repro.errors.ClusterError` (stable code ``CLUSTER``).
+
+See ``docs/cluster.md`` for the topology, routing table, and failure
+model; ``benchmarks/bench_cluster.py`` races this gateway against the
+single-process one on the same trace.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import Counter
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..api.gateway import RESPONSE_FOR, Gateway
+from ..api.requests import (
+    ApiRequest,
+    BatchQuery,
+    HubQuery,
+    IngestBatch,
+    Prefetch,
+    ScoreQuery,
+    Stats,
+    TopKQuery,
+)
+from ..api.responses import (
+    ApiResponse,
+    BatchResult,
+    ErrorInfo,
+    PrefetchResult,
+    StatsResult,
+    TopKResult,
+)
+from ..api.scheduling import ReadRun, plan_schedule, scatter_run_results
+from ..config import (
+    ApiConfig,
+    CatchUpPolicy,
+    ClusterConfig,
+    ConsistencyLevel,
+    PlacementPolicy,
+)
+from ..errors import ClusterError, ReproError
+from ..store.wal import pack_record
+from . import messages
+from .replica import ReplicaSpec, replica_main
+
+if TYPE_CHECKING:
+    from ..api.client import Client
+    from ..serve.service import PPRService
+
+
+class _ReplicaDied(Exception):
+    """Internal control flow: the worker at ``index`` stopped answering."""
+
+
+class ReplicaHandle:
+    """Coordinator-side view of one worker process."""
+
+    def __init__(
+        self, spec: ReplicaSpec, ctx: multiprocessing.context.BaseContext
+    ) -> None:
+        self.spec = spec
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=replica_main,
+            args=(spec, child),
+            name=f"ppr-replica-{spec.replica_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        #: Highest graph version this replica has acknowledged applying.
+        self.applied_version = -1
+        #: Reads/chunks dispatched to this replica (stats surface).
+        self.dispatched = 0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, frame: tuple) -> None:
+        try:
+            self.conn.send(frame)
+        except (OSError, ValueError) as exc:
+            raise _ReplicaDied(str(exc)) from exc
+        # Under fork, siblings spawned later inherit this pipe's fds, so
+        # a write into a dead worker can succeed silently instead of
+        # raising EPIPE. A liveness check narrows that window; `_await`'s
+        # poll loop is the guaranteed backstop.
+        if not self.process.is_alive():
+            raise _ReplicaDied(f"{self.process.name} is not alive")
+
+    def close(self, *, terminate: bool = False) -> None:
+        """Join the worker; ``terminate`` skips the graceful wait."""
+        if terminate and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class ClusterGateway:
+    """Replicated drop-in for :class:`~repro.api.gateway.Gateway`.
+
+    Parameters
+    ----------
+    service:
+        The *primary* engine. It applies every write (and owns the
+        attached :class:`~repro.store.StateStore`, when any); its own
+        gateway handles admin operations. Replicas are full copies
+        bootstrapped from its order-exact graph snapshot.
+    cluster:
+        Topology and failure-handling knobs
+        (:class:`repro.config.ClusterConfig`).
+    config:
+        Protocol knobs (:class:`repro.config.ApiConfig`), exactly as for
+        the single-process gateway — read-coalescing width, HTTP bind
+        address, default consistency.
+
+    Examples
+    --------
+    >>> from repro import DynamicDiGraph, PPRService
+    >>> from repro.api import TopKQuery
+    >>> from repro.cluster import ClusterGateway
+    >>> from repro.config import ClusterConfig
+    >>> service = PPRService(DynamicDiGraph([(1, 0), (2, 0), (0, 1)]))
+    >>> gateway = ClusterGateway(service, ClusterConfig(replicas=1))
+    >>> response = gateway.submit(TopKQuery(source=0, k=2))
+    >>> gateway.close()
+    >>> response.ok and response.vertices[0] == 0
+    True
+    """
+
+    def __init__(
+        self,
+        service: "PPRService",
+        cluster: ClusterConfig | None = None,
+        config: ApiConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.cluster = cluster or ClusterConfig()
+        self.config = config or ApiConfig()
+        self.primary = (
+            Gateway(service, self.config)
+            if service._gateway is None
+            else service.gateway
+        )
+        self._ctx = multiprocessing.get_context(self.cluster.start_method)
+        self._lock = threading.RLock()
+        self._ticket = 0
+        self._rotor = 0
+        self.counters: Counter[str] = Counter()
+        self._respawn_counts: dict[int, int] = {}
+        self._closed = False
+        self.replicas: list[ReplicaHandle] = []
+        try:
+            for index in range(self.cluster.replicas):
+                self.replicas.append(self._spawn(index))
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spec(self, index: int, *, from_store: bool) -> ReplicaSpec:
+        service = self.service
+        serve = service.serve.with_(store=None)
+        if from_store:
+            assert service.store is not None
+            return ReplicaSpec(
+                replica_id=index,
+                config=service.config,
+                serve=serve,
+                graph_arrays=None,
+                hubs=tuple(service.hubs),
+                graph_version=service.graph_version,
+                store_root=str(service.store.root),
+            )
+        return ReplicaSpec(
+            replica_id=index,
+            config=service.config,
+            serve=serve,
+            graph_arrays=service.graph.to_arrays(),
+            hubs=tuple(service.hubs),
+            graph_version=service.graph_version,
+            store_root=None,
+        )
+
+    def _spawn(self, index: int, *, from_store: bool = False) -> ReplicaHandle:
+        handle = ReplicaHandle(self._spec(index, from_store=from_store), self._ctx)
+        deadline = time.monotonic() + self.cluster.spawn_timeout_s
+        try:
+            while not handle.conn.poll(0.05):
+                if time.monotonic() > deadline or not handle.alive():
+                    raise ClusterError(
+                        f"replica {index} never completed its spawn handshake"
+                    )
+            tag, version = handle.conn.recv()
+        except (EOFError, OSError) as exc:
+            handle.close(terminate=True)
+            raise ClusterError(f"replica {index} died during spawn: {exc}") from exc
+        except ClusterError:
+            handle.close(terminate=True)
+            raise
+        if tag != messages.HELLO:
+            handle.close(terminate=True)
+            raise ClusterError(f"replica {index} sent {tag!r} instead of hello")
+        if version != self.service.graph_version:
+            # A store bootstrap under a lax fsync policy can land behind
+            # head; an order-exact snapshot of the live primary cannot.
+            handle.close(terminate=True)
+            if from_store:
+                return self._spawn(index, from_store=False)
+            raise ClusterError(
+                f"replica {index} came up at v{version},"
+                f" primary is at v{self.service.graph_version}"
+            )
+        handle.applied_version = version
+        return handle
+
+    def _revive(self, index: int) -> None:
+        """Replace a dead replica, recovering from the store when attached.
+
+        The respawn budget is tracked *per replica slot*: a poison batch
+        crash-looping one worker exhausts that slot's budget, while
+        unrelated transient deaths of other replicas keep their own.
+        """
+        count = self._respawn_counts.get(index, 0) + 1
+        if count > self.cluster.max_respawns:
+            raise ClusterError(
+                f"replica {index} died and its respawn budget"
+                f" ({self.cluster.max_respawns}) is exhausted"
+            )
+        self._respawn_counts[index] = count
+        self.replicas[index].close(terminate=True)
+        self.replicas[index] = self._spawn(
+            index, from_store=self.service.store is not None
+        )
+        self.counters["respawns"] += 1
+
+    def close(self) -> None:
+        """Drain and stop every worker (idempotent).
+
+        A clean drain: each live replica gets a ``SHUTDOWN`` frame and
+        acknowledges with ``BYE`` after finishing whatever frame it was
+        serving; stragglers are terminated after a grace period.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self.replicas:
+                try:
+                    handle.send((messages.SHUTDOWN,))
+                except _ReplicaDied:
+                    pass
+            for handle in self.replicas:
+                handle.close()
+
+    def __enter__(self) -> "ClusterGateway":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # channel plumbing
+    # ------------------------------------------------------------------ #
+
+    def _next_ticket(self) -> int:
+        self._ticket += 1
+        return self._ticket
+
+    def _absorb(self, handle: ReplicaHandle, frame: tuple) -> tuple | None:
+        """Consume bookkeeping frames; return frames the caller must handle."""
+        tag = frame[0]
+        if tag == messages.APPLIED:
+            handle.applied_version = max(handle.applied_version, frame[1])
+            return None
+        if tag == messages.SYNCED:
+            handle.applied_version = max(handle.applied_version, frame[2])
+            return frame
+        return frame
+
+    def _drain_acks(self) -> None:
+        """Opportunistically absorb pending APPLIED acks (non-blocking)."""
+        for handle in self.replicas:
+            try:
+                while handle.conn.poll(0):
+                    frame = handle.conn.recv()
+                    self._absorb(handle, frame)
+            except (EOFError, OSError):
+                continue  # detected for real at the next dispatch
+
+    def _await(self, index: int, ticket: int) -> list[ApiResponse]:
+        """Block until replica ``index`` answers ``ticket``; absorb acks."""
+        handle = self.replicas[index]
+        deadline = time.monotonic() + self.cluster.response_timeout_s
+        while True:
+            try:
+                if not handle.conn.poll(0.05):
+                    if not handle.alive():
+                        raise _ReplicaDied(f"replica {index} exited")
+                    if time.monotonic() > deadline:
+                        raise _ReplicaDied(f"replica {index} timed out")
+                    continue
+                frame = handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise _ReplicaDied(str(exc)) from exc
+            frame = self._absorb(handle, frame)
+            if frame is None:
+                continue
+            if frame[0] == messages.RESPONSES and frame[1] == ticket:
+                handle.applied_version = max(handle.applied_version, frame[3])
+                return list(frame[2])
+            if frame[0] in (messages.SYNCED, messages.BYE):
+                continue
+            raise ClusterError(
+                f"replica {index} broke protocol: got {frame[0]!r}"
+                f" while awaiting ticket {ticket}"
+            )
+
+    def _barrier(self, index: int) -> None:
+        """Explicit catch-up: wait until the replica acks head version."""
+        handle = self.replicas[index]
+        if handle.applied_version >= self.service.graph_version:
+            return
+        ticket = self._next_ticket()
+        handle.send((messages.SYNC, ticket))
+        deadline = time.monotonic() + self.cluster.response_timeout_s
+        while handle.applied_version < self.service.graph_version:
+            try:
+                if not handle.conn.poll(0.05):
+                    if not handle.alive() or time.monotonic() > deadline:
+                        raise _ReplicaDied(f"replica {index} failed its barrier")
+                    continue
+                self._absorb(handle, handle.conn.recv())
+            except (EOFError, OSError) as exc:
+                raise _ReplicaDied(str(exc)) from exc
+
+    def _dispatch(
+        self,
+        index: int,
+        requests: Sequence[ApiRequest],
+        *,
+        coalesce: bool,
+        fresh: bool,
+    ) -> int:
+        """Ship a read chunk to one replica; returns the ticket to await."""
+        if fresh and self.cluster.catch_up is CatchUpPolicy.BARRIER:
+            self._barrier(index)
+        ticket = self._next_ticket()
+        handle = self.replicas[index]
+        handle.send((messages.REQUESTS, ticket, tuple(requests), coalesce))
+        handle.dispatched += 1
+        return ticket
+
+    def _dispatch_single(self, index: int, request: ApiRequest) -> ApiResponse:
+        """One read on one replica, with crash detection and one retry."""
+        fresh = self._is_fresh(request)
+        try:
+            ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
+            return self._await(index, ticket)[0]
+        except _ReplicaDied:
+            return self._retry_single(index, request, fresh)
+
+    def _retry_single(
+        self, index: int, request: ApiRequest, fresh: bool
+    ) -> ApiResponse:
+        """Revive replica ``index`` and re-run one request on it.
+
+        The retry lands on the *respawned* replica — recovered from the
+        store (or re-snapshotted from the primary) at head version — so
+        the answer is still a correct answer at its stated snapshot
+        version, merely cold where the dead replica was warm. A second
+        death surfaces as the typed :class:`~repro.errors.ClusterError`
+        (never the internal control-flow exception).
+        """
+        self._revive(index)
+        try:
+            ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
+            return self._await(index, ticket)[0]
+        except _ReplicaDied as exc:
+            raise ClusterError(
+                f"replica {index} died twice serving one request"
+            ) from exc
+
+    def _scatter(
+        self, per_replica: dict[int, ApiRequest], fresh: bool
+    ) -> dict[int, ApiResponse]:
+        """One request per replica, dispatched concurrently.
+
+        Every request is shipped before any answer is awaited, so the
+        replicas compute in parallel; a replica that dies is revived and
+        its request retried once on the fresh worker.
+        """
+        tickets: dict[int, int] = {}
+        results: dict[int, ApiResponse] = {}
+        for index, request in per_replica.items():
+            try:
+                tickets[index] = self._dispatch(
+                    index, [request], coalesce=False, fresh=fresh
+                )
+            except _ReplicaDied:
+                results[index] = self._retry_single(index, request, fresh)
+        for index, request in per_replica.items():
+            if index in results:
+                continue
+            try:
+                results[index] = self._await(index, tickets[index])[0]
+            except _ReplicaDied:
+                results[index] = self._retry_single(index, request, fresh)
+        return results
+
+    @staticmethod
+    def _is_fresh(request: ApiRequest) -> bool:
+        consistency = getattr(request, "consistency", None)
+        return (
+            consistency is not None
+            and consistency.level is ConsistencyLevel.FRESH
+        )
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def _owner(self, source: int) -> int:
+        if self.cluster.placement is PlacementPolicy.HASHED:
+            return source % len(self.replicas)
+        self._rotor = (self._rotor + 1) % len(self.replicas)
+        return self._rotor
+
+    def _partition(self, sources: Sequence[int]) -> dict[int, list[int]]:
+        """Group sources by owning replica, preserving per-chunk order."""
+        chunks: dict[int, list[int]] = {}
+        if self.cluster.placement is PlacementPolicy.HASHED:
+            for source in sources:
+                chunks.setdefault(source % len(self.replicas), []).append(source)
+            return chunks
+        # Round-robin: contiguous even slices, deterministic for a trace.
+        n = len(self.replicas)
+        width = max(1, -(-len(sources) // n))
+        for index in range(n):
+            chunk = list(sources[index * width : (index + 1) * width])
+            if chunk:
+                chunks[index] = chunk
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    # the typed protocol
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        """Execute one request; failures become error-carrying responses."""
+        try:
+            return self.execute(request)
+        except ReproError as exc:
+            self.counters["errors"] += 1
+            shape = RESPONSE_FOR.get(type(request), ApiResponse)
+            return shape.failure(
+                ErrorInfo.from_exception(exc),
+                snapshot_version=self.service.graph_version,
+            )
+
+    def execute(self, request: ApiRequest) -> ApiResponse:
+        """Execute one request, raising typed errors (the embedded path)."""
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster gateway is closed")
+            self._drain_acks()
+            self.counters[request.op] += 1
+            if isinstance(request, IngestBatch):
+                return self._execute_ingest(request)
+            if isinstance(request, TopKQuery):
+                return self._dispatch_single(self._owner(request.source), request)
+            if isinstance(request, ScoreQuery):
+                return self._dispatch_single(self._owner(request.source), request)
+            if isinstance(request, HubQuery):
+                self._rotor = (self._rotor + 1) % len(self.replicas)
+                return self._dispatch_single(self._rotor, request)
+            if isinstance(request, BatchQuery):
+                return self._execute_batch(request)
+            if isinstance(request, Prefetch):
+                return self._execute_prefetch(request)
+            if isinstance(request, Stats):
+                return self._execute_stats(request)
+            # Health, CheckpointNow, and anything engine-administrative
+            # run on the primary, which owns durability and identity.
+            return self.primary.execute(request)
+
+    # -- writes -------------------------------------------------------- #
+
+    def _execute_ingest(self, request: IngestBatch) -> ApiResponse:
+        """Apply on the primary, then ship the delta to every replica.
+
+        The primary's gateway does validation, optimistic-concurrency
+        checks, WAL logging, and checkpoint cadence; only an
+        *acknowledged* batch is framed (with the WAL's own codec) and
+        shipped. Replication is asynchronous — acks drain lazily — but
+        FIFO pipes guarantee every later read observes the delta.
+        """
+        response = self.primary.execute(request)
+        if response.error is None:
+            # Ship even an empty batch: the primary bumped its version,
+            # and a replica that misses any version sees a replication
+            # gap and crashes. The codec frames zero rows fine.
+            frame = pack_record(self.service.graph_version, request.updates)
+            for index, handle in enumerate(self.replicas):
+                try:
+                    handle.send((messages.APPLY, frame))
+                except _ReplicaDied:
+                    # The respawn bootstraps at head, delta included.
+                    self._revive(index)
+            self.counters["deltas_shipped"] += 1
+        return response
+
+    # -- reads --------------------------------------------------------- #
+
+    def _execute_batch(self, request: BatchQuery) -> BatchResult:
+        start = time.perf_counter()
+        chunks = self._partition(request.sources)
+        fresh = self._is_fresh(request)
+        by_position: dict[int, TopKResult] = {}
+        source_positions: dict[int, list[int]] = {}
+        for position, source in enumerate(request.sources):
+            source_positions.setdefault(source, []).append(position)
+        cursor = {source: 0 for source in source_positions}
+        for _, chunk_sources, chunk_results in self._run_chunks(
+            chunks, request, fresh
+        ):
+            for source, result in zip(chunk_sources, chunk_results):
+                assert isinstance(result, TopKResult)
+                positions = source_positions[source]
+                by_position[positions[cursor[source]]] = result
+                cursor[source] += 1
+        results = tuple(by_position[i] for i in range(len(request.sources)))
+        return BatchResult(
+            results=results,
+            snapshot_version=self.service.graph_version,
+            staleness=max((r.staleness for r in results), default=0),
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def _run_chunks(
+        self,
+        chunks: dict[int, list[int]],
+        request: BatchQuery,
+        fresh: bool,
+    ):
+        """Execute per-replica BatchQuery chunks concurrently.
+
+        One :meth:`_scatter` round: all chunks ship before any answer is
+        awaited, so replicas compute in parallel; a replica that dies
+        mid-chunk is revived and its chunk retried once.
+        """
+        per_replica = {
+            index: BatchQuery(
+                sources=tuple(sources), k=request.k, consistency=request.consistency
+            )
+            for index, sources in chunks.items()
+        }
+        results = self._scatter(per_replica, fresh)
+        for index, sources in chunks.items():
+            response = results[index]
+            if response.error is not None:
+                raise response.error.to_exception()
+            assert isinstance(response, BatchResult)
+            yield index, sources, response.results
+
+    def _execute_prefetch(self, request: Prefetch) -> PrefetchResult:
+        """Queue each source for admission on the replica that owns it.
+
+        Admission pushes are the most expensive per-source work in the
+        system, so the per-replica chunks go out as one scatter round —
+        parallel, like every other chunked read path.
+        """
+        start = time.perf_counter()
+        per_replica = {
+            index: Prefetch(sources=tuple(sources))
+            for index, sources in self._partition(request.sources).items()
+        }
+        pending = 0
+        for response in self._scatter(per_replica, False).values():
+            if response.error is not None:
+                raise response.error.to_exception()
+            assert isinstance(response, PrefetchResult)
+            pending += response.pending
+        return PrefetchResult(
+            requested=len(request.sources),
+            pending=pending,
+            snapshot_version=self.service.graph_version,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    # -- observability ------------------------------------------------- #
+
+    def _execute_stats(self, request: Stats) -> StatsResult:
+        response = self.primary.execute(request)
+        assert isinstance(response, StatsResult)
+        stats: dict[str, Any] = dict(response.stats)
+        stats["cluster"] = {
+            "replicas": len(self.replicas),
+            "placement": self.cluster.placement.value,
+            "applied_versions": self.replica_versions(),
+            "dispatched": [h.dispatched for h in self.replicas],
+            "respawns": self.counters["respawns"],
+            "deltas_shipped": self.counters["deltas_shipped"],
+            "gateway": dict(self.counters),
+        }
+        return StatsResult(
+            stats=stats,
+            snapshot_version=response.snapshot_version,
+            wall_time_s=response.wall_time_s,
+        )
+
+    def replica_versions(self) -> list[int]:
+        """Last-acknowledged applied version per replica (may lag head)."""
+        self._drain_acks()
+        return [handle.applied_version for handle in self.replicas]
+
+    # ------------------------------------------------------------------ #
+    # scheduling: mixed read/write traffic
+    # ------------------------------------------------------------------ #
+
+    def submit_many(
+        self, requests: Sequence[ApiRequest], *, coalesce: bool | None = None
+    ) -> list[ApiResponse]:
+        """Run a request sequence in order, fanning read runs out in parallel.
+
+        The schedule is the *same* plan the single-process gateway makes
+        (:func:`repro.api.scheduling.plan_schedule`): writes execute at
+        their arrival position as barriers, and each coalesced run of
+        same-shaped top-k reads is deduplicated — then split across
+        replicas by placement and executed concurrently, one chunk per
+        worker process. Under ``HASHED`` placement the answers are
+        bit-identical to the single-process scheduler's for the same
+        trace (each source's refresh/admission history lives on exactly
+        one replica).
+        """
+        if coalesce is None:
+            coalesce = self.config.coalesce_reads
+        with self._lock:
+            responses: list[ApiResponse | None] = [None] * len(requests)
+            steps = plan_schedule(
+                requests, coalesce=coalesce, max_batch=self.config.max_batch
+            )
+            for step in steps:
+                if isinstance(step, ReadRun):
+                    self._execute_run(requests, step, responses)
+                else:
+                    responses[step.position] = self.submit(requests[step.position])
+            return [r for r in responses if r is not None]
+
+    def _execute_run(
+        self,
+        requests: Sequence[ApiRequest],
+        run: ReadRun,
+        responses: list[ApiResponse | None],
+    ) -> None:
+        """Answer one coalesced read run via parallel per-replica batches."""
+        first = requests[run.positions[0]]
+        assert isinstance(first, TopKQuery)
+        self.counters["reads_coalesced"] += run.coalesced
+        chunks = self._partition(run.sources)
+        fresh = first.consistency.level is ConsistencyLevel.FRESH
+        by_source: dict[int, TopKResult] = {}
+        probe = BatchQuery(
+            sources=run.sources, k=first.k, consistency=first.consistency
+        )
+        try:
+            for index, sources, results in self._run_chunks(chunks, probe, fresh):
+                del index
+                for source, result in zip(sources, results):
+                    assert isinstance(result, TopKResult)
+                    by_source[source] = result
+        except ReproError as exc:
+            # Match the single-process scheduler: one failing batch fails
+            # the whole run with that error.
+            self.counters["errors"] += 1
+            error = ErrorInfo.from_exception(exc)
+            by_source = {
+                source: TopKResult.failure(
+                    error,
+                    snapshot_version=self.service.graph_version,
+                    source=source,
+                )
+                for source in run.sources
+            }
+        scatter_run_results(requests, run, by_source, responses)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterGateway(replicas={len(self.replicas)},"
+            f" placement={self.cluster.placement.value},"
+            f" primary={self.service!r})"
+        )
+
+
+class PPRCluster:
+    """User-facing handle on a replicated serving tier.
+
+    Wraps the primary engine and its :class:`ClusterGateway`; use as a
+    context manager so workers are always drained:
+
+    >>> from repro import DynamicDiGraph, PPRService
+    >>> from repro.cluster import PPRCluster
+    >>> from repro.config import ClusterConfig
+    >>> service = PPRService(DynamicDiGraph([(1, 0), (2, 0), (0, 1)]))
+    >>> with PPRCluster(service, ClusterConfig(replicas=1)) as cluster:
+    ...     answer = cluster.api.top_k(0, k=2)
+    >>> answer.vertices[0]
+    0
+    """
+
+    def __init__(
+        self,
+        service: "PPRService",
+        cluster: ClusterConfig | None = None,
+        config: ApiConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.gateway = ClusterGateway(service, cluster, config)
+
+    @property
+    def api(self) -> "Client":
+        """An embedded typed client bound to the cluster gateway."""
+        from ..api.client import Client
+
+        return Client(self.gateway)
+
+    def close(self) -> None:
+        self.gateway.close()
+
+    def __enter__(self) -> "PPRCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"PPRCluster(gateway={self.gateway!r})"

@@ -1,0 +1,46 @@
+"""Coordinator <-> replica wire protocol of the cluster tier.
+
+One duplex :func:`multiprocessing.Pipe` per replica carries every frame,
+which is what makes the consistency story simple: the channel is FIFO,
+so a read enqueued after a write delta is *guaranteed* to be served at a
+version covering that delta (the ``PIPELINED`` catch-up policy is free).
+
+Frames are small tagged tuples (``Connection.send`` pickles them), with
+one deliberate exception: write deltas travel as the **WAL record
+framing** of :mod:`repro.store.wal` (:func:`~repro.store.wal.pack_record`
+bytes — magic, seq, length, CRC-32, packed ``(u, v, op)`` rows). The
+durability codec and the replication codec are the same bytes, so a
+delta damaged in transit is rejected by the same CRC check that rejects
+a torn WAL tail, and a replica applying frame ``seq`` is bit-for-bit
+replaying what the primary logged as ``seq``.
+
+Coordinator -> replica::
+
+    (APPLY, frame_bytes)                  ordered write delta (WAL frame)
+    (REQUESTS, ticket, requests, coalesce) reads to serve (typed ApiRequests)
+    (SYNC, ticket)                        barrier: ack your applied version
+    (SHUTDOWN,)                           drain and exit
+
+Replica -> coordinator::
+
+    (HELLO, graph_version)                spawn handshake
+    (APPLIED, seq)                        delta applied through version seq
+    (RESPONSES, ticket, responses, graph_version)
+    (SYNCED, ticket, graph_version)
+    (BYE, graph_version)                  clean shutdown acknowledgement
+"""
+
+from __future__ import annotations
+
+#: Coordinator -> replica tags.
+APPLY = "apply"
+REQUESTS = "requests"
+SYNC = "sync"
+SHUTDOWN = "shutdown"
+
+#: Replica -> coordinator tags.
+HELLO = "hello"
+APPLIED = "applied"
+RESPONSES = "responses"
+SYNCED = "synced"
+BYE = "bye"

@@ -1,0 +1,147 @@
+"""The replica worker: one process, one full serving engine.
+
+:func:`replica_main` is the entry point of every cluster worker process.
+It builds a complete :class:`~repro.serve.service.PPRService` replica —
+own push engine, own resident cache, own delta-CSR snapshot chain — and
+serves the coordinator's frames in FIFO order: write deltas are ingested
+through the replica's *normal* gateway path (the same
+``restore_invariant`` arithmetic and snapshot advancement the primary
+ran), reads are answered by the replica's own
+:class:`~repro.api.gateway.Gateway` scheduler.
+
+A replica bootstraps one of two ways (:class:`ReplicaSpec`):
+
+* **from arrays** — the primary's order-exact
+  :meth:`~repro.graph.digraph.DynamicDiGraph.to_arrays` snapshot, so the
+  rebuilt adjacency iteration (and every CSR snapshot derived from it)
+  is bit-identical to the primary's;
+* **from the store** — :func:`repro.store.recovery.recover_service` over
+  the primary's durable state (newest checkpoint + WAL-tail replay).
+  This is the respawn path: the WAL is written before any write is
+  acknowledged, so a recovered replica lands exactly at the primary's
+  head version.
+
+Either way the replica's answers are bit-identical to a single-process
+service with the same history — the property ``tests/test_cluster.py``
+and ``benchmarks/bench_cluster.py`` assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any
+
+from ..api.gateway import Gateway
+from ..api.requests import IngestBatch
+from ..config import PPRConfig, ServeConfig
+from ..errors import ClusterError
+from ..serve.service import PPRService
+from ..store.wal import unpack_record
+from . import messages
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything a worker process needs to build its replica.
+
+    ``graph_arrays`` and ``store_root`` are mutually exclusive bootstrap
+    modes; ``serve`` always arrives with ``store=None`` (the primary owns
+    durability — replicas must never double-log the WAL).
+    """
+
+    replica_id: int
+    config: PPRConfig
+    serve: ServeConfig
+    #: Order-exact graph snapshot (``DynamicDiGraph.to_arrays``), or None
+    #: when bootstrapping from the store.
+    graph_arrays: dict[str, Any] | None
+    #: Explicit hub ids of the primary's hub tier (empty = no hub tier).
+    hubs: tuple[int, ...]
+    #: Graph version the ``graph_arrays`` snapshot is at.
+    graph_version: int
+    #: Store directory to recover from instead (the respawn path).
+    store_root: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.graph_arrays is None) == (self.store_root is None):
+            raise ClusterError(
+                "a ReplicaSpec needs exactly one of graph_arrays/store_root"
+            )
+        if self.serve.store is not None:
+            raise ClusterError("replica ServeConfig must not carry a store")
+
+
+def build_replica_service(spec: ReplicaSpec) -> PPRService:
+    """Construct the replica's serving engine per the spec's bootstrap mode."""
+    if spec.store_root is not None:
+        from ..store.recovery import recover_service
+
+        return recover_service(spec.store_root, attach=False)
+    return PPRService.from_graph_arrays(
+        spec.graph_arrays,
+        config=spec.config,
+        serve=spec.serve,
+        hubs=list(spec.hubs) if spec.hubs else None,
+        graph_version=spec.graph_version,
+    )
+
+
+def apply_delta(service: PPRService, frame: bytes) -> int:
+    """Apply one WAL-framed write delta; returns the replica's new version.
+
+    CRC-verified by :func:`~repro.store.wal.unpack_record`. Frames at or
+    below the replica's version are skipped idempotently (a respawned
+    replica may be re-shipped deltas its recovery already covered); a
+    gap raises — a replica must never serve a history with holes.
+    """
+    record = unpack_record(frame)
+    if record.seq <= service.graph_version:
+        return service.graph_version
+    if record.seq != service.graph_version + 1:
+        raise ClusterError(
+            f"replication gap: replica at v{service.graph_version},"
+            f" delta frame is v{record.seq}"
+        )
+    service.gateway.execute(IngestBatch(updates=record.updates))
+    return service.graph_version
+
+
+def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
+    """Worker-process loop: build the replica, then serve frames forever.
+
+    Exits on ``SHUTDOWN`` (clean drain, acknowledged with ``BYE``), a
+    closed pipe (coordinator died — nothing left to serve), or an
+    unhandled error (the coordinator sees the broken pipe and respawns).
+    Engine-level failures inside a read do *not* crash the worker: the
+    replica's own gateway maps them to typed error responses, exactly as
+    a single-process gateway would.
+    """
+    service = build_replica_service(spec)
+    gateway = Gateway(service)
+    try:
+        conn.send((messages.HELLO, service.graph_version))
+        while True:
+            try:
+                frame = conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = frame[0]
+            if tag == messages.APPLY:
+                version = apply_delta(service, frame[1])
+                conn.send((messages.APPLIED, version))
+            elif tag == messages.REQUESTS:
+                _, ticket, requests, coalesce = frame
+                responses = gateway.submit_many(list(requests), coalesce=coalesce)
+                conn.send(
+                    (messages.RESPONSES, ticket, responses, service.graph_version)
+                )
+            elif tag == messages.SYNC:
+                conn.send((messages.SYNCED, frame[1], service.graph_version))
+            elif tag == messages.SHUTDOWN:
+                conn.send((messages.BYE, service.graph_version))
+                break
+            else:  # pragma: no cover - protocol bug guard
+                raise ClusterError(f"unknown frame tag: {tag!r}")
+    finally:
+        conn.close()

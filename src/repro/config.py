@@ -261,6 +261,108 @@ class ApiConfig:
         return replace(self, **changes)
 
 
+class PlacementPolicy(enum.Enum):
+    """How the cluster tier routes a read to a replica (:mod:`repro.cluster`).
+
+    ``HASHED``
+        A source is always served by ``source % replicas``. Each replica's
+        resident cache holds a stable partition of the source space, so
+        per-source maintenance (lazy refreshes, cold admissions) runs on
+        exactly one replica — the work partitioning the scale-out exists
+        for.
+    ``ROUND_ROBIN``
+        Reads rotate across replicas regardless of source. Spreads load
+        evenly under skew, at the cost of every replica warming (and
+        refreshing) every hot source.
+    """
+
+    HASHED = "hashed"
+    ROUND_ROBIN = "round_robin"
+
+
+class CatchUpPolicy(enum.Enum):
+    """How a FRESH read treats a replica that may lag the primary.
+
+    ``PIPELINED``
+        Rely on channel ordering: write deltas and reads travel the same
+        FIFO pipe, so by the time a replica serves a read it has applied
+        every delta shipped before it. No extra round trip; reads queue
+        behind in-flight deltas.
+    ``BARRIER``
+        Before dispatching, send an explicit sync and wait for the
+        replica to acknowledge the primary's head version. Costs a round
+        trip but surfaces a wedged replica *before* the read is committed
+        to it.
+    """
+
+    PIPELINED = "pipelined"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of the replicated serving tier (:mod:`repro.cluster`).
+
+    Parameters
+    ----------
+    replicas:
+        Worker processes, each hosting a full replica of the serving
+        engine. Reads are load-balanced across them; writes apply on the
+        primary and ship to every replica as ordered deltas.
+    placement:
+        Read-routing policy (see :class:`PlacementPolicy`).
+    catch_up:
+        FRESH-read catch-up discipline (see :class:`CatchUpPolicy`).
+    max_respawns:
+        How many times a crashed replica may be respawned before the
+        cluster gives up and raises (guards against a poison batch
+        crash-looping a worker).
+    start_method:
+        :mod:`multiprocessing` start method (``fork`` is the fast path on
+        Linux; ``spawn`` re-imports the library per worker).
+    spawn_timeout_s / response_timeout_s:
+        How long to wait for a worker's hello handshake / a dispatched
+        read before declaring the replica dead.
+
+    See ``docs/cluster.md`` for topology and the failure model.
+    """
+
+    replicas: int = 2
+    placement: PlacementPolicy = PlacementPolicy.HASHED
+    catch_up: CatchUpPolicy = CatchUpPolicy.PIPELINED
+    max_respawns: int = 3
+    start_method: str = "fork"
+    spawn_timeout_s: float = 60.0
+    response_timeout_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.replicas <= 64:
+            raise ConfigError(f"replicas must be in [1, 64], got {self.replicas}")
+        if not isinstance(self.placement, PlacementPolicy):
+            raise ConfigError(
+                f"placement must be a PlacementPolicy, got {self.placement!r}"
+            )
+        if not isinstance(self.catch_up, CatchUpPolicy):
+            raise ConfigError(
+                f"catch_up must be a CatchUpPolicy, got {self.catch_up!r}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ConfigError(
+                "start_method must be one of fork/spawn/forkserver,"
+                f" got {self.start_method!r}"
+            )
+        if self.spawn_timeout_s <= 0 or self.response_timeout_s <= 0:
+            raise ConfigError("cluster timeouts must be > 0")
+
+    def with_(self, **changes: Any) -> "ClusterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 class RefreshPolicy(enum.Enum):
     """When the serving layer re-converges resident PPR states.
 

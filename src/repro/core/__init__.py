@@ -18,8 +18,8 @@ from .hub_index import DynamicHubIndex, select_hubs
 from .invariant import check_invariant, invariant_violation, restore_invariant
 from .push_parallel import parallel_local_push
 from .push_sequential import sequential_local_push
-from .stats import BatchStats, IterationRecord, PushStats
 from .state import PPRState
+from .stats import BatchStats, IterationRecord, PushStats
 from .tracker import DynamicPPRTracker, MultiSourceTracker
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "ground_truth_linear",
     "ground_truth_ppr",
     "invariant_violation",
+    "restore_invariant",
     "parallel_bound_directed",
     "parallel_bound_undirected",
     "parallel_local_push",

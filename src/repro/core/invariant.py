@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from ..graph.digraph import DynamicDiGraph
-from ..graph.update import EdgeOp, EdgeUpdate
+from ..graph.update import EdgeUpdate
 from .state import PPRState
 
 

@@ -30,7 +30,7 @@ from .invariant import invariant_violation, restore_invariant
 from .push_parallel import parallel_local_push
 from .push_sequential import sequential_local_push
 from .state import PPRState
-from .stats import BatchStats, PushStats, RestoreStats, SequentialPushStats
+from .stats import BatchStats, PushStats, RestoreStats
 
 
 class DynamicPPRTracker:

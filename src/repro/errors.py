@@ -140,6 +140,18 @@ class StoreError(ReproError):
     code = "STORE"
 
 
+class ClusterError(ReproError):
+    """The replicated serving tier lost a replica it could not replace.
+
+    Raised when a worker process dies beyond its respawn budget, fails
+    its spawn handshake, or comes back at a version the primary cannot
+    reconcile. A single replica crash is *not* an error — the cluster
+    respawns and recovers it transparently (see ``docs/cluster.md``).
+    """
+
+    code = "CLUSTER"
+
+
 #: Stable code -> exception class. The reverse of each class's ``code``;
 #: consumed by :func:`error_from_dict` and the API protocol docs.
 ERROR_CODES: dict[str, type[ReproError]] = {
@@ -156,6 +168,7 @@ ERROR_CODES: dict[str, type[ReproError]] = {
         ConvergenceError,
         BackendError,
         StoreError,
+        ClusterError,
     )
 }
 

@@ -388,6 +388,34 @@ class PPRService:
         service.cache.evictions = 0
         return service
 
+    @classmethod
+    def from_graph_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        config: PPRConfig | None = None,
+        serve: ServeConfig | None = None,
+        hubs: Sequence[int] | None = None,
+        graph_version: int = 0,
+    ) -> "PPRService":
+        """Build a fresh replica of a service from order-exact graph arrays.
+
+        The replica-bootstrap path of the cluster tier
+        (:mod:`repro.cluster`): ``arrays`` come from the primary's
+        :meth:`~repro.graph.digraph.DynamicDiGraph.to_arrays`, whose
+        order-exact round trip guarantees the rebuilt graph's adjacency
+        iteration — and therefore every CSR snapshot and vectorized push
+        this service runs — is bit-identical to the primary's. The new
+        service starts at ``graph_version`` with an empty resident cache;
+        passing the primary's ``hubs`` rebuilds (and re-converges) the
+        same hub tier.
+        """
+        service = cls(
+            DynamicDiGraph.from_arrays(arrays), config, serve, hubs=hubs
+        )
+        service.graph_version = graph_version
+        return service
+
     # ------------------------------------------------------------------ #
     # snapshots
     # ------------------------------------------------------------------ #

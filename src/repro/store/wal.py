@@ -87,6 +87,43 @@ class WalRecord:
     updates: tuple[EdgeUpdate, ...]
 
 
+def pack_record(seq: int, updates: Sequence[EdgeUpdate]) -> bytes:
+    """One complete CRC-framed record (header + payload) as bytes.
+
+    The frame the WAL appends to its segments — and, reused verbatim,
+    the wire format the cluster tier (:mod:`repro.cluster`) ships write
+    deltas in: one durability codec, one replication codec.
+    """
+    if seq < 0:
+        raise StoreError(f"seq must be >= 0, got {seq}")
+    payload = encode_updates(updates)
+    crc = zlib.crc32(_SEQ.pack(seq) + payload)
+    return _HEADER.pack(FRAME_MAGIC, seq, len(payload), crc) + payload
+
+
+def unpack_record(frame: bytes) -> WalRecord:
+    """Decode and verify one :func:`pack_record` frame.
+
+    Raises :class:`~repro.errors.StoreError` on bad magic, length
+    mismatch, CRC mismatch, or a malformed payload — a replica must not
+    apply a delta the channel damaged.
+    """
+    if len(frame) < _HEADER.size:
+        raise StoreError(f"short frame: {len(frame)} bytes")
+    magic, seq, length, crc = _HEADER.unpack_from(frame, 0)
+    if magic != FRAME_MAGIC:
+        raise StoreError(f"bad frame magic: {magic!r}")
+    if length > MAX_PAYLOAD or _HEADER.size + length != len(frame):
+        raise StoreError(
+            f"frame length mismatch: header says {length}, frame has"
+            f" {len(frame) - _HEADER.size} payload bytes"
+        )
+    payload = frame[_HEADER.size :]
+    if zlib.crc32(_SEQ.pack(seq) + payload) != crc:
+        raise StoreError(f"frame CRC mismatch at seq {seq}")
+    return WalRecord(seq=seq, updates=tuple(decode_updates(payload)))
+
+
 @dataclass(frozen=True)
 class SegmentScan:
     """Result of scanning one segment file."""
@@ -184,8 +221,7 @@ class WriteAheadLog:
         buffered write + flush (+ fsync under ``ALWAYS``), so a crash can
         tear at most the frame being written.
         """
-        if seq < 0:
-            raise StoreError(f"seq must be >= 0, got {seq}")
+        frame = pack_record(seq, updates)
         if self._fh is None:
             self._current = self.directory / (
                 f"{SEGMENT_PREFIX}{seq:016d}{SEGMENT_SUFFIX}"
@@ -203,9 +239,7 @@ class WriteAheadLog:
                         f"segment already exists with live records: {self._current}"
                     )
             self._fh = open(self._current, "ab")
-        payload = encode_updates(updates)
-        crc = zlib.crc32(_SEQ.pack(seq) + payload)
-        self._fh.write(_HEADER.pack(FRAME_MAGIC, seq, len(payload), crc) + payload)
+        self._fh.write(frame)
         self._fh.flush()
         if self.fsync is FsyncPolicy.ALWAYS:
             os.fsync(self._fh.fileno())

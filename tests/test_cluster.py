@@ -1,0 +1,342 @@
+"""The replicated serving tier (:mod:`repro.cluster`).
+
+Three contracts under test:
+
+1. **protocol equivalence** — a :class:`~repro.cluster.ClusterGateway`
+   answers the typed protocol bit-identically to a single-process
+   :class:`~repro.api.Gateway` receiving the same traffic (hashed
+   placement pins every source's history to one replica);
+2. **replication** — writes ship as ordered WAL-framed deltas, replicas
+   track applied versions, and consistency contracts hold across the
+   process boundary;
+3. **fault tolerance** — a replica killed mid-stream is respawned,
+   recovers from the primary's durable store, and its
+   ``certified_top_k`` answers are bit-identical to a single-process
+   service recovered from the same store at the same version.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro import DynamicDiGraph, PPRService
+from repro.api.gateway import Gateway
+from repro.api.requests import (
+    ANY,
+    FRESH,
+    BatchQuery,
+    Consistency,
+    Health,
+    IngestBatch,
+    Prefetch,
+    ScoreQuery,
+    Stats,
+    TopKQuery,
+)
+from repro.cluster import PPRCluster, ReplicaSpec
+from repro.config import (
+    CatchUpPolicy,
+    ClusterConfig,
+    PlacementPolicy,
+    ServeConfig,
+    StoreConfig,
+)
+from repro.errors import ClusterError, ConflictError
+from repro.graph import insertions
+from repro.store.recovery import recover_service
+from repro.store.wal import pack_record, unpack_record
+
+EDGES = [(1, 0), (2, 0), (2, 1), (0, 2), (3, 1), (4, 3), (1, 4), (3, 0)]
+
+
+def fresh_service(**serve_kwargs) -> PPRService:
+    return PPRService(DynamicDiGraph(EDGES), serve=ServeConfig(**serve_kwargs))
+
+
+def entries_of(response):
+    return [(e.vertex, e.estimate) for e in response.entries]
+
+
+@pytest.fixture
+def cluster():
+    with PPRCluster(fresh_service(), ClusterConfig(replicas=2)) as c:
+        yield c
+
+
+class TestReplicaSpec:
+    def test_exactly_one_bootstrap_mode(self):
+        service = fresh_service()
+        with pytest.raises(ClusterError):
+            ReplicaSpec(
+                replica_id=0,
+                config=service.config,
+                serve=service.serve,
+                graph_arrays=None,
+                hubs=(),
+                graph_version=0,
+                store_root=None,
+            )
+
+    def test_replica_serve_config_must_not_carry_a_store(self, tmp_path):
+        service = fresh_service()
+        with pytest.raises(ClusterError):
+            ReplicaSpec(
+                replica_id=0,
+                config=service.config,
+                serve=service.serve.with_(store=StoreConfig(root=str(tmp_path))),
+                graph_arrays=service.graph.to_arrays(),
+                hubs=(),
+                graph_version=0,
+            )
+
+
+class TestWireCodec:
+    def test_delta_frames_are_wal_records(self):
+        updates = tuple(insertions([(5, 6), (6, 5)]))
+        record = unpack_record(pack_record(9, updates))
+        assert record.seq == 9
+        assert record.updates == updates
+
+
+class TestProtocolEquivalence:
+    def test_reads_bit_identical_to_single_process(self, cluster):
+        single = fresh_service()
+        burst = [TopKQuery(source=s, k=3, consistency=FRESH)
+                 for s in (0, 1, 2, 0, 3, 1)]
+        ours = cluster.gateway.submit_many(burst)
+        theirs = single.gateway.submit_many(burst)
+        for left, right in zip(ours, theirs):
+            assert left.ok and right.ok
+            assert entries_of(left) == entries_of(right)
+            assert left.cold == right.cold
+            assert left.snapshot_version == right.snapshot_version
+            assert left.staleness == right.staleness
+
+    def test_interleaved_reads_and_writes_match_single_process(self, cluster):
+        single = fresh_service()
+        trace = [
+            TopKQuery(source=0, k=3),
+            IngestBatch(updates=tuple(insertions([(2, 3)]))),
+            TopKQuery(source=0, k=3),
+            TopKQuery(source=3, k=3),
+            IngestBatch(updates=tuple(insertions([(4, 0)]))),
+            TopKQuery(source=0, k=3, consistency=Consistency.bounded(1)),
+            TopKQuery(source=3, k=3, consistency=ANY),
+        ]
+        ours = cluster.gateway.submit_many(trace)
+        theirs = single.gateway.submit_many(trace)
+        for left, right in zip(ours, theirs):
+            assert left.ok and right.ok
+            assert left.snapshot_version == right.snapshot_version
+            if hasattr(left, "entries"):
+                assert entries_of(left) == entries_of(right)
+                assert left.staleness == right.staleness
+
+    def test_batch_query_preserves_request_order_and_duplicates(self, cluster):
+        single = fresh_service()
+        request = BatchQuery(sources=(3, 0, 3, 1, 0), k=3)
+        ours = cluster.gateway.submit(request)
+        theirs = single.gateway.submit(request)
+        assert [r.source for r in ours.results] == [3, 0, 3, 1, 0]
+        for left, right in zip(ours.results, theirs.results):
+            assert entries_of(left) == entries_of(right)
+            assert left.cold == right.cold
+
+    def test_score_and_prefetch_route_by_owner(self, cluster):
+        score = cluster.gateway.submit(ScoreQuery(source=1, target=0))
+        assert score.ok and score.estimate > 0
+        prefetch = cluster.gateway.submit(Prefetch(sources=(0, 1, 2, 3)))
+        assert prefetch.ok and prefetch.requested == 4
+
+    def test_health_and_checkpoint_run_on_the_primary(self, cluster):
+        health = cluster.gateway.submit(Health())
+        assert health.ok and health.graph_version == 0
+        # No store attached: a typed CONFIG failure, not a crash.
+        from repro.api.requests import CheckpointNow
+
+        response = cluster.gateway.submit(CheckpointNow())
+        assert not response.ok and response.error.code == "CONFIG"
+
+    def test_conflict_error_surfaces_from_primary(self, cluster):
+        request = IngestBatch(
+            updates=tuple(insertions([(5, 0)])), expect_version=7
+        )
+        with pytest.raises(ConflictError):
+            cluster.gateway.execute(request)
+        assert not cluster.gateway.submit(request).ok
+
+    def test_client_works_unchanged_over_the_cluster(self, cluster):
+        client = cluster.api
+        assert client.top_k(0, k=3).vertices[0] == 0
+        assert client.ingest([(2, 4)]).snapshot_version == 1
+        assert client.health().graph_version == 1
+        stats = client.stats().stats
+        assert stats["cluster"]["replicas"] == 2
+
+
+class TestReplication:
+    def test_writes_ship_to_every_replica(self, cluster):
+        for edge in [(2, 3), (3, 4), (4, 2)]:
+            assert cluster.api.ingest([edge]).ok
+        # FRESH reads ride the FIFO behind the deltas; afterwards both
+        # replicas have acknowledged head.
+        cluster.gateway.submit_many(
+            [TopKQuery(source=s, k=3, consistency=FRESH) for s in (0, 1)]
+        )
+        assert cluster.gateway.replica_versions() == [3, 3]
+        assert cluster.gateway.counters["deltas_shipped"] == 3
+
+    def test_barrier_catch_up_policy(self):
+        service = fresh_service()
+        config = ClusterConfig(replicas=2, catch_up=CatchUpPolicy.BARRIER)
+        with PPRCluster(service, config) as cluster:
+            cluster.api.ingest([(2, 3)])
+            answer = cluster.api.top_k(0, k=3)
+            assert answer.snapshot_version == 1
+            assert cluster.gateway.replica_versions()[0 % 2] == 1
+
+    def test_round_robin_placement_spreads_reads(self):
+        service = fresh_service()
+        config = ClusterConfig(
+            replicas=2, placement=PlacementPolicy.ROUND_ROBIN
+        )
+        with PPRCluster(service, config) as cluster:
+            for _ in range(4):
+                assert cluster.api.top_k(0, k=3).ok
+            dispatched = [h.dispatched for h in cluster.gateway.replicas]
+            assert all(d > 0 for d in dispatched)
+
+    def test_empty_ingest_still_ships_so_versions_never_diverge(self, cluster):
+        # An empty batch bumps the primary's version; replicas must
+        # follow or every later delta looks like a replication gap.
+        assert cluster.gateway.submit(IngestBatch(updates=())).ok
+        assert cluster.api.ingest([(2, 3)]).ok
+        answer = cluster.api.top_k(0, k=3, consistency=FRESH)
+        assert answer.snapshot_version == 2
+        assert cluster.gateway.replica_versions() == [2, 2]
+        assert cluster.gateway.counters["respawns"] == 0
+
+    def test_consistency_contracts_across_the_boundary(self, cluster):
+        cluster.gateway.submit(BatchQuery(sources=(0, 1), k=3))
+        cluster.api.ingest([(2, 3)])
+        head = cluster.service.graph_version
+        fresh = cluster.api.top_k(0, k=3, consistency=FRESH)
+        assert fresh.snapshot_version == head
+        lagged = cluster.api.top_k(1, k=3, consistency=ANY)
+        assert lagged.snapshot_version <= head
+
+
+class TestFaultTolerance:
+    def test_killed_replica_respawns_and_recovers_from_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        service = fresh_service(
+            store=StoreConfig(root=root, checkpoint_interval=2)
+        )
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            for edge in [(2, 3), (3, 0), (4, 1)]:
+                assert cluster.api.ingest([edge]).ok
+            assert cluster.api.top_k(0, k=3).ok  # replica 0 is warm
+
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGKILL)
+            # The corpse is detected at the next interaction — shipping
+            # this delta or awaiting the read below — and the respawned
+            # worker recovers from the store at head version.
+            assert cluster.api.ingest([(0, 4)]).ok
+
+            answer = cluster.api.top_k(0, k=3, consistency=FRESH)
+            assert answer.ok
+            assert cluster.gateway.counters["respawns"] == 1
+            head = cluster.service.graph_version
+            assert answer.snapshot_version == head
+
+            # The recovered answer must be bit-identical to a
+            # single-process service recovered from the same store.
+            shadow = recover_service(root, attach=False)
+            assert shadow.graph_version == head
+            expected = shadow.query(0, k=3)
+            assert answer.vertices == expected.vertices
+            assert [e.estimate for e in answer.entries] == [
+                e.estimate for e in expected.entries
+            ]
+
+    def test_killed_replica_respawns_from_snapshot_without_store(self):
+        service = fresh_service()
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            cluster.api.ingest([(2, 3)])
+            os.kill(cluster.gateway.replicas[1].process.pid, signal.SIGKILL)
+            # Source 1 is owned by replica 1: the read detects the death,
+            # respawns from an order-exact snapshot, and retries.
+            answer = cluster.api.top_k(1, k=3)
+            assert answer.ok and answer.snapshot_version == 1
+            assert cluster.gateway.counters["respawns"] == 1
+
+            single = fresh_service()
+            single.ingest(insertions([(2, 3)]))
+            expected = single.query(1, k=3)
+            assert answer.vertices == expected.vertices
+            assert [e.estimate for e in answer.entries] == [
+                e.estimate for e in expected.entries
+            ]
+
+    def test_respawn_budget_exhaustion_raises_cluster_error(self):
+        service = fresh_service()
+        config = ClusterConfig(replicas=1, max_respawns=0)
+        with PPRCluster(service, config) as cluster:
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGKILL)
+            response = cluster.gateway.submit(TopKQuery(source=0, k=3))
+            assert not response.ok
+            assert response.error.code == "CLUSTER"
+
+    def test_respawn_budget_is_per_replica_slot(self):
+        # One flaky worker must not consume its siblings' budgets.
+        service = fresh_service()
+        config = ClusterConfig(replicas=2, max_respawns=1)
+        with PPRCluster(service, config) as cluster:
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGKILL)
+            assert cluster.api.top_k(0, k=3).ok  # slot 0 respawn #1
+            os.kill(cluster.gateway.replicas[1].process.pid, signal.SIGKILL)
+            assert cluster.api.top_k(1, k=3).ok  # slot 1 respawn #1
+            assert cluster.gateway.counters["respawns"] == 2
+            # Slot 0 dying again exceeds *its* budget.
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGKILL)
+            response = cluster.gateway.submit(TopKQuery(source=0, k=3))
+            assert not response.ok and response.error.code == "CLUSTER"
+
+    def test_closed_gateway_refuses_traffic(self):
+        cluster = PPRCluster(fresh_service(), ClusterConfig(replicas=1))
+        cluster.close()
+        cluster.close()  # idempotent
+        response = cluster.gateway.submit(TopKQuery(source=0, k=3))
+        assert not response.ok and response.error.code == "CLUSTER"
+
+
+class TestClusterStats:
+    def test_stats_surface_reports_topology(self, cluster):
+        cluster.api.ingest([(2, 3)])
+        cluster.api.top_k(0, k=3)
+        stats = cluster.gateway.submit(Stats())
+        section = stats.stats["cluster"]
+        assert section["replicas"] == 2
+        assert section["placement"] == "hashed"
+        assert section["deltas_shipped"] == 1
+        assert len(section["applied_versions"]) == 2
+
+
+class TestGatewayParity:
+    """The cluster front door mirrors Gateway's scheduler bookkeeping."""
+
+    def test_reads_coalesced_counter_matches_single_process(self):
+        single_service = fresh_service()
+        single = Gateway(single_service)
+        with PPRCluster(fresh_service(), ClusterConfig(replicas=2)) as cluster:
+            burst = [TopKQuery(source=s, k=3) for s in (0, 0, 1, 1, 2)]
+            cluster.gateway.submit_many(burst)
+            single.submit_many(burst)
+            assert (
+                cluster.gateway.counters["reads_coalesced"]
+                == single.counters["reads_coalesced"]
+                == 2
+            )
