@@ -12,15 +12,29 @@ the storage/execution engines beneath it:
   mixed read/write traffic (reads coalesced between write barriers,
   writes orderable against snapshot versions);
 * :class:`~repro.api.client.Client` — the embedded canonical API;
+* :mod:`~repro.api.admission` — bounded-queue backpressure and priority
+  load shedding (ANY reads shed first) behind
+  :attr:`~repro.config.ApiConfig.admission_queue`;
+* :mod:`~repro.api.metrics` — Prometheus text rendering of the stats
+  surface (``GET /v1/metrics``);
 * :mod:`~repro.api.http` — the stdlib HTTP/JSON front-end behind
   ``python -m repro serve``.
 
-See ``docs/api.md`` for the protocol reference.
+See ``docs/api.md`` for the protocol reference and ``docs/load.md`` for
+the overload model (deadlines, admission, shedding).
 """
 
+from .admission import (
+    AdmissionController,
+    AdmissionQueue,
+    Priority,
+    priority_of,
+    shed_threshold,
+)
 from .client import Client
 from .gateway import Gateway
 from .http import GatewayHTTPServer, HttpClient, make_server, serve_http
+from .metrics import render_prometheus
 from .requests import (
     ANY,
     FRESH,
@@ -28,6 +42,7 @@ from .requests import (
     BatchQuery,
     CheckpointNow,
     Consistency,
+    Deadline,
     Health,
     HubQuery,
     IngestBatch,
@@ -55,6 +70,8 @@ from .responses import (
 
 __all__ = [
     "ANY",
+    "AdmissionController",
+    "AdmissionQueue",
     "ApiRequest",
     "ApiResponse",
     "BatchQuery",
@@ -63,6 +80,7 @@ __all__ = [
     "CheckpointResult",
     "Client",
     "Consistency",
+    "Deadline",
     "ErrorInfo",
     "FRESH",
     "Gateway",
@@ -76,6 +94,7 @@ __all__ = [
     "IngestResult",
     "Prefetch",
     "PrefetchResult",
+    "Priority",
     "REQUEST_TYPES",
     "ScoreQuery",
     "ScoreResult",
@@ -85,6 +104,9 @@ __all__ = [
     "TopKResult",
     "consistency_for",
     "make_server",
+    "priority_of",
+    "render_prometheus",
     "request_from_dict",
     "serve_http",
+    "shed_threshold",
 ]

@@ -1,0 +1,282 @@
+"""Admission control and overload shedding for the gateway front doors.
+
+Under open-loop traffic (arrivals do not wait for completions — see
+``docs/load.md``) an unprotected server past saturation builds an
+unbounded backlog: every request eventually completes, but none within
+its SLO, so *goodput collapses to zero* exactly when load peaks. The fix
+is classic: bound the queue and shed the cheapest work first, so the
+work that is admitted still finishes on time.
+
+This module is that policy, in two shapes sharing one classification:
+
+* :class:`AdmissionController` — a thread-safe depth gate the real
+  gateways (:class:`~repro.api.gateway.Gateway`,
+  :class:`~repro.cluster.gateway.ClusterGateway`) consult in
+  ``submit``: requests past their priority class's depth threshold are
+  shed with :class:`~repro.errors.OverloadError` (stable code
+  ``OVERLOAD``, HTTP 429) before any engine work happens.
+* :class:`AdmissionQueue` — a deterministic virtual-time bounded queue
+  the open-loop load harness (:mod:`repro.load`) and the property tests
+  simulate with: FIFO within each priority class, highest class served
+  first, deadline-expired entries dropped at dequeue.
+
+Priority classes (shed thresholds as a fraction of capacity ``Q``):
+
+========== ============================================= ==========
+class      requests                                      shed at
+========== ============================================= ==========
+ANY        ``ANY``-consistency reads, prefetch hints     ``0.5 Q``
+BOUNDED    ``BOUNDED``-consistency reads                 ``0.75 Q``
+CRITICAL   ``FRESH`` reads, writes, hub reads            ``Q``
+ADMIN      stats / health probes                         never
+========== ============================================= ==========
+
+So under mounting overload ANY reads are refused first, then BOUNDED,
+and only a full queue refuses FRESH reads and writes — observability
+probes always get through.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import ConsistencyLevel
+from ..errors import ConfigError, OverloadError
+from .requests import ApiRequest, Consistency, Health, Prefetch, Stats
+
+
+class Priority(enum.IntEnum):
+    """Shed-order classes, lowest value shed first."""
+
+    ANY = 0
+    BOUNDED = 1
+    CRITICAL = 2
+    ADMIN = 3
+
+
+#: Fraction of queue capacity at which each class starts shedding.
+SHED_FRACTION: dict[Priority, float] = {
+    Priority.ANY: 0.5,
+    Priority.BOUNDED: 0.75,
+    Priority.CRITICAL: 1.0,
+}
+
+
+def priority_of(request: ApiRequest) -> Priority:
+    """Classify one request into its admission priority class."""
+    if isinstance(request, (Stats, Health)):
+        return Priority.ADMIN
+    if isinstance(request, Prefetch):
+        return Priority.ANY  # warming hints are the cheapest work to drop
+    if request.is_write:
+        return Priority.CRITICAL
+    consistency = getattr(request, "consistency", None)
+    if isinstance(consistency, Consistency):
+        if consistency.level is ConsistencyLevel.ANY:
+            return Priority.ANY
+        if consistency.level is ConsistencyLevel.BOUNDED:
+            return Priority.BOUNDED
+    return Priority.CRITICAL
+
+
+def shed_threshold(priority: Priority, capacity: int) -> int:
+    """Queue depth at (or past) which this class is refused admission.
+
+    ADMIN has no threshold at all — observability probes are admitted at
+    any depth (they are the tool for diagnosing the overload), so their
+    nominal threshold is reported as ``capacity + 1`` but the gates skip
+    the check entirely: even a stack of admin probes past capacity must
+    not shed the next one.
+    """
+    if priority is Priority.ADMIN:
+        return capacity + 1
+    return max(1, int(capacity * SHED_FRACTION[priority]))
+
+
+# ---------------------------------------------------------------------- #
+# thread-safe gate (real gateways)
+# ---------------------------------------------------------------------- #
+
+
+class AdmissionController:
+    """Queue-depth backpressure gate shared by a gateway's callers.
+
+    Depth counts requests admitted but not yet finished — with the
+    gateway's execution serialized by its lock, that is the number of
+    concurrent callers queued on the lock plus the one executing. The
+    gate is consulted *before* the lock, so shed requests never wait.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"admission capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._depth = 0
+        #: Per-class admitted/shed counts (stats surface).
+        self.admitted: Counter[str] = Counter()
+        self.shed: Counter[str] = Counter()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._depth
+
+    def admit(self, request: ApiRequest) -> Priority:
+        """Admit or shed one request; sheds raise ``OverloadError``.
+
+        Every successful ``admit`` must be paired with one
+        :meth:`release` once the request finishes (success or failure).
+        """
+        priority = priority_of(request)
+        with self._lock:
+            threshold = shed_threshold(priority, self.capacity)
+            if priority is not Priority.ADMIN and self._depth >= threshold:
+                self.shed[priority.name.lower()] += 1
+                raise OverloadError(
+                    priority=priority.name.lower(),
+                    depth=self._depth,
+                    limit=self.capacity,
+                )
+            self._depth += 1
+            self.admitted[priority.name.lower()] += 1
+        return priority
+
+    def release(self) -> None:
+        """Mark one admitted request finished, freeing its queue slot."""
+        with self._lock:
+            self._depth = max(0, self._depth - 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe counters (the ``/v1/stats`` admission section)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "depth": self._depth,
+                "admitted": dict(self.admitted),
+                "shed": dict(self.shed),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(capacity={self.capacity}, depth={self.depth},"
+            f" shed={sum(self.shed.values())})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# virtual-time bounded queue (load harness, property tests)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One admitted queue entry: payload plus admission bookkeeping."""
+
+    seq: int
+    item: Any
+    priority: Priority
+    #: Virtual-time instant past which the entry is dead (None = no deadline).
+    expires_at: float | None = None
+
+
+class AdmissionQueue:
+    """Deterministic bounded priority queue over virtual time.
+
+    The single-threaded twin of :class:`AdmissionController`: ``offer``
+    applies the same shed thresholds at arrival, ``poll`` serves the
+    highest priority class first and FIFO within a class, dropping
+    entries whose deadline expired while queued. Time is an explicit
+    ``now`` argument, so the open-loop harness can simulate hours of
+    arrivals reproducibly and the property tests can explore arbitrary
+    interleavings.
+
+    Conservation (checked by ``tests/test_load_properties.py``)::
+
+        offered  == accepted + shed          (at offer)
+        accepted == polled + expired + depth (at any instant)
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"admission capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queues: dict[Priority, deque[Ticket]] = {
+            priority: deque() for priority in Priority
+        }
+        self._seq = 0
+        self.accepted: Counter[str] = Counter()
+        self.shed: Counter[str] = Counter()
+        self.expired: Counter[str] = Counter()
+        self.polled: Counter[str] = Counter()
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued across every priority class."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def offered(self) -> int:
+        """Total arrivals seen (accepted + shed)."""
+        return sum(self.accepted.values()) + sum(self.shed.values())
+
+    def offer(
+        self,
+        item: Any,
+        priority: Priority,
+        *,
+        expires_at: float | None = None,
+    ) -> bool:
+        """Admit one arrival, or shed it (``False``) past its threshold."""
+        if priority is not Priority.ADMIN and self.depth >= shed_threshold(
+            priority, self.capacity
+        ):
+            self.shed[priority.name.lower()] += 1
+            return False
+        self._seq += 1
+        self._queues[priority].append(
+            Ticket(self._seq, item, priority, expires_at)
+        )
+        self.accepted[priority.name.lower()] += 1
+        return True
+
+    def poll(self, now: float = 0.0) -> Ticket | None:
+        """Pop the next serveable entry at virtual instant ``now``.
+
+        Highest priority class first, FIFO within a class;
+        deadline-expired entries are counted and skipped, never served.
+        Returns ``None`` when nothing serveable remains.
+        """
+        for priority in sorted(Priority, reverse=True):
+            queue = self._queues[priority]
+            while queue:
+                ticket = queue.popleft()
+                if ticket.expires_at is not None and now >= ticket.expires_at:
+                    self.expired[priority.name.lower()] += 1
+                    continue
+                self.polled[priority.name.lower()] += 1
+                return ticket
+        return None
+
+    def counts(self) -> dict[str, Any]:
+        """JSON-safe snapshot of every conservation counter."""
+        return {
+            "capacity": self.capacity,
+            "depth": self.depth,
+            "offered": self.offered,
+            "accepted": dict(self.accepted),
+            "shed": dict(self.shed),
+            "expired": dict(self.expired),
+            "polled": dict(self.polled),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue(capacity={self.capacity}, depth={self.depth},"
+            f" offered={self.offered})"
+        )

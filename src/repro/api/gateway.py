@@ -33,7 +33,15 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from ..config import ApiConfig
-from ..errors import ConfigError, ConflictError, ReproError, RequestError
+from ..errors import (
+    ConfigError,
+    ConflictError,
+    DeadlineError,
+    OverloadError,
+    ReproError,
+    RequestError,
+)
+from .admission import AdmissionController
 from .scheduling import ReadRun, fail_run, plan_schedule, scatter_run_results
 from .requests import (
     ApiRequest,
@@ -115,6 +123,12 @@ class Gateway:
             self._lock = service._gateway._lock
         #: Per-op request counts plus scheduler counters (stats surface).
         self.counters: Counter[str] = Counter()
+        #: Bounded-queue backpressure gate; None when admission_queue == 0.
+        self.admission: AdmissionController | None = (
+            AdmissionController(self.config.admission_queue)
+            if self.config.admission_queue
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # single-request paths
@@ -127,11 +141,26 @@ class Gateway:
         mapped to a typed response whose ``error`` holds the stable code
         and structured details. Non-library exceptions propagate — they
         are bugs, not protocol outcomes.
+
+        With :attr:`~repro.config.ApiConfig.admission_queue` set, the
+        request first passes the bounded admission gate: past its
+        priority class's depth threshold it is shed *before* waiting on
+        the lock, failing with stable code ``OVERLOAD`` (HTTP 429).
         """
         try:
+            if self.admission is not None:
+                self.admission.admit(request)
+                try:
+                    return self.execute(request)
+                finally:
+                    self.admission.release()
             return self.execute(request)
         except ReproError as exc:
             self.counters["errors"] += 1
+            if isinstance(exc, OverloadError):
+                self.counters["shed"] += 1
+            elif isinstance(exc, DeadlineError):
+                self.counters["deadline_exceeded"] += 1
             shape = RESPONSE_FOR.get(type(request), ApiResponse)
             return shape.failure(
                 ErrorInfo.from_exception(exc),
@@ -144,6 +173,12 @@ class Gateway:
             raise RequestError(f"not an ApiRequest: {request!r}")
         with self._lock:
             self.counters[request.op] += 1
+            # Checked under the lock so time spent queued on it counts
+            # against the budget — an overloaded gateway fails the wait,
+            # it does not serve answers nobody is waiting for anymore.
+            deadline = getattr(request, "deadline", None)
+            if deadline is not None and deadline.expired():
+                raise deadline.to_error()
             start = time.perf_counter()
             if isinstance(request, TopKQuery):
                 served = self.service._execute_query(
@@ -206,6 +241,8 @@ class Gateway:
             if isinstance(request, Stats):
                 stats = dict(self.service.metrics().to_dict())
                 stats["gateway"] = dict(self.counters)
+                if self.admission is not None:
+                    stats["admission"] = self.admission.to_dict()
                 return StatsResult(
                     stats=stats,
                     snapshot_version=self.service.graph_version,
@@ -281,6 +318,7 @@ class Gateway:
                 sources=run.sources,
                 k=first.k,
                 consistency=first.consistency,
+                deadline=run.deadline,
             )
         )
         if batch.error is not None:

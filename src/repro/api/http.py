@@ -10,6 +10,7 @@ method    route           operation
                           for a scheduled (read-coalesced) sequence
 ``POST``  ``/v1/ingest``  an :class:`~repro.api.requests.IngestBatch`
 ``GET``   ``/v1/stats``   structured metrics
+``GET``   ``/v1/metrics`` Prometheus text exposition of the same stats
 ``GET``   ``/v1/healthz`` liveness probe
 ========  =============== =================================================
 
@@ -35,8 +36,9 @@ from urllib.request import Request, urlopen
 
 from ..errors import ReproError, RequestError
 from .gateway import Gateway
+from .metrics import render_prometheus
 from .requests import Health, IngestBatch, Stats, request_from_dict
-from .responses import ErrorInfo
+from .responses import ErrorInfo, StatsResult
 
 #: Stable error code -> HTTP status.
 STATUS_FOR_CODE = {
@@ -50,6 +52,8 @@ STATUS_FOR_CODE = {
     "CONVERGENCE": 500,
     "BACKEND": 500,
     "STORE": 500,
+    "OVERLOAD": 429,
+    "DEADLINE": 503,
     "CLUSTER": 503,
     "REPRO": 500,
     "INTERNAL": 500,
@@ -131,6 +135,8 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway(Health())
         elif self.path == "/v1/stats":
             self._send_gateway(Stats())
+        elif self.path == "/v1/metrics":
+            self._send_metrics()
         else:
             self._send_error_info(
                 ErrorInfo(code="REQUEST", message=f"unknown route: GET {self.path}"),
@@ -170,6 +176,21 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     def _send_gateway(self, request: Any) -> None:
         response = self.gateway.submit(request)
         self._send_json(status_for(response.error), response.to_dict())
+
+    def _send_metrics(self) -> None:
+        response = self.gateway.submit(Stats())
+        if response.error is not None or not isinstance(response, StatsResult):
+            self._send_error_info(
+                response.error
+                or ErrorInfo(code="INTERNAL", message="stats unavailable")
+            )
+            return
+        body = render_prometheus(response.stats).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
 
 def make_server(
@@ -260,6 +281,12 @@ class HttpClient:
 
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """GET the Prometheus text exposition from ``/v1/metrics``."""
+        url = f"{self.base_url}/v1/metrics"
+        with urlopen(Request(url, method="GET"), timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/v1/healthz")

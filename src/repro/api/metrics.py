@@ -1,0 +1,191 @@
+"""Prometheus-style text rendering of the serving stats surface.
+
+:func:`render_prometheus` flattens the ``/v1/stats`` payload — the
+:meth:`~repro.serve.service.ServiceMetrics.to_dict` snapshot plus the
+gateway's per-op counters, the admission gate, and (when replicated) the
+cluster section — into the Prometheus text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` comment pairs followed by
+``name{labels} value`` sample lines. The HTTP front-end serves it at
+``GET /v1/metrics`` so a stock Prometheus scraper (or ``curl``) can
+watch a serving process without speaking the JSON protocol.
+
+Counters here are *lifetime totals* (monotonically non-decreasing across
+scrapes, modulo process restart); gauges are instantaneous values —
+queue depth, residency, percentile latencies over the recent sample
+window. Nested dict sections become labelled samples
+(``repro_gateway_requests_total{op="top_k"}``); list-valued cluster
+entries get an ``index`` label per replica.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping
+
+#: Metric name prefix for every exported sample.
+PREFIX = "repro"
+
+#: Top-level stats keys that are instantaneous values, not lifetime
+#: totals. Everything else numeric is exported as a counter.
+GAUGE_KEYS = frozenset(
+    {
+        "queries_per_second",
+        "hit_rate",
+        "resident",
+        "staleness_p50",
+        "staleness_p99",
+        "latency_p50_s",
+        "latency_p99_s",
+        "latency_p999_s",
+        "depth",
+        "capacity",
+        "replicas",
+    }
+)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+def _sanitize(name: str) -> str:
+    """Coerce an arbitrary stats key into a legal metric-name segment."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not cleaned or not re.match(r"[a-zA-Z_]", cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class _Writer:
+    """Accumulates samples grouped under one HELP/TYPE header per metric."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._seen: set[str] = set()
+
+    def sample(
+        self,
+        name: str,
+        value: float,
+        *,
+        kind: str,
+        help_text: str,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        assert _NAME_OK.fullmatch(name), name
+        if name not in self._seen:
+            self._seen.add(name)
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} {kind}")
+        label_text = ""
+        if labels:
+            inner = ",".join(
+                f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items())
+            )
+            label_text = f"{{{inner}}}"
+        rendered = repr(float(value)) if isinstance(value, float) else str(value)
+        self._lines.append(f"{name}{label_text} {rendered}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def _emit_scalar(writer: _Writer, section: str, key: str, value: Any) -> None:
+    if not _is_number(value):
+        return
+    base = _sanitize(key)
+    if key in GAUGE_KEYS:
+        name = f"{PREFIX}_{section}_{base}" if section else f"{PREFIX}_{base}"
+        writer.sample(
+            name, value, kind="gauge",
+            help_text=f"Instantaneous {key.replace('_', ' ')}.",
+        )
+        return
+    name = (
+        f"{PREFIX}_{section}_{base}_total" if section else f"{PREFIX}_{base}_total"
+    )
+    writer.sample(
+        name, value, kind="counter",
+        help_text=f"Lifetime total of {key.replace('_', ' ')}.",
+    )
+
+
+def _emit_counter_map(
+    writer: _Writer, name: str, label: str, entries: Mapping[str, Any],
+    help_text: str,
+) -> None:
+    for key in sorted(entries):
+        if _is_number(entries[key]):
+            writer.sample(
+                name, entries[key], kind="counter",
+                help_text=help_text, labels={label: key},
+            )
+
+
+def _emit_indexed(
+    writer: _Writer, name: str, values: Iterable[Any], help_text: str
+) -> None:
+    for index, value in enumerate(values):
+        if _is_number(value):
+            writer.sample(
+                name, value, kind="gauge",
+                help_text=help_text, labels={"index": index},
+            )
+
+
+def render_prometheus(stats: Mapping[str, Any]) -> str:
+    """Render one ``/v1/stats`` payload as Prometheus exposition text."""
+    writer = _Writer()
+    for key, value in stats.items():
+        if key in ("gateway", "admission", "cluster"):
+            continue
+        _emit_scalar(writer, "", key, value)
+
+    gateway = stats.get("gateway")
+    if isinstance(gateway, Mapping):
+        _emit_counter_map(
+            writer, f"{PREFIX}_gateway_requests_total", "op", gateway,
+            "Requests handled by the gateway, by operation/counter name.",
+        )
+
+    admission = stats.get("admission")
+    if isinstance(admission, Mapping):
+        for key in ("capacity", "depth"):
+            _emit_scalar(writer, "admission", key, admission.get(key))
+        for counter, help_text in (
+            ("admitted", "Requests admitted past the backpressure gate."),
+            ("shed", "Requests shed by the backpressure gate."),
+        ):
+            entries = admission.get(counter)
+            if isinstance(entries, Mapping):
+                _emit_counter_map(
+                    writer,
+                    f"{PREFIX}_admission_{counter}_total",
+                    "priority",
+                    entries,
+                    help_text,
+                )
+
+    cluster = stats.get("cluster")
+    if isinstance(cluster, Mapping):
+        for key, value in cluster.items():
+            if key == "gateway" and isinstance(value, Mapping):
+                _emit_counter_map(
+                    writer,
+                    f"{PREFIX}_cluster_requests_total",
+                    "op",
+                    value,
+                    "Requests handled by the cluster gateway, by counter name.",
+                )
+            elif isinstance(value, (list, tuple)):
+                _emit_indexed(
+                    writer,
+                    f"{PREFIX}_cluster_{_sanitize(key)}",
+                    value,
+                    f"Per-replica {key.replace('_', ' ')}.",
+                )
+            else:
+                _emit_scalar(writer, "cluster", key, value)
+    return writer.render()

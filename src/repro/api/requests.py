@@ -16,11 +16,12 @@ implicit global freshness policy. See ``docs/api.md``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Sequence
 
 from ..config import ConsistencyLevel
-from ..errors import RequestError
+from ..errors import DeadlineError, RequestError
 from ..graph.update import EdgeOp, EdgeUpdate
 
 if TYPE_CHECKING:  # engine-internal side channel, never on the wire
@@ -98,6 +99,73 @@ FRESH = Consistency(ConsistencyLevel.FRESH)
 ANY = Consistency(ConsistencyLevel.ANY)
 
 
+# ---------------------------------------------------------------------- #
+# deadlines
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A request's latency budget: an absolute monotonic expiry.
+
+    Created from a relative budget (:meth:`after_ms`); the absolute
+    ``expires_at`` is ``time.monotonic()``-based so it survives wall-clock
+    adjustments but is only meaningful within one process. On the wire the
+    budget travels as ``timeout_ms`` and the clock *restarts* at the
+    server (gRPC-style): network transit is not charged against it, and
+    round-tripping a request re-arms the full budget.
+    """
+
+    #: Absolute ``time.monotonic()`` instant after which the request is dead.
+    expires_at: float
+    #: The original relative budget, kept for the wire form and errors.
+    budget_ms: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.budget_ms, bool) or not isinstance(
+            self.budget_ms, (int, float)
+        ):
+            raise RequestError(
+                f"timeout_ms must be a number, got {self.budget_ms!r}"
+            )
+        if not self.budget_ms > 0:
+            raise RequestError(f"timeout_ms must be > 0, got {self.budget_ms}")
+
+    @classmethod
+    def after_ms(cls, budget_ms: float, *, now: float | None = None) -> "Deadline":
+        """The deadline ``budget_ms`` milliseconds from ``now`` (monotonic)."""
+        if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+            raise RequestError(f"timeout_ms must be a number, got {budget_ms!r}")
+        if not budget_ms > 0:
+            raise RequestError(f"timeout_ms must be > 0, got {budget_ms}")
+        start = time.monotonic() if now is None else now
+        return cls(expires_at=start + budget_ms / 1e3, budget_ms=float(budget_ms))
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the budget has elapsed (``now`` defaults to monotonic)."""
+        return (time.monotonic() if now is None else now) >= self.expires_at
+
+    def remaining_s(self, now: float | None = None) -> float:
+        """Seconds of budget left; negative once expired."""
+        return self.expires_at - (time.monotonic() if now is None else now)
+
+    def to_error(self, now: float | None = None) -> DeadlineError:
+        """The typed error describing this deadline's expiry."""
+        overrun_ms = -self.remaining_s(now) * 1e3
+        return DeadlineError(
+            budget_ms=self.budget_ms,
+            elapsed_ms=self.budget_ms + max(0.0, overrun_ms),
+        )
+
+    @classmethod
+    def tightest(cls, deadlines: "Sequence[Deadline | None]") -> "Deadline | None":
+        """The earliest-expiring of the given deadlines (None if all None)."""
+        present = [d for d in deadlines if d is not None]
+        if not present:
+            return None
+        return min(present, key=lambda d: d.expires_at)
+
+
 def consistency_for(max_staleness: int | None) -> Consistency:
     """The consistency matching an engine-style staleness bound."""
     if max_staleness is None:
@@ -137,6 +205,19 @@ def _vertex_tuple(values: Any, name: str) -> tuple[int, ...]:
     if not out:
         raise RequestError(f"{name} must be non-empty")
     return out
+
+
+def _optional_deadline(value: Any) -> None:
+    if value is not None and not isinstance(value, Deadline):
+        raise RequestError(f"deadline must be a Deadline or None, got {value!r}")
+
+
+def _deadline_from_payload(payload: Mapping[str, Any]) -> Deadline | None:
+    """Re-arm a wire ``timeout_ms`` as a fresh server-side deadline."""
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is None:
+        return None
+    return Deadline.after_ms(timeout_ms)
 
 
 def _parse_update(item: Any) -> EdgeUpdate:
@@ -189,6 +270,9 @@ class TopKQuery(ApiRequest):
     source: int = 0
     k: int | None = None
     consistency: Consistency = FRESH
+    #: Optional latency budget; excluded from equality so deadline-carrying
+    #: reads still coalesce with their deadline-free twins.
+    deadline: Deadline | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         _vertex(self.source, "source")
@@ -197,12 +281,15 @@ class TopKQuery(ApiRequest):
             raise RequestError(
                 f"consistency must be a Consistency, got {self.consistency!r}"
             )
+        _optional_deadline(self.deadline)
 
     def to_dict(self) -> dict[str, Any]:
         payload = {"op": self.op, "source": self.source,
                    "consistency": self.consistency.to_dict()}
         if self.k is not None:
             payload["k"] = self.k
+        if self.deadline is not None:
+            payload["timeout_ms"] = self.deadline.budget_ms
         return payload
 
     @classmethod
@@ -213,6 +300,7 @@ class TopKQuery(ApiRequest):
             source=payload["source"],
             k=payload.get("k"),
             consistency=Consistency.from_dict(payload.get("consistency", FRESH)),
+            deadline=_deadline_from_payload(payload),
         )
 
 
@@ -225,6 +313,8 @@ class BatchQuery(ApiRequest):
     sources: tuple[int, ...] = ()
     k: int | None = None
     consistency: Consistency = FRESH
+    #: Optional latency budget (tightest member when built by coalescing).
+    deadline: Deadline | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", _vertex_tuple(self.sources, "sources"))
@@ -233,12 +323,15 @@ class BatchQuery(ApiRequest):
             raise RequestError(
                 f"consistency must be a Consistency, got {self.consistency!r}"
             )
+        _optional_deadline(self.deadline)
 
     def to_dict(self) -> dict[str, Any]:
         payload = {"op": self.op, "sources": list(self.sources),
                    "consistency": self.consistency.to_dict()}
         if self.k is not None:
             payload["k"] = self.k
+        if self.deadline is not None:
+            payload["timeout_ms"] = self.deadline.budget_ms
         return payload
 
     @classmethod
@@ -249,6 +342,7 @@ class BatchQuery(ApiRequest):
             sources=payload["sources"],
             k=payload.get("k"),
             consistency=Consistency.from_dict(payload.get("consistency", FRESH)),
+            deadline=_deadline_from_payload(payload),
         )
 
 
@@ -287,6 +381,7 @@ class ScoreQuery(ApiRequest):
     source: int = 0
     target: int = 0
     consistency: Consistency = FRESH
+    deadline: Deadline | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         _vertex(self.source, "source")
@@ -295,10 +390,14 @@ class ScoreQuery(ApiRequest):
             raise RequestError(
                 f"consistency must be a Consistency, got {self.consistency!r}"
             )
+        _optional_deadline(self.deadline)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"op": self.op, "source": self.source, "target": self.target,
-                "consistency": self.consistency.to_dict()}
+        payload = {"op": self.op, "source": self.source, "target": self.target,
+                   "consistency": self.consistency.to_dict()}
+        if self.deadline is not None:
+            payload["timeout_ms"] = self.deadline.budget_ms
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScoreQuery":
@@ -309,6 +408,7 @@ class ScoreQuery(ApiRequest):
             source=payload["source"],
             target=payload["target"],
             consistency=Consistency.from_dict(payload.get("consistency", FRESH)),
+            deadline=_deadline_from_payload(payload),
         )
 
 
@@ -326,6 +426,8 @@ class IngestBatch(ApiRequest):
 
     updates: tuple[EdgeUpdate, ...] = ()
     expect_version: int | None = None
+    #: Optional latency budget — writes get deadline semantics too.
+    deadline: Deadline | None = field(default=None, compare=False, repr=False)
     #: Engine-internal: a pre-built CSR view of the post-batch graph
     #: (sliding-window harnesses pass one); never serialized.
     snapshot: "CSRView | None" = field(default=None, compare=False, repr=False)
@@ -345,6 +447,7 @@ class IngestBatch(ApiRequest):
             raise RequestError(
                 f"expect_version must be an integer, got {self.expect_version!r}"
             )
+        _optional_deadline(self.deadline)
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -354,6 +457,8 @@ class IngestBatch(ApiRequest):
         }
         if self.expect_version is not None:
             payload["expect_version"] = self.expect_version
+        if self.deadline is not None:
+            payload["timeout_ms"] = self.deadline.budget_ms
         return payload
 
     @classmethod
@@ -363,6 +468,7 @@ class IngestBatch(ApiRequest):
         return cls(
             updates=payload["updates"],
             expect_version=payload.get("expect_version"),
+            deadline=_deadline_from_payload(payload),
         )
 
 

@@ -25,11 +25,11 @@ across the single-process and replicated schedulers.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
 from typing import Mapping, Union
 
-from .requests import ApiRequest, TopKQuery
+from .requests import ApiRequest, Deadline, TopKQuery
 from .responses import ApiResponse, ErrorInfo, TopKResult
 
 
@@ -51,6 +51,10 @@ class ReadRun:
 
     positions: tuple[int, ...]
     sources: tuple[int, ...]
+    #: Tightest member deadline — the coalesced batch must honour the most
+    #: impatient request it answers. Excluded from equality so plans with
+    #: and without deadlines compare by shape.
+    deadline: Deadline | None = field(default=None, compare=False, repr=False)
 
     @property
     def coalesced(self) -> int:
@@ -95,7 +99,15 @@ def plan_schedule(
                 group.append(j)
                 j += 1
             if len(group) > 1:
-                steps.append(ReadRun(tuple(group), tuple(unique)))
+                steps.append(
+                    ReadRun(
+                        tuple(group),
+                        tuple(unique),
+                        deadline=Deadline.tightest(
+                            [requests[p].deadline for p in group]
+                        ),
+                    )
+                )
                 i = j
                 continue
         steps.append(Single(i))

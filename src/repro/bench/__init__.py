@@ -18,6 +18,7 @@ from .figures import (
     fig10_scalability,
 )
 from .harness import Approach, ApproachResult, run_approach
+from .load import LoadBenchResult, load_benchmark
 from .serving import ServingBenchResult, serving_benchmark, topk_matches
 from .workloads import PreparedWorkload, WorkloadSpec, prepare_workload
 
@@ -25,6 +26,7 @@ __all__ = [
     "Approach",
     "ApproachResult",
     "FigureResult",
+    "LoadBenchResult",
     "PreparedWorkload",
     "ServingBenchResult",
     "WorkloadSpec",
@@ -35,6 +37,7 @@ __all__ = [
     "fig7_source_degree",
     "fig8_batch_size",
     "fig9_resources",
+    "load_benchmark",
     "prepare_workload",
     "run_approach",
     "serving_benchmark",

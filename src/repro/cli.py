@@ -47,6 +47,13 @@ Commands
     bit-identical and within its staleness contract — and, with enough
     cores to host the replicas, unless the cluster wins >= 2.5x.
     ``--tiny`` is the CI smoke mode. See ``docs/cluster.md``.
+``load-bench <dataset> [--tiny]``
+    Open-loop goodput knee curve: measure closed-loop saturation, then
+    replay Zipf multi-tenant traffic at fractions of it up to 2x through
+    a bounded admission queue vs an unprotected unbounded queue; exits
+    nonzero unless goodput plateaus under overload (>= 70% of peak at
+    2x, waived in ``--tiny`` mode and on starved runners) with
+    ANY-consistency reads shed first. See ``docs/load.md``.
 """
 
 from __future__ import annotations
@@ -445,6 +452,56 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_load_bench(args: argparse.Namespace) -> int:
+    from .bench.cluster import available_cores
+    from .bench.load import load_benchmark
+
+    if args.tiny:
+        # CI smoke: short runs, coarse sweep — asserts the whole pipeline
+        # (trace generation, virtual-time replay, both arms, shedding
+        # order) without the full sweep's runtime. The plateau bar is
+        # waived: on a 1-core starved runner the saturation estimate is
+        # too noisy to hold a 70% line against.
+        duration_s, fractions = 1.0, (0.5, 1.0, 2.0)
+    else:
+        duration_s, fractions = args.duration, (0.25, 0.5, 1.0, 1.5, 2.0)
+    result = load_benchmark(
+        args.dataset,
+        num_sources=args.sources,
+        duration_s=duration_s,
+        slo_ms=args.slo_ms,
+        queue_capacity=args.queue,
+        fractions=fractions,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print(result.table())
+    bar = 0.7
+    ok = result.any_shed_first
+    shed_verdict = (
+        "ANY-first" if result.any_shed_first else "PRIORITY ORDER VIOLATED"
+    )
+    if not args.tiny and available_cores() > 1:
+        ok = ok and result.plateau_ratio >= bar
+        verdict = (
+            f"{result.plateau_ratio:.0%} of peak goodput retained at 2x"
+            f" (bar {bar:.0%})"
+        )
+    else:
+        verdict = (
+            f"{result.plateau_ratio:.0%} of peak goodput retained at 2x"
+            f" (bar waived: {'tiny mode' if args.tiny else 'too few cores'})"
+        )
+    print(
+        f"overload behavior: {verdict} — shedding {shed_verdict},"
+        f" unprotected arm {result.unprotected_at_2x:,.0f}/s"
+        f" vs {result.goodput_at_2x:,.0f}/s with admission"
+    )
+    return 0 if ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -577,6 +634,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="short trace, same shape (the CI smoke mode)",
     )
     gwb.set_defaults(func=_cmd_gateway_bench)
+
+    ldb = sub.add_parser(
+        "load-bench",
+        help="open-loop goodput knee: admission control vs unprotected overload",
+    )
+    ldb.add_argument("dataset", choices=sorted(DATASETS))
+    ldb.add_argument("--sources", type=int, default=48)
+    ldb.add_argument(
+        "--duration", type=float, default=4.0, help="seconds of traffic per rate"
+    )
+    ldb.add_argument(
+        "--slo-ms", type=float, default=100.0, help="latency SLO (and deadline)"
+    )
+    ldb.add_argument(
+        "--queue", type=int, default=8, help="admission queue capacity"
+    )
+    ldb.add_argument("--k", type=int, default=10)
+    ldb.add_argument("--epsilon", type=float, default=1e-5)
+    ldb.add_argument("--workers", type=int, default=40)
+    ldb.add_argument("--seed", type=int, default=17)
+    ldb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="short runs, coarse sweep, no plateau bar (the CI smoke mode)",
+    )
+    ldb.set_defaults(func=_cmd_load_bench)
 
     ckpt = sub.add_parser(
         "store-checkpoint",

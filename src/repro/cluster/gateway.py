@@ -43,10 +43,12 @@ from collections import Counter
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
+from ..api.admission import AdmissionController
 from ..api.gateway import RESPONSE_FOR, Gateway
 from ..api.requests import (
     ApiRequest,
     BatchQuery,
+    Deadline,
     HubQuery,
     IngestBatch,
     Prefetch,
@@ -70,7 +72,7 @@ from ..config import (
     ConsistencyLevel,
     PlacementPolicy,
 )
-from ..errors import ClusterError, ReproError
+from ..errors import ClusterError, DeadlineError, OverloadError, ReproError
 from ..store.wal import pack_record
 from . import messages
 from .replica import ReplicaSpec, replica_main
@@ -82,6 +84,17 @@ if TYPE_CHECKING:
 
 class _ReplicaDied(Exception):
     """Internal control flow: the worker at ``index`` stopped answering."""
+
+
+class _DeadlineExpired(Exception):
+    """Internal control flow: a request's deadline lapsed mid-await.
+
+    Distinct from :class:`_ReplicaDied` because the remedy differs: the
+    worker may be perfectly healthy (just slow, or wedged under SIGSTOP),
+    but its in-flight ticket has been abandoned — the replica must be
+    replaced so a late ``RESPONSES`` frame cannot poison the next await
+    on the same pipe.
+    """
 
 
 class ReplicaHandle:
@@ -121,14 +134,19 @@ class ReplicaHandle:
             raise _ReplicaDied(f"{self.process.name} is not alive")
 
     def close(self, *, terminate: bool = False) -> None:
-        """Join the worker; ``terminate`` skips the graceful wait."""
+        """Join the worker; ``terminate`` kills it outright (no wait).
+
+        The forced path uses SIGKILL, not SIGTERM: a worker wedged under
+        SIGSTOP is still ``is_alive()`` yet never processes SIGTERM
+        (stopped processes leave catchable signals pending), so the old
+        terminate-then-join dance stalled two full join timeouts exactly
+        when a fast replacement mattered most. SIGKILL takes effect
+        regardless of stop state.
+        """
         if terminate and self.process.is_alive():
-            self.process.terminate()
+            self.process.kill()
         self.process.join(timeout=5.0)
         if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=5.0)
-        if self.process.is_alive():  # pragma: no cover - last resort
             self.process.kill()
             self.process.join(timeout=5.0)
         self.conn.close()
@@ -185,6 +203,12 @@ class ClusterGateway:
         self._ticket = 0
         self._rotor = 0
         self.counters: Counter[str] = Counter()
+        #: Bounded-queue backpressure gate; None when admission_queue == 0.
+        self.admission: AdmissionController | None = (
+            AdmissionController(self.config.admission_queue)
+            if self.config.admission_queue
+            else None
+        )
         self._respawn_counts: dict[int, int] = {}
         self._closed = False
         self.replicas: list[ReplicaHandle] = []
@@ -329,16 +353,28 @@ class ClusterGateway:
             except (EOFError, OSError):
                 continue  # detected for real at the next dispatch
 
-    def _await(self, index: int, ticket: int) -> list[ApiResponse]:
-        """Block until replica ``index`` answers ``ticket``; absorb acks."""
+    def _await(
+        self, index: int, ticket: int, deadline: Deadline | None = None
+    ) -> list[ApiResponse]:
+        """Block until replica ``index`` answers ``ticket``; absorb acks.
+
+        Bounded by *both* clocks: the cluster's response timeout (a wedged
+        worker is treated as dead) and the request's own ``deadline`` when
+        it carries one — an overdue answer is worthless, so the wait fails
+        fast with :class:`_DeadlineExpired` instead of burning the full
+        response timeout.
+        """
         handle = self.replicas[index]
-        deadline = time.monotonic() + self.cluster.response_timeout_s
+        timeout_at = time.monotonic() + self.cluster.response_timeout_s
         while True:
             try:
                 if not handle.conn.poll(0.05):
                     if not handle.alive():
                         raise _ReplicaDied(f"replica {index} exited")
-                    if time.monotonic() > deadline:
+                    now = time.monotonic()
+                    if deadline is not None and deadline.expired(now):
+                        raise _DeadlineExpired(index)
+                    if now > timeout_at:
                         raise _ReplicaDied(f"replica {index} timed out")
                     continue
                 frame = handle.conn.recv()
@@ -395,11 +431,28 @@ class ClusterGateway:
     def _dispatch_single(self, index: int, request: ApiRequest) -> ApiResponse:
         """One read on one replica, with crash detection and one retry."""
         fresh = self._is_fresh(request)
+        deadline = getattr(request, "deadline", None)
         try:
             ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
-            return self._await(index, ticket)[0]
+            return self._await(index, ticket, deadline)[0]
+        except _DeadlineExpired:
+            raise self._abandon(index, deadline) from None
         except _ReplicaDied:
             return self._retry_single(index, request, fresh)
+
+    def _abandon(self, index: int, deadline: Deadline | None) -> DeadlineError:
+        """Replace a replica whose in-flight ticket was abandoned.
+
+        The worker may still answer the abandoned ticket eventually; a
+        late ``RESPONSES`` frame on the same pipe would break the next
+        await's protocol check. Respawning swaps in a fresh pipe (and,
+        if the worker was wedged under SIGSTOP, a live process), so
+        deadline expiry degrades exactly one request. Returns the typed
+        error for the caller to raise.
+        """
+        self._revive(index)
+        assert deadline is not None
+        return deadline.to_error()
 
     def _retry_single(
         self, index: int, request: ApiRequest, fresh: bool
@@ -413,10 +466,18 @@ class ClusterGateway:
         death surfaces as the typed :class:`~repro.errors.ClusterError`
         (never the internal control-flow exception).
         """
+        deadline = getattr(request, "deadline", None)
+        if deadline is not None and deadline.expired():
+            # No point re-running work nobody is waiting for; the revive
+            # already happened (or happens now) so the slot stays healthy.
+            self._revive(index)
+            raise deadline.to_error()
         self._revive(index)
         try:
             ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
-            return self._await(index, ticket)[0]
+            return self._await(index, ticket, deadline)[0]
+        except _DeadlineExpired:
+            raise self._abandon(index, deadline) from None
         except _ReplicaDied as exc:
             raise ClusterError(
                 f"replica {index} died twice serving one request"
@@ -444,7 +505,13 @@ class ClusterGateway:
             if index in results:
                 continue
             try:
-                results[index] = self._await(index, tickets[index])[0]
+                results[index] = self._await(
+                    index, tickets[index], getattr(request, "deadline", None)
+                )[0]
+            except _DeadlineExpired:
+                raise self._abandon(
+                    index, getattr(request, "deadline", None)
+                ) from None
             except _ReplicaDied:
                 results[index] = self._retry_single(index, request, fresh)
         return results
@@ -488,11 +555,27 @@ class ClusterGateway:
     # ------------------------------------------------------------------ #
 
     def submit(self, request: ApiRequest) -> ApiResponse:
-        """Execute one request; failures become error-carrying responses."""
+        """Execute one request; failures become error-carrying responses.
+
+        With :attr:`~repro.config.ApiConfig.admission_queue` set, the
+        request first passes the bounded admission gate (same policy as
+        the single-process gateway): past its priority class's depth
+        threshold it is shed with stable code ``OVERLOAD``.
+        """
         try:
+            if self.admission is not None:
+                self.admission.admit(request)
+                try:
+                    return self.execute(request)
+                finally:
+                    self.admission.release()
             return self.execute(request)
         except ReproError as exc:
             self.counters["errors"] += 1
+            if isinstance(exc, OverloadError):
+                self.counters["shed"] += 1
+            elif isinstance(exc, DeadlineError):
+                self.counters["deadline_exceeded"] += 1
             shape = RESPONSE_FOR.get(type(request), ApiResponse)
             return shape.failure(
                 ErrorInfo.from_exception(exc),
@@ -506,6 +589,11 @@ class ClusterGateway:
                 raise ClusterError("cluster gateway is closed")
             self._drain_acks()
             self.counters[request.op] += 1
+            # Under the lock, so queueing on a busy coordinator counts
+            # against the budget (matching the single-process gateway).
+            deadline = getattr(request, "deadline", None)
+            if deadline is not None and deadline.expired():
+                raise deadline.to_error()
             if isinstance(request, IngestBatch):
                 return self._execute_ingest(request)
             if isinstance(request, TopKQuery):
@@ -592,7 +680,10 @@ class ClusterGateway:
         """
         per_replica = {
             index: BatchQuery(
-                sources=tuple(sources), k=request.k, consistency=request.consistency
+                sources=tuple(sources),
+                k=request.k,
+                consistency=request.consistency,
+                deadline=request.deadline,
             )
             for index, sources in chunks.items()
         }
@@ -635,6 +726,10 @@ class ClusterGateway:
         response = self.primary.execute(request)
         assert isinstance(response, StatsResult)
         stats: dict[str, Any] = dict(response.stats)
+        if self.admission is not None:
+            # The cluster gateway is the front door; its gate (not the
+            # primary's idle one) is the admission truth.
+            stats["admission"] = self.admission.to_dict()
         stats["cluster"] = {
             "replicas": len(self.replicas),
             "placement": self.cluster.placement.value,
@@ -702,7 +797,10 @@ class ClusterGateway:
         fresh = first.consistency.level is ConsistencyLevel.FRESH
         by_source: dict[int, TopKResult] = {}
         probe = BatchQuery(
-            sources=run.sources, k=first.k, consistency=first.consistency
+            sources=run.sources,
+            k=first.k,
+            consistency=first.consistency,
+            deadline=run.deadline,
         )
         try:
             for index, sources, results in self._run_chunks(chunks, probe, fresh):

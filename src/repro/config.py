@@ -230,6 +230,14 @@ class ApiConfig:
         Consistency applied when a request does not name one.
     staleness_bound:
         Version bound used when ``default_consistency`` is ``BOUNDED``.
+    admission_queue:
+        Capacity of the gateway's bounded admission queue; ``0`` (the
+        default) disables admission control entirely. When enabled, a
+        request is shed with :class:`~repro.errors.OverloadError` (HTTP
+        429) once the in-flight depth crosses its priority class's
+        threshold — ``ANY`` reads shed first, then ``BOUNDED``, then
+        ``FRESH`` reads and writes; admin ops are never shed. See
+        ``docs/load.md``.
     """
 
     host: str = "127.0.0.1"
@@ -238,6 +246,7 @@ class ApiConfig:
     max_batch: int = 256
     default_consistency: ConsistencyLevel = ConsistencyLevel.FRESH
     staleness_bound: int = 0
+    admission_queue: int = 0
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -246,6 +255,10 @@ class ApiConfig:
             raise ConfigError(f"port must be in [0, 65535], got {self.port}")
         if self.max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.admission_queue < 0:
+            raise ConfigError(
+                f"admission_queue must be >= 0, got {self.admission_queue}"
+            )
         if not isinstance(self.default_consistency, ConsistencyLevel):
             raise ConfigError(
                 "default_consistency must be a ConsistencyLevel,"

@@ -140,6 +140,70 @@ class StoreError(ReproError):
     code = "STORE"
 
 
+class OverloadError(ReproError):
+    """The gateway shed this request to protect the queue under overload.
+
+    Shedding is deliberate and load-dependent, not a bug: the admission
+    queue was past the threshold for this request's priority class
+    (``ANY`` reads shed first, then ``BOUNDED``, then ``FRESH``/writes;
+    see ``docs/load.md``). Clients should back off and retry; the HTTP
+    front-end maps this code to ``429 Too Many Requests``.
+    """
+
+    code = "OVERLOAD"
+
+    def __init__(
+        self,
+        priority: str = "",
+        depth: int = 0,
+        limit: int = 0,
+        message: str | None = None,
+    ) -> None:
+        self.priority = priority
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            message
+            or (
+                f"request shed under overload: {priority or 'request'} class "
+                f"at queue depth {depth}/{limit}"
+            )
+        )
+
+    def details(self) -> dict[str, Any]:
+        return {"priority": self.priority, "depth": self.depth, "limit": self.limit}
+
+
+class DeadlineError(ReproError):
+    """A request's deadline expired before (or while) it was served.
+
+    Raised when the per-request deadline (``timeout_ms`` on the wire)
+    elapses in the admission queue, under the gateway lock, or waiting on
+    a replica. The HTTP front-end maps this code to ``503``.
+    """
+
+    code = "DEADLINE"
+
+    def __init__(
+        self,
+        budget_ms: float = 0.0,
+        elapsed_ms: float = 0.0,
+        message: str | None = None,
+    ) -> None:
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            message
+            or (
+                f"deadline exceeded: budget {budget_ms:.0f} ms, "
+                f"elapsed {elapsed_ms:.0f} ms"
+            )
+        )
+
+    def details(self) -> dict[str, Any]:
+        return {"budget_ms": self.budget_ms, "elapsed_ms": self.elapsed_ms}
+
+
 class ClusterError(ReproError):
     """The replicated serving tier lost a replica it could not replace.
 
@@ -168,6 +232,8 @@ ERROR_CODES: dict[str, type[ReproError]] = {
         ConvergenceError,
         BackendError,
         StoreError,
+        OverloadError,
+        DeadlineError,
         ClusterError,
     )
 }

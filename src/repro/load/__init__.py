@@ -1,0 +1,37 @@
+"""Open-loop load generation and SLO measurement (``repro load-bench``).
+
+Two halves:
+
+* :mod:`~repro.load.workload` — the traffic model: Zipf tenant
+  popularity, read/write and consistency mixes, diurnal modulation,
+  burst phases and hot-key storms, expanded into a deterministic
+  time-stamped arrival schedule;
+* :mod:`~repro.load.harness` — the virtual-time open-loop runner that
+  replays a schedule against a gateway, applies the bounded-queue
+  admission policy, and reports goodput-under-SLO, latency percentiles
+  (p50/p99/p999), and shed/expired counts.
+
+See ``docs/load.md`` for the workload model, SLO definitions, shedding
+policy, and the knee-curve methodology.
+"""
+
+from .harness import (
+    UNBOUNDED,
+    LoadReport,
+    knee_sweep,
+    measure_saturation,
+    run_open_loop,
+)
+from .workload import Arrival, LoadSpec, PhaseSpec, generate_arrivals
+
+__all__ = [
+    "Arrival",
+    "LoadReport",
+    "LoadSpec",
+    "PhaseSpec",
+    "UNBOUNDED",
+    "generate_arrivals",
+    "knee_sweep",
+    "measure_saturation",
+    "run_open_loop",
+]

@@ -1,0 +1,355 @@
+"""Virtual-time open-loop load harness with SLO accounting.
+
+Drives a gateway (``Gateway``, ``ClusterGateway``, or an
+:class:`~repro.api.http.HttpClient`-shaped ``submit`` callable) with the
+deterministic arrival schedule of a :class:`~repro.load.workload.LoadSpec`
+and reports what the ROADMAP's million-user regime actually needs:
+p50/p99/p999 latency, **goodput under SLO** (completions within the
+budget), and shed/expired counts per priority class.
+
+The trick that makes past-saturation measurement tractable is *virtual
+time*: the harness replays the arrival schedule against a simulated
+single-server queue whose service times are **measured** — each
+dispatched request really executes on the engine and its wall time
+becomes the simulated service time. Latency is then queueing wait (from
+the simulated clock) plus measured service time. An hour of simulated
+overload costs only the sum of real service times, arrival pacing burns
+no wall-clock sleep, and the same harness runs fully simulated (an
+injected ``service_time`` function) for deterministic unit tests.
+
+Admission control is the same policy the live gateways enforce
+(:mod:`repro.api.admission`): a bounded queue shedding ANY-consistency
+reads first. Run with ``queue_capacity=None`` to watch the unprotected
+alternative collapse — the knee curve in ``benchmarks/results/load.txt``
+shows both arms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..api.admission import AdmissionQueue, Priority, priority_of
+from ..api.requests import ApiRequest, Deadline
+from ..api.responses import ApiResponse
+from ..utils.tables import format_table
+from .workload import Arrival, LoadSpec, generate_arrivals
+
+#: Effectively-unbounded queue for the no-admission (collapse) arm.
+UNBOUNDED = 1 << 30
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run at one arrival rate."""
+
+    arrival_rate: float
+    duration_s: float
+    slo_ms: float
+    queue_capacity: int | None
+    offered: int = 0
+    #: Offered per priority class (lowercase names) — shed-rate denominator.
+    offered_by_class: dict[str, int] = field(default_factory=dict)
+    #: Shed at admission, per priority class (lowercase names).
+    shed: dict[str, int] = field(default_factory=dict)
+    #: Deadline-expired while queued, per priority class.
+    expired: dict[str, int] = field(default_factory=dict)
+    served: int = 0
+    completed: int = 0
+    good: int = 0
+    late: int = 0
+    failed: int = 0
+    #: Failures the serving path itself produced under pressure.
+    shed_downstream: int = 0
+    deadline_failures: int = 0
+    #: Virtual instant the last completion finished (backlog indicator).
+    makespan_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def shed_rate(self, priority: str) -> float:
+        """Fraction of this class's offered traffic shed at admission."""
+        offered = self.offered_by_class.get(priority, 0)
+        return self.shed.get(priority, 0) / offered if offered else 0.0
+
+    @property
+    def expired_total(self) -> int:
+        return sum(self.expired.values())
+
+    @property
+    def accepted(self) -> int:
+        return self.offered - self.shed_total
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completions within SLO per second of offered-traffic window."""
+        return self.good / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile completion latency in ms (0 if none)."""
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def p999_ms(self) -> float:
+        return self.latency_percentile(99.9)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "arrival_rate": self.arrival_rate,
+            "duration_s": self.duration_s,
+            "slo_ms": self.slo_ms,
+            "queue_capacity": self.queue_capacity,
+            "offered": self.offered,
+            "offered_by_class": dict(self.offered_by_class),
+            "accepted": self.accepted,
+            "served": self.served,
+            "completed": self.completed,
+            "good": self.good,
+            "late": self.late,
+            "failed": self.failed,
+            "shed": dict(self.shed),
+            "expired": dict(self.expired),
+            "shed_downstream": self.shed_downstream,
+            "deadline_failures": self.deadline_failures,
+            "goodput_rps": self.goodput_rps,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "makespan_s": self.makespan_s,
+        }
+
+    def table(self) -> str:
+        capacity = (
+            "unbounded" if self.queue_capacity is None else str(self.queue_capacity)
+        )
+        rows = [
+            ["offered", f"{self.offered} requests"
+                        f" at {self.arrival_rate:,.0f}/s open loop"],
+            ["admission queue", capacity],
+            ["completed", f"{self.completed} ({self.good} within"
+                          f" {self.slo_ms:,.0f} ms SLO, {self.late} late)"],
+            ["shed at admission", f"{self.shed_total} {dict(self.shed)}"],
+            ["expired in queue", f"{self.expired_total}"],
+            ["failed downstream", f"{self.failed} ({self.shed_downstream} shed,"
+                                  f" {self.deadline_failures} deadline)"],
+            ["goodput", f"{self.goodput_rps:,.1f}/s within SLO"],
+            ["latency", f"p50={self.p50_ms:,.1f} p99={self.p99_ms:,.1f}"
+                        f" p999={self.p999_ms:,.1f} ms"],
+            ["makespan", f"{self.makespan_s:,.1f} s virtual"],
+        ]
+        return format_table(["metric", "value"], rows, title="Open-loop load run")
+
+
+def run_open_loop(
+    submit: Callable[[ApiRequest], ApiResponse],
+    spec: LoadSpec,
+    *,
+    slo_ms: float,
+    queue_capacity: int | None = None,
+    service_time: Callable[[ApiRequest], float] | None = None,
+    attach_deadlines: bool = False,
+    arrivals: Sequence[Arrival] | None = None,
+) -> LoadReport:
+    """Replay one spec's schedule through a simulated single-server queue.
+
+    Parameters
+    ----------
+    submit:
+        The gateway front door. Called once per dispatched request; its
+        measured wall time is the simulated service time. Ignored when
+        ``service_time`` is given.
+    slo_ms:
+        Latency budget a completion must meet to count as *goodput*.
+    queue_capacity:
+        Bounded admission queue size (the live shedding policy), or
+        ``None`` for the unprotected arm: an unbounded *plain FIFO*
+        queue — no priorities, no shedding — the default failure mode
+        admission control exists to prevent.
+    service_time:
+        Simulation mode: a function giving each request's service
+        seconds; no engine is touched and every dispatch "succeeds".
+    attach_deadlines:
+        Attach a real wall-clock :class:`~repro.api.requests.Deadline`
+        (``spec.timeout_ms``) to each dispatched request so the
+        *gateway's* deadline enforcement is exercised — used by the
+        fault-injection tests, where a wedged replica must surface
+        ``DEADLINE`` failures instead of hanging the run.
+    arrivals:
+        Pre-generated schedule override (defaults to
+        :func:`~repro.load.workload.generate_arrivals` on ``spec``).
+    """
+    if arrivals is None:
+        arrivals = generate_arrivals(spec)
+    queue = AdmissionQueue(UNBOUNDED if queue_capacity is None else queue_capacity)
+    report = LoadReport(
+        arrival_rate=spec.arrival_rate,
+        duration_s=spec.duration_s,
+        slo_ms=slo_ms,
+        queue_capacity=queue_capacity,
+    )
+    budget_s = spec.timeout_ms / 1e3 if spec.timeout_ms is not None else None
+    server_free = 0.0
+
+    def serve_one(ticket) -> None:
+        nonlocal server_free
+        arrival: Arrival = ticket.item
+        start = max(server_free, arrival.time_s)
+        request = arrival.request
+        if service_time is not None:
+            seconds = float(service_time(request))
+            response: ApiResponse | None = None
+        else:
+            if attach_deadlines and spec.timeout_ms is not None:
+                request = dc_replace(
+                    request, deadline=Deadline.after_ms(spec.timeout_ms)
+                )
+            t0 = time.perf_counter()
+            response = submit(request)
+            seconds = time.perf_counter() - t0
+        server_free = start + seconds
+        report.served += 1
+        report.makespan_s = server_free
+        if response is not None and response.error is not None:
+            report.failed += 1
+            if response.error.code == "OVERLOAD":
+                report.shed_downstream += 1
+            elif response.error.code == "DEADLINE":
+                report.deadline_failures += 1
+            return
+        latency_ms = (server_free - arrival.time_s) * 1e3
+        report.latencies_ms.append(latency_ms)
+        report.completed += 1
+        if latency_ms <= slo_ms:
+            report.good += 1
+        else:
+            report.late += 1
+
+    for arrival in arrivals:
+        # Serve everything the single server finishes before this arrival.
+        while queue.depth and server_free < arrival.time_s:
+            ticket = queue.poll(now=server_free)
+            if ticket is None:
+                break
+            serve_one(ticket)
+        report.offered += 1
+        priority = priority_of(arrival.request)
+        name = priority.name.lower()
+        report.offered_by_class[name] = report.offered_by_class.get(name, 0) + 1
+        expires_at = (
+            arrival.time_s + budget_s if budget_s is not None else None
+        )
+        if queue_capacity is None:
+            # Unprotected: one flat FIFO class, nothing ever refused.
+            priority = Priority.CRITICAL
+        queue.offer(arrival, priority, expires_at=expires_at)
+
+    while queue.depth:
+        ticket = queue.poll(now=server_free)
+        if ticket is None:
+            break
+        serve_one(ticket)
+
+    report.shed = dict(queue.shed)
+    report.expired = dict(queue.expired)
+    return report
+
+
+def measure_saturation(
+    submit: Callable[[ApiRequest], ApiResponse],
+    spec: LoadSpec,
+    *,
+    probes: int = 128,
+    service_time: Callable[[ApiRequest], float] | None = None,
+) -> float:
+    """Closed-loop capacity estimate: requests per second back-to-back.
+
+    Runs ``probes`` requests with the spec's mix at zero think time and
+    returns ``1 / mean service time`` — the arrival rate at which the
+    open-loop queue transitions from stable to divergent (the knee the
+    sweep brackets). The calibration trace is generated at a rate that
+    yields ~``probes`` *distinct* arrivals (different seed from the
+    spec's own runs): cycling a short trace would replay warmed-up,
+    already-applied requests and overestimate capacity.
+    """
+    probe_spec = spec.with_(
+        arrival_rate=max(probes / spec.duration_s, spec.arrival_rate),
+        seed=spec.seed + 7919,
+    )
+    arrivals = generate_arrivals(probe_spec)
+    if not arrivals:
+        raise ValueError("spec generated no arrivals to probe with")
+    total = 0.0
+    count = 0
+    index = 0
+    while count < probes:
+        request = arrivals[index % len(arrivals)].request
+        index += 1
+        if service_time is not None:
+            total += float(service_time(request))
+        else:
+            t0 = time.perf_counter()
+            submit(request)
+            total += time.perf_counter() - t0
+        count += 1
+    return count / total if total > 0 else float("inf")
+
+
+def knee_sweep(
+    submit: Callable[[ApiRequest], ApiResponse],
+    spec: LoadSpec,
+    *,
+    slo_ms: float,
+    queue_capacity: int | None,
+    fractions: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0),
+    saturation: float | None = None,
+    service_time: Callable[[ApiRequest], float] | None = None,
+) -> list[LoadReport]:
+    """Open-loop runs at ``fractions`` of measured saturation.
+
+    The interesting question is the shape past 1.0: with admission
+    control, goodput must *plateau* near capacity; without, it collapses
+    because every admitted request queues behind an ever-growing backlog
+    and misses its SLO.
+    """
+    if saturation is None:
+        saturation = measure_saturation(
+            submit, spec, service_time=service_time
+        )
+    reports = []
+    for fraction in fractions:
+        run_spec = spec.with_(
+            arrival_rate=max(saturation * fraction, 1e-9),
+            seed=spec.seed + int(round(fraction * 1000)),
+        )
+        reports.append(
+            run_open_loop(
+                submit,
+                run_spec,
+                slo_ms=slo_ms,
+                queue_capacity=queue_capacity,
+                service_time=service_time,
+            )
+        )
+    return reports

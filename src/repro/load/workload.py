@@ -1,0 +1,230 @@
+"""Open-loop multi-tenant workload model: who asks what, when.
+
+A :class:`LoadSpec` describes traffic the way a capacity planner would —
+a target arrival rate, a heavy-tailed (Zipf) source popularity over a
+tenant population, a read/write mix, a FRESH/BOUNDED/ANY consistency
+mix, optional diurnal rate modulation, and burst phases (rate spikes
+and/or hot-key storms that pin a fraction of traffic to a handful of
+sources). :func:`generate_arrivals` expands it into a deterministic,
+time-stamped request schedule: **open loop**, meaning arrival times are
+fixed in advance and never wait for completions — exactly the regime
+where an overloaded server builds unbounded backlog unless it sheds
+(see ``docs/load.md``).
+
+Everything is driven by one seeded generator, so the same spec always
+produces the same trace — the property the CI smoke step regression-tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api.requests import (
+    ANY,
+    FRESH,
+    ApiRequest,
+    Consistency,
+    IngestBatch,
+    TopKQuery,
+)
+from ..errors import ConfigError
+from ..graph.update import EdgeOp, EdgeUpdate
+from ..utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One traffic phase: a rate spike and/or hot-key storm over a span.
+
+    While ``start_s <= t < end_s`` the instantaneous arrival rate is
+    multiplied by ``rate_multiplier``, and (with ``hot_fraction > 0``) a
+    ``hot_fraction`` share of read traffic is pinned uniformly to
+    ``hot_keys`` instead of the Zipf tail — the celebrity-post shape.
+    """
+
+    start_s: float
+    end_s: float
+    rate_multiplier: float = 1.0
+    hot_keys: tuple[int, ...] = ()
+    hot_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_s < self.end_s:
+            raise ConfigError(
+                f"phase span must satisfy 0 <= start < end,"
+                f" got [{self.start_s}, {self.end_s})"
+            )
+        if self.rate_multiplier <= 0:
+            raise ConfigError(
+                f"rate_multiplier must be > 0, got {self.rate_multiplier}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if self.hot_fraction > 0 and not self.hot_keys:
+            raise ConfigError("hot_fraction > 0 requires hot_keys")
+        object.__setattr__(self, "hot_keys", tuple(int(k) for k in self.hot_keys))
+
+    def active(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One open-loop traffic description (see module docstring)."""
+
+    #: Mean arrivals per second at multiplier 1 (the dial the knee sweeps).
+    arrival_rate: float = 100.0
+    duration_s: float = 10.0
+    #: Tenant population: reads draw sources from ``[0, num_sources)``.
+    num_sources: int = 64
+    #: Zipf popularity exponent (``rank ** -zipf``); heavier tail when larger.
+    zipf: float = 1.5
+    #: Fraction of arrivals that are reads; the rest are ingest writes.
+    read_fraction: float = 0.95
+    #: Relative weights of FRESH / BOUNDED / ANY among reads.
+    consistency_mix: tuple[float, float, float] = (0.2, 0.3, 0.5)
+    #: Version bound used by the BOUNDED share.
+    bounded_staleness: int = 4
+    #: Sinusoidal day-cycle amplitude in [0, 1): rate swings by ±amplitude
+    #: over one full cycle spanning the run.
+    diurnal_amplitude: float = 0.0
+    #: Burst / hot-key-storm phases layered on top of the base rate.
+    phases: tuple[PhaseSpec, ...] = ()
+    k: int = 8
+    #: Edge updates per ingest write.
+    write_batch: int = 4
+    #: Per-request latency budget (and default SLO); None = no deadline.
+    timeout_ms: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigError(f"arrival_rate must be > 0, got {self.arrival_rate}")
+        if self.duration_s <= 0:
+            raise ConfigError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.num_sources < 1:
+            raise ConfigError(f"num_sources must be >= 1, got {self.num_sources}")
+        if self.zipf <= 0:
+            raise ConfigError(f"zipf must be > 0, got {self.zipf}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if len(self.consistency_mix) != 3 or any(
+            w < 0 for w in self.consistency_mix
+        ) or sum(self.consistency_mix) <= 0:
+            raise ConfigError(
+                "consistency_mix must be three non-negative weights"
+                f" with a positive sum, got {self.consistency_mix!r}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.write_batch < 1:
+            raise ConfigError(f"write_batch must be >= 1, got {self.write_batch}")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ConfigError(f"timeout_ms must be > 0, got {self.timeout_ms}")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    def with_(self, **changes) -> "LoadSpec":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at ``t``: base x diurnal x phases."""
+        rate = self.arrival_rate
+        if self.diurnal_amplitude:
+            rate *= 1.0 + self.diurnal_amplitude * float(
+                np.sin(2.0 * np.pi * t / self.duration_s)
+            )
+        for phase in self.phases:
+            if phase.active(t):
+                rate *= phase.rate_multiplier
+        return rate
+
+    @property
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate_at` (the thinning envelope)."""
+        rate = self.arrival_rate * (1.0 + self.diurnal_amplitude)
+        worst = 1.0
+        for phase in self.phases:
+            worst = max(worst, phase.rate_multiplier)
+        return rate * worst
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when it arrives and what it asks."""
+
+    time_s: float
+    request: ApiRequest
+
+    @property
+    def is_write(self) -> bool:
+        return self.request.is_write
+
+
+def _source_weights(spec: LoadSpec) -> np.ndarray:
+    """Zipf popularity over the tenant population (rank ** -zipf)."""
+    weights = np.arange(1, spec.num_sources + 1, dtype=np.float64) ** -spec.zipf
+    return weights / weights.sum()
+
+
+def generate_arrivals(spec: LoadSpec) -> list[Arrival]:
+    """Expand one spec into its deterministic open-loop arrival schedule.
+
+    Arrival instants come from a non-homogeneous Poisson process via
+    thinning (Lewis & Shedler): candidates at the peak-rate envelope,
+    each kept with probability ``rate_at(t) / peak_rate``. Request
+    contents (source, consistency, read/write, update edges) draw from
+    the same seeded generator, so the whole trace — times and payloads —
+    is a pure function of the spec.
+    """
+    rng = ensure_rng(spec.seed)
+    weights = _source_weights(spec)
+    population = np.arange(spec.num_sources, dtype=np.int64)
+    bounded = Consistency.bounded(spec.bounded_staleness)
+    levels = (FRESH, bounded, ANY)
+    mix = np.asarray(spec.consistency_mix, dtype=np.float64)
+    mix = mix / mix.sum()
+
+    arrivals: list[Arrival] = []
+    peak = spec.peak_rate
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= spec.duration_s:
+            break
+        if float(rng.random()) > spec.rate_at(t) / peak:
+            continue  # thinned: instantaneous rate is below the envelope
+        if float(rng.random()) < spec.read_fraction:
+            storm = next(
+                (p for p in spec.phases if p.active(t) and p.hot_fraction > 0),
+                None,
+            )
+            if storm is not None and float(rng.random()) < storm.hot_fraction:
+                source = int(storm.hot_keys[rng.integers(len(storm.hot_keys))])
+            else:
+                source = int(rng.choice(population, p=weights))
+            consistency = levels[int(rng.choice(3, p=mix))]
+            request: ApiRequest = TopKQuery(
+                source=source, k=spec.k, consistency=consistency
+            )
+        else:
+            pairs = rng.integers(
+                0, spec.num_sources, size=(spec.write_batch, 2), dtype=np.int64
+            )
+            request = IngestBatch(
+                updates=tuple(
+                    EdgeUpdate(int(u), int(v), EdgeOp.INSERT) for u, v in pairs
+                )
+            )
+        arrivals.append(Arrival(time_s=t, request=request))
+    return arrivals

@@ -204,6 +204,7 @@ class ServiceMetrics:
             "staleness_p99": self.staleness_percentile(99),
             "latency_p50_s": self.latency_percentile(50),
             "latency_p99_s": self.latency_percentile(99),
+            "latency_p999_s": self.latency_percentile(99.9),
         }
 
     def describe(self) -> str:

@@ -150,7 +150,7 @@ class TestRequestValidation:
 
 class TestErrorCodes:
     def test_every_class_has_a_distinct_stable_code(self):
-        assert len(ERROR_CODES) == 12
+        assert len(ERROR_CODES) == 14
         for code, cls in ERROR_CODES.items():
             assert cls.code == code
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 
 import pytest
 
@@ -29,6 +30,7 @@ from repro.api.requests import (
     FRESH,
     BatchQuery,
     Consistency,
+    Deadline,
     Health,
     IngestBatch,
     Prefetch,
@@ -340,3 +342,86 @@ class TestGatewayParity:
                 == single.counters["reads_coalesced"]
                 == 2
             )
+
+
+class TestDeadlinesUnderFaults:
+    """Fault injection: a wedged (SIGSTOP) replica must degrade, not hang.
+
+    SIGKILL (above) exercises the *crash* path — the corpse fails the
+    liveness check and the request retries on a respawn. SIGSTOP is the
+    nastier failure: the process stays alive, its pipe stays open, and it
+    simply never answers. Only the request's own deadline bounds the
+    caller's wait; on expiry the gateway must return a typed DEADLINE
+    failure, replace the wedged worker (its abandoned ticket could
+    otherwise poison the pipe protocol), and keep serving.
+    """
+
+    def test_sigstopped_replica_degrades_to_deadline_not_hang(self):
+        service = fresh_service()
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            assert cluster.api.top_k(0, k=3).ok  # replica 0 is live
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGSTOP)
+
+            start = time.monotonic()
+            response = cluster.gateway.submit(
+                TopKQuery(source=0, k=3, deadline=Deadline.after_ms(250.0))
+            )
+            elapsed = time.monotonic() - start
+
+            assert not response.ok
+            assert response.error.code == "DEADLINE"
+            assert response.error.details["budget_ms"] == 250.0
+            # Bounded by the deadline (plus respawn cost), nowhere near
+            # the 300 s replica response timeout.
+            assert elapsed < 30.0
+            assert cluster.gateway.counters["deadline_exceeded"] == 1
+            # The wedged worker was replaced, not left holding the pipe.
+            assert cluster.gateway.counters["respawns"] == 1
+            # And the slot serves again — same source, fresh worker.
+            after = cluster.gateway.submit(TopKQuery(source=0, k=3))
+            assert after.ok
+
+    def test_unaffected_replica_keeps_serving_during_the_wedge(self):
+        service = fresh_service()
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGSTOP)
+            # Source 1 is owned by replica 1 (hashed placement): traffic
+            # to the healthy slot must not block on the wedged one.
+            answer = cluster.gateway.submit(
+                TopKQuery(source=1, k=3, deadline=Deadline.after_ms(5000.0))
+            )
+            assert answer.ok
+            assert cluster.gateway.counters["respawns"] == 0
+
+    def test_already_expired_deadline_fails_without_touching_replicas(self):
+        service = fresh_service()
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            expired = Deadline.after_ms(1.0)
+            time.sleep(0.01)
+            response = cluster.gateway.submit(
+                TopKQuery(source=0, k=3, deadline=expired)
+            )
+            assert not response.ok
+            assert response.error.code == "DEADLINE"
+            assert response.error.details["elapsed_ms"] >= 1.0
+            assert cluster.gateway.counters["respawns"] == 0
+            assert cluster.gateway.counters["deadline_exceeded"] == 1
+
+    def test_deadline_failure_consumes_respawn_budget_like_a_crash(self):
+        service = fresh_service()
+        config = ClusterConfig(replicas=2, max_respawns=1)
+        with PPRCluster(service, config) as cluster:
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGSTOP)
+            first = cluster.gateway.submit(
+                TopKQuery(source=0, k=3, deadline=Deadline.after_ms(150.0))
+            )
+            assert first.error.code == "DEADLINE"  # respawn #1 for slot 0
+            os.kill(cluster.gateway.replicas[0].process.pid, signal.SIGSTOP)
+            second = cluster.gateway.submit(
+                TopKQuery(source=0, k=3, deadline=Deadline.after_ms(150.0))
+            )
+            # The second wedge exceeds slot 0's budget: the abandonment
+            # cannot replace the worker, so the failure escalates to the
+            # cluster's own typed error instead of a deadline.
+            assert not second.ok
+            assert second.error.code == "CLUSTER"

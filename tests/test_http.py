@@ -10,6 +10,7 @@ route, unknown op, bad field types, version conflicts).
 from __future__ import annotations
 
 import json
+import re
 import threading
 import urllib.error
 import urllib.request
@@ -176,3 +177,252 @@ class TestErrorPaths:
         server, _, _ = live
         error = raw_post(f"{server.url}/v1/ingest", json.dumps([1, 2]).encode())
         assert isinstance(error, urllib.error.HTTPError) and error.code == 400
+
+
+def raw_get(url: str) -> tuple[int, dict, bytes]:
+    request = urllib.request.Request(url, method="GET")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def scrape(server) -> dict[str, float]:
+    """Parse /v1/metrics into {sample_name_with_labels: value}."""
+    status, headers, body = raw_get(f"{server.url}/v1/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    samples: dict[str, float] = {}
+    for line in body.decode().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_exposition_format_is_parseable(self, live):
+        server, http, _ = live
+        http.query({"op": "top_k", "source": 0, "k": 3})
+        status, headers, body = raw_get(f"{server.url}/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4"
+        lines = body.decode().splitlines()
+        assert lines, "metrics body must not be empty"
+        sample_re = re.compile(
+            r'^[a-z_][a-z0-9_]*(\{[a-z0-9_]+="[^"]*"(,[a-z0-9_]+="[^"]*")*\})?'
+            r" [-+]?[0-9.e+-]+$"
+        )
+        helped: set[str] = set()
+        typed: set[str] = set()
+        for line in lines:
+            if line.startswith("# HELP "):
+                helped.add(line.split(" ", 3)[2])
+            elif line.startswith("# TYPE "):
+                typed.add(line.split(" ", 3)[2])
+            else:
+                assert sample_re.match(line), f"unparseable sample: {line!r}"
+                base = line.split("{", 1)[0].split(" ", 1)[0]
+                # Every sample is announced before it appears.
+                assert base in helped and base in typed
+        # The text client sees the same exposition (scraping bumps the
+        # stats counter, so compare sample names, not values).
+        client_names = {
+            line.rsplit(" ", 1)[0]
+            for line in http.metrics().splitlines()
+            if line and not line.startswith("#")
+        }
+        raw_names = {
+            line.rsplit(" ", 1)[0]
+            for line in body.decode().splitlines()
+            if line and not line.startswith("#")
+        }
+        assert client_names == raw_names
+
+    def test_counters_are_monotone_across_scrapes(self, live):
+        server, http, _ = live
+        http.query({"op": "top_k", "source": 0, "k": 3})
+        before = scrape(server)
+        for source in (0, 1, 2):
+            http.query({"op": "top_k", "source": source, "k": 3})
+        after = scrape(server)
+        key = 'repro_gateway_requests_total{op="top_k"}'
+        assert after[key] == before[key] + 3
+        assert after["repro_queries_total"] >= before["repro_queries_total"]
+        # Scrapes themselves never perturb request counters.
+        untouched = scrape(server)
+        assert untouched[key] == after[key]
+
+    def test_prometheus_naming_conventions(self, live):
+        server, http, _ = live
+        http.query({"op": "top_k", "source": 0, "k": 3})
+        samples = scrape(server)
+        assert "repro_queries_total" in samples  # counters get _total
+        assert "repro_hit_rate" in samples  # gauges do not
+        assert "repro_latency_p999_s" in samples  # p999 is exported
+        assert all(name.startswith("repro_") for name in samples)
+
+
+@pytest.fixture()
+def guarded():
+    """A server whose gateway runs the bounded admission gate."""
+    from repro.api import Gateway, make_server as _make_server
+    from repro.config import ApiConfig
+
+    graph = random_graph(np.random.default_rng(7), n=30, m=150)
+    service = PPRService(
+        graph, NUMPY_CONFIG, ServeConfig(cache_capacity=8, admission_batch=4)
+    )
+    gateway = Gateway(service, ApiConfig(admission_queue=2))
+    server = _make_server(gateway, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, gateway
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestOverloadAndDeadlineOverHttp:
+    def occupy(self, gateway, slots: int) -> None:
+        from repro.api.requests import IngestBatch
+        from repro.graph.update import EdgeOp, EdgeUpdate
+
+        for _ in range(slots):
+            gateway.admission.admit(
+                IngestBatch(updates=(EdgeUpdate(0, 1, EdgeOp.INSERT),))
+            )
+
+    def test_shed_any_read_is_429_with_stable_code(self, guarded):
+        server, gateway = guarded
+        self.occupy(gateway, 1)  # depth 1 >= ANY threshold of capacity 2
+        try:
+            error = raw_post(
+                f"{server.url}/v1/query",
+                json.dumps(
+                    {"op": "top_k", "source": 0, "k": 3, "consistency": "any"}
+                ).encode(),
+            )
+            assert isinstance(error, urllib.error.HTTPError)
+            assert error.code == 429
+            body = json.loads(error.read())
+            assert body["error"]["code"] == "OVERLOAD"
+            assert body["error"]["details"]["priority"] == "any"
+            # FRESH still clears the gate at this depth: ANY sheds first.
+            ok = raw_post(
+                f"{server.url}/v1/query",
+                json.dumps(
+                    {"op": "top_k", "source": 0, "k": 3, "consistency": "fresh"}
+                ).encode(),
+            )
+            assert isinstance(ok, dict) and ok["ok"]
+        finally:
+            gateway.admission.release()
+
+    def test_full_gate_sheds_fresh_but_never_stats(self, guarded):
+        server, gateway = guarded
+        self.occupy(gateway, 2)  # full: depth == capacity
+        try:
+            error = raw_post(
+                f"{server.url}/v1/query",
+                json.dumps(
+                    {"op": "top_k", "source": 0, "k": 3, "consistency": "fresh"}
+                ).encode(),
+            )
+            assert isinstance(error, urllib.error.HTTPError)
+            assert error.code == 429
+            status, _, _ = raw_get(f"{server.url}/v1/stats")
+            assert status == 200
+            status, _, _ = raw_get(f"{server.url}/v1/metrics")
+            assert status == 200
+        finally:
+            gateway.admission.release()
+            gateway.admission.release()
+
+    def test_shed_counters_surface_in_metrics(self, guarded):
+        server, gateway = guarded
+        self.occupy(gateway, 1)
+        try:
+            raw_post(
+                f"{server.url}/v1/query",
+                json.dumps(
+                    {"op": "top_k", "source": 0, "k": 3, "consistency": "any"}
+                ).encode(),
+            )
+        finally:
+            gateway.admission.release()
+        samples = scrape(server)
+        assert samples['repro_admission_shed_total{priority="any"}'] == 1
+        assert samples["repro_admission_capacity"] == 2
+
+    def test_expired_deadline_is_503_with_stable_code(self, guarded):
+        server, _ = guarded
+        # A 1 ns budget re-armed at parse time is expired by execution.
+        error = raw_post(
+            f"{server.url}/v1/query",
+            json.dumps(
+                {"op": "top_k", "source": 0, "k": 3, "timeout_ms": 1e-6}
+            ).encode(),
+        )
+        assert isinstance(error, urllib.error.HTTPError)
+        assert error.code == 503
+        body = json.loads(error.read())
+        assert body["error"]["code"] == "DEADLINE"
+        assert body["error"]["details"]["budget_ms"] == 1e-6
+
+    def test_generous_deadline_round_trips_fine(self, guarded):
+        server, _ = guarded
+        ok = raw_post(
+            f"{server.url}/v1/query",
+            json.dumps(
+                {"op": "top_k", "source": 0, "k": 3, "timeout_ms": 30000.0}
+            ).encode(),
+        )
+        assert isinstance(ok, dict) and ok["ok"]
+
+
+class TestServiceMetricsEdgeCases:
+    def test_empty_window_reports_clean_zeros(self):
+        from repro.serve.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        for q in (50.0, 99.0, 99.9):
+            assert metrics.latency_percentile(q) == 0.0
+            assert metrics.staleness_percentile(q) == 0.0
+        assert metrics.queries_per_second == 0.0
+        payload = metrics.to_dict()
+        assert payload["latency_p999_s"] == 0.0
+        assert payload["queries"] == 0
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.serve.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.record_query(staleness=3, seconds=0.25)
+        for q in (0.0, 50.0, 99.0, 99.9, 100.0):
+            assert metrics.latency_percentile(q) == 0.25
+            assert metrics.staleness_percentile(q) == 3.0
+
+    def test_p999_on_short_histories_tracks_the_max(self):
+        from repro.serve.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        for i in range(10):
+            metrics.record_query(staleness=i, seconds=0.001 * (i + 1))
+        p999 = metrics.latency_percentile(99.9)
+        assert 0.009 < p999 <= 0.010
+        assert metrics.latency_percentile(50.0) == pytest.approx(0.0055)
+        payload = metrics.to_dict()
+        assert payload["latency_p999_s"] == p999
+        assert payload["latency_p99_s"] <= p999
+
+    def test_sample_buffers_stay_bounded(self):
+        from repro.serve.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.MAX_SAMPLES = 8  # instance override, class default untouched
+        for i in range(20):
+            metrics.record_query(staleness=0, seconds=0.001)
+        assert len(metrics.query_seconds) <= 8
+        assert metrics.queries == 20  # lifetime counter unaffected by trim

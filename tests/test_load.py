@@ -1,0 +1,244 @@
+"""The open-loop load package (:mod:`repro.load`).
+
+Three layers under test:
+
+1. **workload model** — :func:`~repro.load.generate_arrivals` is a pure
+   function of its spec (deterministic traces), respects the read/write
+   and consistency mixes, and realizes burst phases and hot-key storms;
+2. **virtual-time harness** — :func:`~repro.load.run_open_loop`
+   conserves every request, applies the admission policy, and with
+   injected service times reproduces the defining open-loop shapes:
+   bounded queues plateau under overload, unbounded queues collapse;
+3. **calibration** — :func:`~repro.load.measure_saturation` recovers an
+   injected service rate and :func:`~repro.load.knee_sweep` brackets it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.requests import IngestBatch, TopKQuery
+from repro.config import ConsistencyLevel
+from repro.errors import ConfigError
+from repro.load import (
+    LoadSpec,
+    PhaseSpec,
+    generate_arrivals,
+    knee_sweep,
+    measure_saturation,
+    run_open_loop,
+)
+
+
+def spec_with(**changes) -> LoadSpec:
+    base = LoadSpec(
+        arrival_rate=300.0,
+        duration_s=4.0,
+        num_sources=32,
+        timeout_ms=100.0,
+        seed=5,
+    )
+    return base.with_(**changes)
+
+
+class TestWorkloadModel:
+    def test_same_spec_same_trace(self):
+        spec = spec_with(diurnal_amplitude=0.3)
+        first = generate_arrivals(spec)
+        second = generate_arrivals(spec)
+        assert first == second
+        assert len(first) > 0
+
+    def test_different_seed_different_trace(self):
+        spec = spec_with()
+        assert generate_arrivals(spec) != generate_arrivals(spec.with_(seed=6))
+
+    def test_arrivals_are_ordered_and_inside_the_window(self):
+        arrivals = generate_arrivals(spec_with())
+        times = [a.time_s for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 4.0 for t in times)
+
+    def test_read_write_mix_roughly_honored(self):
+        arrivals = generate_arrivals(spec_with(read_fraction=0.8))
+        writes = sum(1 for a in arrivals if a.is_write)
+        assert 0.1 < writes / len(arrivals) < 0.3
+        assert all(
+            isinstance(a.request, (TopKQuery, IngestBatch)) for a in arrivals
+        )
+
+    def test_consistency_mix_covers_all_three_levels(self):
+        arrivals = generate_arrivals(spec_with(consistency_mix=(1.0, 1.0, 1.0)))
+        levels = {
+            a.request.consistency.level
+            for a in arrivals
+            if isinstance(a.request, TopKQuery)
+        }
+        assert levels == {
+            ConsistencyLevel.FRESH,
+            ConsistencyLevel.BOUNDED,
+            ConsistencyLevel.ANY,
+        }
+
+    def test_burst_phase_raises_arrival_density(self):
+        quiet = spec_with(arrival_rate=200.0, seed=9)
+        burst = quiet.with_(
+            phases=(PhaseSpec(1.0, 2.0, rate_multiplier=4.0),)
+        )
+        inside = [a for a in generate_arrivals(burst) if 1.0 <= a.time_s < 2.0]
+        outside_rate = 200.0
+        # ~4x the base rate over a 1 s span, give or take Poisson noise.
+        assert len(inside) > 2.0 * outside_rate
+
+    def test_hot_key_storm_pins_reads_to_the_hot_set(self):
+        spec = spec_with(
+            phases=(
+                PhaseSpec(1.0, 3.0, hot_keys=(3, 4), hot_fraction=0.9),
+            )
+        )
+        storm_reads = [
+            a.request.source
+            for a in generate_arrivals(spec)
+            if 1.0 <= a.time_s < 3.0 and isinstance(a.request, TopKQuery)
+        ]
+        hot = sum(1 for s in storm_reads if s in (3, 4))
+        assert hot / len(storm_reads) > 0.6
+
+    def test_diurnal_modulation_shifts_density_toward_the_crest(self):
+        spec = spec_with(arrival_rate=400.0, diurnal_amplitude=0.8, seed=3)
+        arrivals = generate_arrivals(spec)
+        # sin() crests in the first half of the window and troughs in the
+        # second, so the first half must carry visibly more traffic.
+        first = sum(1 for a in arrivals if a.time_s < 2.0)
+        second = len(arrivals) - first
+        assert first > 1.3 * second
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            spec_with(arrival_rate=0.0)
+        with pytest.raises(ConfigError):
+            spec_with(read_fraction=1.5)
+        with pytest.raises(ConfigError):
+            spec_with(consistency_mix=(0.0, 0.0, 0.0))
+        with pytest.raises(ConfigError):
+            spec_with(diurnal_amplitude=1.0)
+        with pytest.raises(ConfigError):
+            PhaseSpec(2.0, 1.0)
+        with pytest.raises(ConfigError):
+            PhaseSpec(0.0, 1.0, hot_fraction=0.5)  # hot set missing
+
+
+class TestOpenLoopHarness:
+    def test_conservation_and_accounting(self):
+        spec = spec_with()
+        report = run_open_loop(
+            None, spec, slo_ms=100.0, queue_capacity=4,
+            service_time=lambda request: 0.004,
+        )
+        assert report.offered == len(generate_arrivals(spec))
+        assert report.offered == report.shed_total + report.accepted
+        assert report.accepted == report.served + report.expired_total
+        assert report.completed == report.good + report.late
+        assert report.served == report.completed + report.failed
+        payload = report.to_dict()
+        assert payload["offered"] == report.offered
+        assert "p999_ms" in payload and "goodput_rps" in payload
+        assert "Open-loop load run" in report.table()
+
+    def test_underload_completes_everything_within_slo(self):
+        # 50/s against a 1 ms server: no queueing to speak of.
+        report = run_open_loop(
+            None, spec_with(arrival_rate=50.0), slo_ms=100.0,
+            queue_capacity=16, service_time=lambda request: 0.001,
+        )
+        assert report.shed_total == 0
+        assert report.expired_total == 0
+        assert report.good == report.offered
+        assert report.p99_ms < 100.0
+
+    def test_bounded_queue_plateaus_where_unbounded_collapses(self):
+        """The whole point of admission control, in one deterministic test."""
+        service = lambda request: 0.005  # 200/s capacity  # noqa: E731
+        overload = spec_with(arrival_rate=800.0)  # 4x saturation
+        bounded = run_open_loop(
+            None, overload, slo_ms=100.0, queue_capacity=8,
+            service_time=service,
+        )
+        collapsed = run_open_loop(
+            None, overload.with_(timeout_ms=None), slo_ms=100.0,
+            queue_capacity=None, service_time=service,
+        )
+        # Bounded: waits are capped at ~8 x 5 ms, so what is admitted is
+        # served in time — goodput stays near the 200/s capacity.
+        assert bounded.goodput_rps > 150.0
+        assert bounded.shed_total > 0
+        # Unbounded: everything is accepted, the backlog grows without
+        # bound, and almost nothing finishes inside the SLO.
+        assert collapsed.shed_total == 0
+        assert collapsed.goodput_rps < 0.3 * bounded.goodput_rps
+        assert collapsed.p99_ms > 10 * bounded.p99_ms
+
+    def test_any_consistency_sheds_first_under_overload(self):
+        report = run_open_loop(
+            None, spec_with(arrival_rate=800.0), slo_ms=100.0,
+            queue_capacity=8, service_time=lambda request: 0.005,
+        )
+        assert report.shed_rate("any") > 0
+        assert (
+            report.shed_rate("any")
+            >= report.shed_rate("bounded")
+            >= report.shed_rate("critical")
+        )
+
+    def test_queued_deadlines_expire_instead_of_serving_dead_work(self):
+        # 30 ms budgets against a 20 ms server at 4x overload: deep queue
+        # entries die before the server reaches them.
+        report = run_open_loop(
+            None, spec_with(arrival_rate=200.0, timeout_ms=30.0),
+            slo_ms=30.0, queue_capacity=None,
+            service_time=lambda request: 0.020,
+        )
+        assert report.expired_total > 0
+        assert report.accepted == report.served + report.expired_total
+
+    def test_downstream_error_codes_are_tallied(self):
+        from repro.api.responses import ErrorInfo, TopKResult
+        from repro.errors import DeadlineError, OverloadError
+
+        errors = iter([OverloadError(), DeadlineError(), None])
+
+        def flaky(request):
+            exc = next(errors, None)
+            if exc is None:
+                return TopKResult(source=0, entries=(), cold=False)
+            return TopKResult.failure(ErrorInfo.from_exception(exc))
+
+        spec = spec_with(arrival_rate=2.0, duration_s=2.0)
+        arrivals = generate_arrivals(spec)[:3]
+        report = run_open_loop(
+            flaky, spec, slo_ms=100.0, queue_capacity=None, arrivals=arrivals
+        )
+        assert report.failed == 2
+        assert report.shed_downstream == 1
+        assert report.deadline_failures == 1
+
+
+class TestCalibration:
+    def test_measure_saturation_recovers_injected_rate(self):
+        rate = measure_saturation(
+            None, spec_with(), service_time=lambda request: 0.002
+        )
+        assert rate == pytest.approx(500.0, rel=1e-6)
+
+    def test_knee_sweep_scales_rates_and_keeps_reports_ordered(self):
+        reports = knee_sweep(
+            None, spec_with(), slo_ms=100.0, queue_capacity=8,
+            fractions=(0.5, 1.0, 2.0), saturation=200.0,
+            service_time=lambda request: 0.005,
+        )
+        assert [r.arrival_rate for r in reports] == [100.0, 200.0, 400.0]
+        # Past saturation the bounded queue sheds instead of collapsing.
+        assert reports[-1].shed_total > 0
+        assert reports[-1].goodput_rps > 0.7 * max(
+            r.goodput_rps for r in reports
+        )

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for admission control and shedding.
+
+The laws the overload path rests on (see ``docs/load.md``):
+
+1. **conservation** — for *any* interleaving of offers and polls, no
+   request is lost or double-counted: ``offered == accepted + shed`` and
+   ``accepted == polled + expired + depth`` at every instant;
+2. **FIFO per priority** — within one priority class, entries are served
+   in exactly their offer order, and the served entry is always from the
+   highest-priority non-empty class;
+3. **shed order** — ANY is always refused at or before BOUNDED, BOUNDED
+   at or before CRITICAL, and ADMIN is never refused: a FRESH read or a
+   write is *never* shed while an ANY read at the same depth would have
+   been admitted;
+4. the thread-safe :class:`~repro.api.admission.AdmissionController`
+   applies the same thresholds and conserves its depth across arbitrary
+   admit/release interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.admission import (
+    AdmissionController,
+    AdmissionQueue,
+    Priority,
+    priority_of,
+    shed_threshold,
+)
+from repro.api.requests import (
+    ANY,
+    FRESH,
+    Consistency,
+    Health,
+    IngestBatch,
+    Prefetch,
+    Stats,
+    TopKQuery,
+)
+from repro.errors import OverloadError
+from repro.graph.update import EdgeOp, EdgeUpdate
+
+SERVEABLE = [Priority.ANY, Priority.BOUNDED, Priority.CRITICAL, Priority.ADMIN]
+
+
+@st.composite
+def queue_scripts(draw, max_ops=60):
+    """A capacity plus an interleaved offer/poll script over virtual time."""
+    capacity = draw(st.integers(1, 8))
+    ops = []
+    clock = 0.0
+    for _ in range(draw(st.integers(1, max_ops))):
+        clock += draw(st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False))
+        if draw(st.booleans()):
+            priority = draw(st.sampled_from(SERVEABLE))
+            ttl = draw(
+                st.one_of(
+                    st.none(),
+                    st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False),
+                )
+            )
+            ops.append(("offer", clock, priority, ttl))
+        else:
+            ops.append(("poll", clock, None, None))
+    return capacity, ops
+
+
+@given(queue_scripts())
+@settings(max_examples=120)
+def test_conservation_and_fifo_under_any_interleaving(script):
+    capacity, ops = script
+    queue = AdmissionQueue(capacity)
+    offered = 0
+    # Model: per-class list of seqs in admitted order, to check FIFO.
+    admitted_order: dict[Priority, list[int]] = {p: [] for p in Priority}
+    served_order: dict[Priority, list[int]] = {p: [] for p in Priority}
+    next_seq = 0
+
+    for op, now, priority, ttl in ops:
+        if op == "offer":
+            offered += 1
+            expires = None if ttl is None else now + ttl
+            before = queue.depth
+            ok = queue.offer(("payload", offered), priority, expires_at=expires)
+            if ok:
+                next_seq += 1
+                admitted_order[priority].append(next_seq)
+                assert queue.depth == before + 1
+            else:
+                # Shed exactly when at/past the class threshold, and the
+                # depth bound always holds.
+                assert before >= shed_threshold(priority, capacity)
+                assert queue.depth == before
+        else:
+            ticket = queue.poll(now=now)
+            if ticket is not None:
+                served_order[ticket.priority].append(ticket.seq)
+                # Highest-priority non-empty class is served first: no
+                # queued entry of a higher class may remain.
+                for higher in Priority:
+                    if higher > ticket.priority:
+                        assert not queue._queues[higher]
+
+        # Conservation at every instant.
+        assert queue.offered == offered
+        assert offered == sum(queue.accepted.values()) + sum(queue.shed.values())
+        assert sum(queue.accepted.values()) == (
+            sum(queue.polled.values())
+            + sum(queue.expired.values())
+            + queue.depth
+        )
+        # Depth is bounded for serveable traffic; only never-shed ADMIN
+        # probes may stack past capacity.
+        assert queue.depth - len(queue._queues[Priority.ADMIN]) <= capacity
+
+    # FIFO within each class: served seqs are a monotone subsequence of
+    # the admitted order (expired entries may be skipped, never reordered).
+    for priority in Priority:
+        admitted = admitted_order[priority]
+        served = served_order[priority]
+        positions = [queue_position(admitted, seq) for seq in served]
+        assert positions == sorted(positions)
+
+
+def queue_position(admitted: list[int], seq: int) -> int:
+    # seq values are globally unique per ticket; find the admit index.
+    matches = [i for i, s in enumerate(admitted) if s == seq]
+    assert len(matches) <= 1
+    return matches[0] if matches else -1
+
+
+@given(st.integers(1, 16), st.integers(0, 16))
+@settings(max_examples=60)
+def test_shed_order_is_monotone_in_priority(capacity, depth):
+    """If a class is admitted at some depth, every higher class is too."""
+    thresholds = [
+        shed_threshold(Priority.ANY, capacity),
+        shed_threshold(Priority.BOUNDED, capacity),
+        shed_threshold(Priority.CRITICAL, capacity),
+        shed_threshold(Priority.ADMIN, capacity),
+    ]
+    assert thresholds == sorted(thresholds)
+    # CRITICAL is only refused when the queue is truly full, ADMIN never.
+    assert thresholds[2] == capacity
+    assert thresholds[3] > capacity
+
+
+@given(queue_scripts())
+@settings(max_examples=80)
+def test_fresh_never_shed_while_any_would_be_admitted(script):
+    """Replay a script and, at every offer, probe the counterfactual."""
+    capacity, ops = script
+    queue = AdmissionQueue(capacity)
+    for op, now, priority, ttl in ops:
+        if op == "offer":
+            depth = queue.depth
+            critical_refused = depth >= shed_threshold(
+                Priority.CRITICAL, capacity
+            )
+            any_admitted = depth < shed_threshold(Priority.ANY, capacity)
+            # The policy's defining asymmetry.
+            assert not (critical_refused and any_admitted)
+            queue.offer("x", priority, expires_at=None if ttl is None else now + ttl)
+        else:
+            queue.poll(now=now)
+
+
+@st.composite
+def controller_scripts(draw, max_ops=50):
+    capacity = draw(st.integers(1, 6))
+    requests = [
+        TopKQuery(source=0, k=3, consistency=ANY),
+        TopKQuery(source=1, k=3, consistency=Consistency.bounded(2)),
+        TopKQuery(source=2, k=3, consistency=FRESH),
+        IngestBatch(updates=(EdgeUpdate(0, 1, EdgeOp.INSERT),)),
+        Prefetch(sources=(1, 2)),
+        Stats(),
+        Health(),
+    ]
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("admit"), st.sampled_from(requests)),
+                st.tuples(st.just("release"), st.none()),
+            ),
+            min_size=1,
+            max_size=max_ops,
+        )
+    )
+    return capacity, ops
+
+
+@given(controller_scripts())
+@settings(max_examples=100)
+def test_controller_matches_thresholds_and_conserves_depth(script):
+    capacity, ops = script
+    gate = AdmissionController(capacity)
+    outstanding = 0
+    for op, request in ops:
+        if op == "admit":
+            priority = priority_of(request)
+            depth = gate.depth
+            assert depth == outstanding
+            try:
+                gate.admit(request)
+            except OverloadError as exc:
+                assert priority is not Priority.ADMIN
+                assert depth >= shed_threshold(priority, capacity)
+                details = exc.details()
+                assert details["depth"] == depth
+                assert details["limit"] == capacity
+                assert details["priority"] == priority.name.lower()
+            else:
+                assert (
+                    priority is Priority.ADMIN
+                    or depth < shed_threshold(priority, capacity)
+                )
+                outstanding += 1
+        else:
+            gate.release()
+            outstanding = max(0, outstanding - 1)
+    report = gate.to_dict()
+    assert report["depth"] == outstanding
+    assert sum(report["admitted"].values()) >= outstanding
+
+
+def test_admin_requests_always_admitted_even_at_full_depth():
+    gate = AdmissionController(2)
+    gate.admit(IngestBatch(updates=(EdgeUpdate(0, 1, EdgeOp.INSERT),)))
+    gate.admit(IngestBatch(updates=(EdgeUpdate(1, 2, EdgeOp.INSERT),)))
+    with pytest.raises(OverloadError):
+        gate.admit(TopKQuery(source=0, k=3, consistency=FRESH))
+    # Observability still gets through a saturated gate.
+    gate.admit(Stats())
+    gate.admit(Health())

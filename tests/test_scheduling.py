@@ -17,6 +17,7 @@ from repro.api.requests import (
     ANY,
     FRESH,
     Consistency,
+    Deadline,
     Health,
     IngestBatch,
     TopKQuery,
@@ -161,3 +162,95 @@ class TestInterleavedReadWriteOrdering:
         assert service.gateway.counters["reads_coalesced"] == 0
         service.gateway.submit_many(reads(0, 0, 1))
         assert service.gateway.counters["reads_coalesced"] == 1
+
+
+class TestDeadlinePlumbing:
+    """Coalesced runs must honour their most impatient member."""
+
+    def test_run_inherits_the_tightest_member_deadline(self):
+        tight = Deadline.after_ms(50.0)
+        loose = Deadline.after_ms(5000.0)
+        requests = [
+            TopKQuery(source=0, k=5, consistency=FRESH, deadline=loose),
+            TopKQuery(source=1, k=5, consistency=FRESH, deadline=tight),
+            TopKQuery(source=2, k=5, consistency=FRESH),
+        ]
+        (run,) = plan_schedule(requests, coalesce=True, max_batch=8)
+        assert isinstance(run, ReadRun)
+        assert run.deadline is tight
+
+    def test_run_without_deadlines_carries_none(self):
+        (run,) = plan_schedule(reads(0, 1, 2), coalesce=True, max_batch=8)
+        assert isinstance(run, ReadRun)
+        assert run.deadline is None
+
+    def test_deadline_does_not_change_plan_shape_or_equality(self):
+        plain = plan_schedule(reads(0, 1, 2), coalesce=True, max_batch=8)
+        deadlined = plan_schedule(
+            [
+                TopKQuery(
+                    source=s, k=5, consistency=FRESH,
+                    deadline=Deadline.after_ms(10.0),
+                )
+                for s in (0, 1, 2)
+            ],
+            coalesce=True,
+            max_batch=8,
+        )
+        # Deadline is compare=False: the plans are equal by shape.
+        assert plain == deadlined
+
+    def test_interleaving_regression_each_run_gets_its_own_tightest(self):
+        """A barrier splits runs; each run takes *its* members' minimum."""
+        first_tight = Deadline.after_ms(20.0)
+        second_tight = Deadline.after_ms(70.0)
+        requests = [
+            TopKQuery(source=0, k=5, consistency=FRESH, deadline=first_tight),
+            TopKQuery(
+                source=1, k=5, consistency=FRESH,
+                deadline=Deadline.after_ms(9000.0),
+            ),
+            write((3, 2)),
+            TopKQuery(
+                source=0, k=5, consistency=FRESH,
+                deadline=Deadline.after_ms(8000.0),
+            ),
+            TopKQuery(source=1, k=5, consistency=FRESH, deadline=second_tight),
+        ]
+        first, barrier, second = plan_schedule(
+            requests, coalesce=True, max_batch=8
+        )
+        assert isinstance(first, ReadRun) and first.deadline is first_tight
+        assert isinstance(barrier, Single)
+        assert isinstance(second, ReadRun) and second.deadline is second_tight
+
+    def test_expired_member_fails_the_whole_run_per_position(self, service):
+        import time
+
+        expired = Deadline.after_ms(0.5)
+        time.sleep(0.005)
+        requests = [
+            TopKQuery(source=0, k=5, consistency=FRESH),
+            TopKQuery(source=1, k=5, consistency=FRESH, deadline=expired),
+        ]
+        responses = service.gateway.submit_many(requests)
+        assert len(responses) == 2
+        for response in responses:
+            assert response.error is not None
+            assert response.error.code == "DEADLINE"
+        # Each position still reports its own source.
+        assert [r.source for r in responses] == [0, 1]
+
+    def test_generous_deadlines_round_trip_through_a_coalesced_run(
+        self, service
+    ):
+        requests = [
+            TopKQuery(
+                source=s, k=5, consistency=FRESH,
+                deadline=Deadline.after_ms(60000.0),
+            )
+            for s in (0, 1, 0)
+        ]
+        responses = service.gateway.submit_many(requests)
+        assert all(r.ok for r in responses)
+        assert service.gateway.counters["reads_coalesced"] >= 1
