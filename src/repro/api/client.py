@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..config import ApiConfig, ConsistencyLevel
 from ..graph.update import EdgeUpdate
 from .gateway import Gateway
@@ -99,7 +100,12 @@ class Client:
         return Consistency(level)
 
     def _send(self, request: ApiRequest) -> ApiResponse:
-        response = self.gateway.submit(request)
+        # The embedded front door mints traces exactly like the HTTP one,
+        # so embedded and remote callers sample the same way.
+        ing = obs.ingress("client.request", op=request.op)
+        with ing:
+            obs.attach(request, ing.ctx)
+            response = self.gateway.submit(request)
         if response.error is not None:
             raise response.error.to_exception()
         return response
@@ -208,7 +214,11 @@ class Client:
         in request order and carry :class:`~repro.api.responses.ErrorInfo`
         instead of raising, so one bad request does not void the batch.
         """
-        return self.gateway.submit_many(list(requests))
+        ing = obs.ingress("client.request", requests=len(requests))
+        with ing:
+            for request in requests:
+                obs.attach(request, ing.ctx)
+            return self.gateway.submit_many(list(requests))
 
     def __repr__(self) -> str:
         return f"Client({self.gateway!r})"

@@ -27,12 +27,13 @@ See ``docs/api.md`` for the full protocol.
 from __future__ import annotations
 
 import threading
-import time
 from collections import Counter
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..config import ApiConfig
+from ..obs import clock
 from ..errors import (
     ConfigError,
     ConflictError,
@@ -129,6 +130,11 @@ class Gateway:
             if self.config.admission_queue
             else None
         )
+        # Install the observability config process-wide — but only when it
+        # actually asks for something, so a default-configured gateway
+        # never clobbers a tracer someone else already set up.
+        if self.config.obs.enabled or self.config.obs.export_path:
+            obs.configure(self.config.obs)
 
     # ------------------------------------------------------------------ #
     # single-request paths
@@ -171,7 +177,10 @@ class Gateway:
         """Execute one request, raising typed errors (the embedded path)."""
         if not isinstance(request, ApiRequest):
             raise RequestError(f"not an ApiRequest: {request!r}")
+        queued = clock.now()
         with self._lock:
+            start = clock.now()
+            waited = start - queued
             self.counters[request.op] += 1
             # Checked under the lock so time spent queued on it counts
             # against the budget — an overloaded gateway fails the wait,
@@ -179,88 +188,110 @@ class Gateway:
             deadline = getattr(request, "deadline", None)
             if deadline is not None and deadline.expired():
                 raise deadline.to_error()
-            start = time.perf_counter()
-            if isinstance(request, TopKQuery):
-                served = self.service._execute_query(
-                    request.source,
-                    request.k,
-                    max_staleness=request.consistency.max_staleness,
+            obs.observe("queue.wait", waited)
+            source = getattr(request, "source", None)
+            ctx = obs.trace_of(request)
+            if ctx is None:
+                with obs.measured(f"request.{request.op}", source=source):
+                    return self._dispatch(request, start)
+            with obs.activate(ctx):
+                # The wait was already observed above; record the span
+                # without a second histogram feed.
+                obs.record_span(
+                    "queue.wait", start=queued, duration=waited, observe=False
                 )
-                return self._topk_result(served, request.k)
-            if isinstance(request, BatchQuery):
-                return self._execute_batch(request, start)
-            if isinstance(request, ScoreQuery):
-                score = self.service._execute_score(
-                    request.source,
-                    request.target,
-                    max_staleness=request.consistency.max_staleness,
+                with obs.span("gateway.execute", op=request.op):
+                    with obs.measured(
+                        f"request.{request.op}",
+                        trace_id=ctx.trace_id,
+                        source=source,
+                    ):
+                        return self._dispatch(request, start)
+
+    def _dispatch(self, request: ApiRequest, start: float) -> ApiResponse:
+        """Route one admitted request to the engine (lock already held)."""
+        if isinstance(request, TopKQuery):
+            served = self.service._execute_query(
+                request.source,
+                request.k,
+                max_staleness=request.consistency.max_staleness,
+            )
+            return self._topk_result(served, request.k)
+        if isinstance(request, BatchQuery):
+            return self._execute_batch(request, start)
+        if isinstance(request, ScoreQuery):
+            score = self.service._execute_score(
+                request.source,
+                request.target,
+                max_staleness=request.consistency.max_staleness,
+            )
+            return ScoreResult(
+                source=score.source,
+                target=score.target,
+                estimate=score.estimate,
+                error_bound=score.error_bound,
+                cold=score.cold,
+                snapshot_version=score.snapshot_version,
+                staleness=score.staleness_updates,
+                wall_time_s=score.wall_time,
+            )
+        if isinstance(request, HubQuery):
+            entries = self.service._execute_rank_for_hub(request.hub, request.k)
+            return HubResult(
+                hub=request.hub,
+                k=len(entries),
+                entries=tuple(entries),
+                snapshot_version=self.service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        if isinstance(request, IngestBatch):
+            return self._execute_ingest(request, start)
+        if isinstance(request, Prefetch):
+            for source in request.sources:
+                self.service._execute_prefetch(source)
+            return PrefetchResult(
+                requested=len(request.sources),
+                pending=len(self.service.pool.pending),
+                snapshot_version=self.service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        if isinstance(request, CheckpointNow):
+            if self.service.store is None:
+                raise ConfigError(
+                    "no state store attached: set ServeConfig.store or"
+                    " call PPRService.attach_store"
                 )
-                return ScoreResult(
-                    source=score.source,
-                    target=score.target,
-                    estimate=score.estimate,
-                    error_bound=score.error_bound,
-                    cold=score.cold,
-                    snapshot_version=score.snapshot_version,
-                    staleness=score.staleness_updates,
-                    wall_time_s=score.wall_time,
-                )
-            if isinstance(request, HubQuery):
-                entries = self.service._execute_rank_for_hub(request.hub, request.k)
-                return HubResult(
-                    hub=request.hub,
-                    k=len(entries),
-                    entries=tuple(entries),
-                    snapshot_version=self.service.graph_version,
-                    wall_time_s=time.perf_counter() - start,
-                )
-            if isinstance(request, IngestBatch):
-                return self._execute_ingest(request, start)
-            if isinstance(request, Prefetch):
-                for source in request.sources:
-                    self.service._execute_prefetch(source)
-                return PrefetchResult(
-                    requested=len(request.sources),
-                    pending=len(self.service.pool.pending),
-                    snapshot_version=self.service.graph_version,
-                    wall_time_s=time.perf_counter() - start,
-                )
-            if isinstance(request, CheckpointNow):
-                if self.service.store is None:
-                    raise ConfigError(
-                        "no state store attached: set ServeConfig.store or"
-                        " call PPRService.attach_store"
-                    )
-                path = self.service.store.checkpoint(self.service)
-                return CheckpointResult(
-                    path=str(path),
-                    written=True,
-                    snapshot_version=self.service.graph_version,
-                    wall_time_s=time.perf_counter() - start,
-                )
-            if isinstance(request, Stats):
-                stats = dict(self.service.metrics().to_dict())
-                stats["gateway"] = dict(self.counters)
-                if self.admission is not None:
-                    stats["admission"] = self.admission.to_dict()
-                return StatsResult(
-                    stats=stats,
-                    snapshot_version=self.service.graph_version,
-                    wall_time_s=time.perf_counter() - start,
-                )
-            if isinstance(request, Health):
-                service = self.service
-                return HealthResult(
-                    status="ok",
-                    graph_version=service.graph_version,
-                    num_vertices=service.graph.num_vertices,
-                    num_edges=service.graph.num_edges,
-                    resident=len(service.cache),
-                    hubs=len(service.hubs),
-                    snapshot_version=service.graph_version,
-                    wall_time_s=time.perf_counter() - start,
-                )
-            raise RequestError(f"unhandled request type: {type(request).__name__}")
+            path = self.service.store.checkpoint(self.service)
+            return CheckpointResult(
+                path=str(path),
+                written=True,
+                snapshot_version=self.service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        if isinstance(request, Stats):
+            stats = dict(self.service.metrics().to_dict())
+            stats["gateway"] = dict(self.counters)
+            if self.admission is not None:
+                stats["admission"] = self.admission.to_dict()
+            stats["obs"] = obs.snapshot()
+            return StatsResult(
+                stats=stats,
+                snapshot_version=self.service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        if isinstance(request, Health):
+            service = self.service
+            return HealthResult(
+                status="ok",
+                graph_version=service.graph_version,
+                num_vertices=service.graph.num_vertices,
+                num_edges=service.graph.num_edges,
+                resident=len(service.cache),
+                hubs=len(service.hubs),
+                snapshot_version=service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        raise RequestError(f"unhandled request type: {type(request).__name__}")
 
     # ------------------------------------------------------------------ #
     # scheduling: mixed read/write traffic
@@ -313,20 +344,64 @@ class Gateway:
         first = requests[run.positions[0]]
         assert isinstance(first, TopKQuery)
         self.counters["reads_coalesced"] += run.coalesced
-        batch = self.submit(
-            BatchQuery(
-                sources=run.sources,
-                k=first.k,
-                consistency=first.consistency,
-                deadline=run.deadline,
-            )
+        batch_request = BatchQuery(
+            sources=run.sources,
+            k=first.k,
+            consistency=first.consistency,
+            deadline=run.deadline,
         )
+        batch = self._submit_run(requests, run, batch_request)
         if batch.error is not None:
             fail_run(requests, run, batch.error, batch.snapshot_version, responses)
             return
         assert isinstance(batch, BatchResult)
         by_source = {result.source: result for result in batch.results}
         scatter_run_results(requests, run, by_source, responses)
+
+    def _submit_run(
+        self,
+        requests: Sequence[ApiRequest],
+        run: ReadRun,
+        batch_request: BatchQuery,
+    ) -> ApiResponse:
+        """Submit one coalesced run, stitching member traces to it.
+
+        The shared execution runs as a ``schedule.run`` span on the first
+        sampled member's trace; every other sampled member gets a
+        ``schedule.member`` span in *its own* trace carrying the run
+        span's id and timing, so a coalesced request's trace still shows
+        where (and for how long) its answer was actually computed.
+        """
+        member_ctxs = [obs.trace_of(requests[p]) for p in run.positions]
+        lead = next((ctx for ctx in member_ctxs if ctx is not None), None)
+        if lead is None:
+            return self.submit(batch_request)
+        with obs.activate(lead):
+            with obs.span(
+                "schedule.run",
+                members=len(run.positions),
+                coalesced=run.coalesced,
+                unique_sources=len(run.sources),
+            ) as run_span:
+                obs.attach(batch_request, obs.current())
+                batch = self.submit(batch_request)
+        run_id = getattr(run_span, "span_id", None)
+        if run_id is not None:
+            for position, ctx in zip(run.positions, member_ctxs):
+                if ctx is None:
+                    continue
+                obs.record_span(
+                    "schedule.member",
+                    start=run_span.start,
+                    duration=run_span.duration,
+                    ctx=ctx,
+                    observe=False,
+                    run_span=run_id,
+                    run_trace=run_span.trace_id,
+                    position=position,
+                    source=getattr(requests[position], "source", None),
+                )
+        return batch
 
     # ------------------------------------------------------------------ #
     # response shaping
@@ -355,7 +430,7 @@ class Gateway:
             results=results,
             snapshot_version=self.service.graph_version,
             staleness=max((r.staleness for r in results), default=0),
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=clock.now() - start,
         )
 
     def _execute_ingest(self, request: IngestBatch, start: float) -> IngestResult:
@@ -375,7 +450,7 @@ class Gateway:
             pushes=len(traces),
             traces=traces,
             snapshot_version=service.graph_version,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=clock.now() - start,
         )
 
     def __repr__(self) -> str:

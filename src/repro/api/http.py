@@ -12,7 +12,13 @@ method    route           operation
 ``GET``   ``/v1/stats``   structured metrics
 ``GET``   ``/v1/metrics`` Prometheus text exposition of the same stats
 ``GET``   ``/v1/healthz`` liveness probe
+``GET``   ``/v1/trace/<id>`` spans of one sampled trace (:mod:`repro.obs`)
+``GET``   ``/v1/slow``    slow-query log (``?threshold_ms=`` re-filters)
 ========  =============== =================================================
+
+With tracing enabled (``ObsConfig.enabled``), sampled requests mint
+their trace at this front door: the response JSON carries ``trace_id``
+(also sent as an ``X-Trace-Id`` header), which keys ``/v1/trace/<id>``.
 
 Bodies and responses are the ``to_dict`` forms of the request/response
 dataclasses, so the wire protocol is exactly the embedded one — an HTTP
@@ -32,8 +38,10 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.error import HTTPError
+from urllib.parse import parse_qs, urlencode, urlsplit
 from urllib.request import Request, urlopen
 
+from .. import obs
 from ..errors import ReproError, RequestError
 from .gateway import Gateway
 from .metrics import render_prometheus
@@ -102,11 +110,15 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     # plumbing
     # -------------------------------------------------------------- #
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], trace_id: str | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -131,12 +143,18 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     # -------------------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
-        if self.path == "/v1/healthz":
+        parts = urlsplit(self.path)
+        route = parts.path
+        if route == "/v1/healthz":
             self._send_gateway(Health())
-        elif self.path == "/v1/stats":
+        elif route == "/v1/stats":
             self._send_gateway(Stats())
-        elif self.path == "/v1/metrics":
+        elif route == "/v1/metrics":
             self._send_metrics()
+        elif route.startswith("/v1/trace/"):
+            self._send_trace(route[len("/v1/trace/"):])
+        elif route == "/v1/slow":
+            self._send_slow(parse_qs(parts.query))
         else:
             self._send_error_info(
                 ErrorInfo(code="REQUEST", message=f"unknown route: GET {self.path}"),
@@ -152,10 +170,21 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                     if not isinstance(items, list):
                         raise RequestError("'requests' must be a JSON array")
                     requests = [request_from_dict(item) for item in items]
-                    responses = self.gateway.submit_many(requests)
-                    self._send_json(
-                        200, {"responses": [r.to_dict() for r in responses]}
+                    # One ingress (and so one trace) for the whole batch:
+                    # its members share the root span, and the scheduler's
+                    # run spans show which members coalesced together.
+                    ing = obs.ingress(
+                        "http.request", route="/v1/query", requests=len(requests)
                     )
+                    with ing:
+                        for request in requests:
+                            obs.attach(request, ing.ctx)
+                        responses = self.gateway.submit_many(requests)
+                        body = {"responses": [r.to_dict() for r in responses]}
+                        if ing.trace_id is not None:
+                            body["trace_id"] = ing.trace_id
+                        with obs.span("http.respond"):
+                            self._send_json(200, body, trace_id=ing.trace_id)
                 else:
                     self._send_gateway(request_from_dict(payload))
             elif self.path == "/v1/ingest":
@@ -174,8 +203,58 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_error_info(ErrorInfo.from_exception(exc))
 
     def _send_gateway(self, request: Any) -> None:
-        response = self.gateway.submit(request)
-        self._send_json(status_for(response.error), response.to_dict())
+        ing = obs.ingress("http.request", route=self.path, op=request.op)
+        with ing:
+            obs.attach(request, ing.ctx)
+            response = self.gateway.submit(request)
+            payload = response.to_dict()
+            if ing.trace_id is not None:
+                payload["trace_id"] = ing.trace_id
+            with obs.span("http.respond", status=status_for(response.error)):
+                self._send_json(
+                    status_for(response.error), payload, trace_id=ing.trace_id
+                )
+
+    def _send_trace(self, trace_id: str) -> None:
+        spans = obs.trace(trace_id)
+        if not spans:
+            self._send_error_info(
+                ErrorInfo(
+                    code="REQUEST",
+                    message=f"unknown or expired trace: {trace_id!r}",
+                ),
+                status=404,
+            )
+            return
+        self._send_json(200, {"ok": True, "trace_id": trace_id, "spans": spans})
+
+    def _send_slow(self, query: dict[str, list[str]]) -> None:
+        threshold_ms: float | None = None
+        raw = query.get("threshold_ms")
+        if raw:
+            try:
+                threshold_ms = float(raw[0])
+            except ValueError:
+                self._send_error_info(
+                    ErrorInfo(
+                        code="REQUEST",
+                        message=f"threshold_ms must be a number, got {raw[0]!r}",
+                    )
+                )
+                return
+        entries = obs.slow(threshold_ms)
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "threshold_ms": (
+                    threshold_ms
+                    if threshold_ms is not None
+                    else obs.TRACER.slowlog.threshold_ms
+                ),
+                "entries": entries,
+            },
+        )
 
     def _send_metrics(self) -> None:
         response = self.gateway.submit(Stats())
@@ -287,6 +366,21 @@ class HttpClient:
         url = f"{self.base_url}/v1/metrics"
         with urlopen(Request(url, method="GET"), timeout=self.timeout) as response:
             return response.read().decode("utf-8")
+
+    def trace(self, trace_id: str) -> list[dict[str, Any]]:
+        """GET the spans of one sampled trace from ``/v1/trace/<id>``."""
+        body = self._request("GET", f"/v1/trace/{trace_id}")
+        return list(body["spans"])
+
+    def slow(self, threshold_ms: float | None = None) -> list[dict[str, Any]]:
+        """GET the slow-query log from ``/v1/slow``."""
+        route = "/v1/slow"
+        if threshold_ms is not None:
+            # urlencode percent-escapes the "+" of exponent notation,
+            # which parse_qs would otherwise decode into a space.
+            route += "?" + urlencode({"threshold_ms": float(threshold_ms)})
+        body = self._request("GET", route)
+        return list(body["entries"])
 
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/v1/healthz")

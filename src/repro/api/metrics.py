@@ -11,10 +11,17 @@ watch a serving process without speaking the JSON protocol.
 
 Counters here are *lifetime totals* (monotonically non-decreasing across
 scrapes, modulo process restart); gauges are instantaneous values —
-queue depth, residency, percentile latencies over the recent sample
-window. Nested dict sections become labelled samples
+queue depth, residency. Nested dict sections become labelled samples
 (``repro_gateway_requests_total{op="top_k"}``); list-valued cluster
 entries get an ``index`` label per replica.
+
+Latency is exported as **cumulative histograms** — one
+``repro_latency_seconds`` family with a ``stage`` label
+(``request.top_k``, ``queue.wait``, ``engine.query``, ...), standard
+``_bucket``/``_sum``/``_count`` series fed by :mod:`repro.obs`. Unlike
+the point-in-time percentile gauges they replaced, these aggregate
+across scrapes and instances (``histogram_quantile()`` works); the
+sample-window percentiles remain available as JSON in ``/v1/stats``.
 """
 
 from __future__ import annotations
@@ -34,14 +41,17 @@ GAUGE_KEYS = frozenset(
         "resident",
         "staleness_p50",
         "staleness_p99",
-        "latency_p50_s",
-        "latency_p99_s",
-        "latency_p999_s",
         "depth",
         "capacity",
         "replicas",
     }
 )
+
+#: Stats keys not exported to Prometheus at all: the sample-window
+#: percentile gauges stay in ``/v1/stats`` for humans, but the scrape
+#: surface carries the cumulative ``repro_latency_seconds`` histograms
+#: instead (point-in-time percentiles cannot be aggregated).
+UNEXPORTED_KEYS = frozenset({"latency_p50_s", "latency_p99_s", "latency_p999_s"})
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 
@@ -87,6 +97,30 @@ class _Writer:
             label_text = f"{{{inner}}}"
         rendered = repr(float(value)) if isinstance(value, float) else str(value)
         self._lines.append(f"{name}{label_text} {rendered}")
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        help_text: str,
+        labels: Mapping[str, Any],
+        bounds: Iterable[float],
+        cumulative: Iterable[int],
+        sum_value: float,
+        count: int,
+    ) -> None:
+        """Emit one labelled cumulative histogram (``_bucket``/``_sum``/``_count``)."""
+        assert _NAME_OK.fullmatch(name), name
+        if name not in self._seen:
+            self._seen.add(name)
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} histogram")
+        base = ",".join(f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items()))
+        les = [repr(float(bound)) for bound in bounds] + ["+Inf"]
+        for le, value in zip(les, cumulative):
+            self._lines.append(f'{name}_bucket{{{base},le="{le}"}} {value}')
+        self._lines.append(f"{name}_sum{{{base}}} {repr(float(sum_value))}")
+        self._lines.append(f"{name}_count{{{base}}} {count}")
 
     def render(self) -> str:
         return "\n".join(self._lines) + "\n"
@@ -135,13 +169,60 @@ def _emit_indexed(
             )
 
 
+def _emit_obs(writer: _Writer, section: Mapping[str, Any]) -> None:
+    """Render the :mod:`repro.obs` stats section (histograms + counters)."""
+    histograms = section.get("histograms")
+    if isinstance(histograms, Mapping):
+        for stage in sorted(histograms):
+            data = histograms[stage]
+            if not isinstance(data, Mapping):
+                continue
+            counts = list(data.get("counts", []))
+            cumulative: list[int] = []
+            running = 0
+            for count in counts:
+                running += count
+                cumulative.append(running)
+            writer.histogram(
+                f"{PREFIX}_latency_seconds",
+                help_text="Cumulative per-stage latency distribution (seconds).",
+                labels={"stage": stage},
+                bounds=list(data.get("bounds", [])),
+                cumulative=cumulative,
+                sum_value=float(data.get("sum", 0.0)),
+                count=int(data.get("count", 0)),
+            )
+    tracing = section.get("tracing")
+    if isinstance(tracing, Mapping):
+        for key, help_text in (
+            ("traces_started", "Sampled traces minted at the front doors."),
+            ("spans_finished", "Spans collected into the trace ring buffer."),
+        ):
+            if _is_number(tracing.get(key)):
+                writer.sample(
+                    f"{PREFIX}_obs_{key}_total", tracing[key],
+                    kind="counter", help_text=help_text,
+                )
+    slowlog = section.get("slowlog")
+    if isinstance(slowlog, Mapping) and _is_number(slowlog.get("recorded")):
+        writer.sample(
+            f"{PREFIX}_obs_slowlog_recorded_total", slowlog["recorded"],
+            kind="counter",
+            help_text="Requests recorded into the slow-query ring.",
+        )
+
+
 def render_prometheus(stats: Mapping[str, Any]) -> str:
     """Render one ``/v1/stats`` payload as Prometheus exposition text."""
     writer = _Writer()
     for key, value in stats.items():
-        if key in ("gateway", "admission", "cluster"):
+        if key in ("gateway", "admission", "cluster", "obs") or key in UNEXPORTED_KEYS:
             continue
         _emit_scalar(writer, "", key, value)
+
+    obs_section = stats.get("obs")
+    if isinstance(obs_section, Mapping):
+        _emit_obs(writer, obs_section)
 
     gateway = stats.get("gateway")
     if isinstance(gateway, Mapping):

@@ -16,7 +16,7 @@ against the specialized CPU-MT implementation.
 
 from __future__ import annotations
 
-import time
+from ...obs import clock
 from collections.abc import Sequence
 
 import numpy as np
@@ -121,13 +121,13 @@ class LigraDynamicPPR:
 
     def _push(self, seeds: Sequence[int]) -> BatchStats:
         batch = BatchStats()
-        start = time.perf_counter()
+        start = clock.now()
         csr = CSRGraph.from_digraph(self.graph)
         self.state.ensure_capacity(csr.num_vertices)
         lgraph = LigraGraph(csr)
         self._phase(lgraph, Phase.POS, seeds, batch.push)
         self._phase(lgraph, Phase.NEG, seeds, batch.push)
-        batch.wall_time = time.perf_counter() - start
+        batch.wall_time = clock.now() - start
         return batch
 
     def apply_batch(self, updates: Sequence[EdgeUpdate]) -> BatchStats:

@@ -27,7 +27,7 @@ only means anything with enough cores to park the replicas on, so
 from __future__ import annotations
 
 import os
-import time
+from ..obs import clock
 from dataclasses import dataclass
 
 import numpy as np
@@ -220,9 +220,9 @@ def cluster_benchmark(
         bounded_ok = True
         for slide in window.slides(num_slides):
             write = IngestBatch(updates=tuple(slide.updates))
-            start = time.perf_counter()
+            start = clock.now()
             cluster.gateway.submit(write)
-            ingest_seconds += time.perf_counter() - start
+            ingest_seconds += clock.now() - start
             single.submit(write)
             head = single_service.graph_version
 
@@ -244,13 +244,13 @@ def cluster_benchmark(
             ]
             requests += len(burst)
 
-            start = time.perf_counter()
+            start = clock.now()
             replicated = cluster.gateway.submit_many(burst)
-            cluster_seconds += time.perf_counter() - start
+            cluster_seconds += clock.now() - start
 
-            start = time.perf_counter()
+            start = clock.now()
             serial = single.submit_many(burst)
-            single_seconds += time.perf_counter() - start
+            single_seconds += clock.now() - start
 
             for request, left, right in zip(burst, replicated, serial):
                 assert isinstance(request, TopKQuery)

@@ -23,7 +23,7 @@ the HTTP front-end's answers equal the embedded client's bit-for-bit.
 
 from __future__ import annotations
 
-import time
+from ..obs import clock
 from dataclasses import dataclass
 
 import numpy as np
@@ -191,9 +191,9 @@ def gateway_benchmark(
     matched = True
     for slide in window.slides(num_slides):
         write = IngestBatch(updates=tuple(slide.updates))
-        start = time.perf_counter()
+        start = clock.now()
         coalesced_gw.submit(write)
-        ingest_seconds += time.perf_counter() - start
+        ingest_seconds += clock.now() - start
         dispatch_gw.submit(write)
 
         chosen = rng.choice(mix, size=requests_per_slide, p=weights)
@@ -204,13 +204,13 @@ def gateway_benchmark(
         requests += len(burst)
         unique_reads += len(set(int(s) for s in chosen))
 
-        start = time.perf_counter()
+        start = clock.now()
         coalesced = coalesced_gw.submit_many(burst, coalesce=True)
-        coalesced_seconds += time.perf_counter() - start
+        coalesced_seconds += clock.now() - start
 
-        start = time.perf_counter()
+        start = clock.now()
         dispatched = [dispatch_gw.submit(request) for request in burst]
-        dispatch_seconds += time.perf_counter() - start
+        dispatch_seconds += clock.now() - start
 
         for left, right in zip(coalesced, dispatched):
             assert isinstance(left, TopKResult) and isinstance(right, TopKResult)

@@ -11,7 +11,7 @@ kernels separately).
 from __future__ import annotations
 
 import enum
-import time
+from ..obs import clock
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -106,7 +106,7 @@ def run_approach(
     window = prepared.new_window()
     graph = prepared.initial_graph()
     source = prepared.source
-    start_wall = time.perf_counter()
+    start_wall = clock.now()
 
     if approach in (Approach.CPU_BASE, Approach.CPU_SEQ):
         model = CPUCostModel(workers=1)
@@ -175,7 +175,7 @@ def run_approach(
     else:  # pragma: no cover - exhaustive over the enum
         raise ConfigError(f"unknown approach: {approach!r}")
 
-    result.wall_time = time.perf_counter() - start_wall
+    result.wall_time = clock.now() - start_wall
     return result
 
 

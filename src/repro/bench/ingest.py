@@ -27,7 +27,7 @@ shrink.
 
 from __future__ import annotations
 
-import time
+from ..obs import clock
 from dataclasses import dataclass, field
 
 from ..config import Backend, PPRConfig, ServeConfig, SnapshotStrategy
@@ -162,7 +162,7 @@ def _run_strategy(
     service.query_many(sources, k)  # warm: admit the mix, build snapshot v0
 
     run = IngestStrategyRun(strategy=strategy, seconds=0.0, updates=0, queries=0)
-    start = time.perf_counter()
+    start = clock.now()
     for slide in window.slides(num_slides):
         service.ingest(list(slide.updates))
         for s in sources:
@@ -172,7 +172,7 @@ def _run_strategy(
             )
         run.updates += slide.num_updates
         run.queries += len(sources)
-    run.seconds = time.perf_counter() - start
+    run.seconds = clock.now() - start
     run.metrics = service.metrics()
     return run
 

@@ -35,7 +35,20 @@ Commands
     ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``. With
     ``--replicas N`` the gateway is the replicated cluster tier
     (:mod:`repro.cluster`): N worker processes serve reads, writes ship
-    as ordered deltas. See ``docs/api.md`` and ``docs/cluster.md``.
+    as ordered deltas. ``--trace`` turns on end-to-end request tracing
+    (:mod:`repro.obs`) at ``--trace-sample`` rate, queryable via
+    ``GET /v1/trace/<id>`` and ``GET /v1/slow``; ``--trace-export``
+    additionally appends every finished span to a JSONL file for
+    ``repro trace export``. See ``docs/api.md``, ``docs/cluster.md``,
+    and ``docs/observability.md``.
+``obs-bench [dataset] [--tiny]``
+    Race identical resident-read bursts with tracing disabled vs enabled
+    at 1% sampling; exits nonzero if sampled tracing costs >= 3% (bar
+    waived in ``--tiny`` mode and on 1-core runners). See
+    ``docs/observability.md``.
+``trace export --input SPANS.jsonl --out TRACE.json [--trace-id ID]``
+    Convert a span JSONL sink (``serve --trace-export``) into the Chrome
+    ``trace_event`` format loadable in ``chrome://tracing`` / Perfetto.
 ``gateway-bench <dataset> [--tiny]``
     Race one mixed read/write request trace through the gateway's
     read-coalescing scheduler vs per-request dispatch; exits nonzero
@@ -341,7 +354,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .api.http import GatewayRequestHandler, make_server
     from .bench.gateway import workload_service
     from .cluster import ClusterGateway
-    from .config import ApiConfig, ClusterConfig
+    from .config import ApiConfig, ClusterConfig, ObsConfig
 
     service, prepared = workload_service(
         args.dataset,
@@ -351,7 +364,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_hubs=args.hubs,
         top_k=args.k,
     )
-    api_config = ApiConfig(host=args.host, port=args.port)
+    obs_config = ObsConfig(
+        enabled=args.trace or args.trace_export is not None,
+        sample_rate=args.trace_sample,
+        slowlog_threshold_ms=args.slow_threshold,
+        export_path=args.trace_export,
+    )
+    api_config = ApiConfig(host=args.host, port=args.port, obs=obs_config)
     cluster = None
     if args.replicas > 0:
         cluster = ClusterGateway(
@@ -369,6 +388,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"cluster:  {cluster}")
     print(f"listening on {server.url} "
           "(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz)")
+    if obs_config.enabled:
+        print(f"tracing:  sampling {obs_config.sample_rate:.0%} of requests"
+              f" (GET /v1/trace/<id>, GET /v1/slow)"
+              + (f", spans -> {obs_config.export_path}"
+                 if obs_config.export_path else ""))
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -502,6 +526,64 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    from .bench.cluster import available_cores
+    from .bench.obs import obs_benchmark
+
+    if args.tiny:
+        # CI smoke: fewer, smaller rounds — asserts the whole measurement
+        # pipeline (interleaved arms, tracer reconfiguration, best-of)
+        # without the full run's time. The bar is waived: at this scale
+        # round noise swamps the microsecond effect under test.
+        sources, queries, rounds = 16, 128, 3
+    else:
+        sources, queries, rounds = 32, 512, 5
+    result = obs_benchmark(
+        args.dataset,
+        num_sources=sources,
+        queries_per_round=queries,
+        rounds=rounds,
+        sample_rate=args.sample,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    bar = 3.0
+    ok = True
+    if not args.tiny and available_cores() > 1:
+        ok = result.overhead_pct < bar
+        verdict = f"{result.overhead_pct:+.2f}% (bar {bar:.0f}%)"
+    else:
+        verdict = (
+            f"{result.overhead_pct:+.2f}% (bar waived:"
+            f" {'tiny mode' if args.tiny else 'too few cores'})"
+        )
+    print(f"sampled tracing overhead: {verdict}")
+    return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs.export import export_chrome_trace, read_jsonl
+
+    if not Path(args.input).exists():
+        print(f"span sink not found: {args.input}", file=sys.stderr)
+        return 1
+    spans = read_jsonl(args.input)
+    if args.trace_id:
+        spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+        if not spans:
+            print(f"no spans for trace {args.trace_id}", file=sys.stderr)
+            return 1
+    count = export_chrome_trace(spans, args.out)
+    traces = len({s.get("trace_id") for s in spans})
+    print(f"wrote {count} events ({traces} trace(s)) to {args.out}"
+          " — load in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -587,6 +669,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--k", type=int, default=10)
     serve_http.add_argument("--epsilon", type=float, default=1e-5)
     serve_http.add_argument("--workers", type=int, default=40)
+    serve_http.add_argument(
+        "--trace", action="store_true",
+        help="sample end-to-end request traces (GET /v1/trace/<id>)",
+    )
+    serve_http.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of requests to trace when --trace is on (default 1.0)",
+    )
+    serve_http.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="append finished spans to a JSONL file (implies tracing on)",
+    )
+    serve_http.add_argument(
+        "--slow-threshold", type=float, default=50.0, metavar="MS",
+        help="slow-query log threshold in milliseconds (default 50)",
+    )
     serve_http.add_argument(
         "--replicas",
         type=int,
@@ -697,6 +795,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare answers bit-for-bit against the store-checkpoint transcript",
     )
     recover_p.set_defaults(func=_cmd_store_recover)
+
+    obsb = sub.add_parser(
+        "obs-bench",
+        help="measure sampled-tracing overhead on the resident-read fast path",
+    )
+    obsb.add_argument(
+        "dataset", nargs="?", default="youtube", choices=sorted(DATASETS)
+    )
+    obsb.add_argument(
+        "--sample", type=float, default=0.01, metavar="RATE",
+        help="trace sample rate for the sampled arm (default 0.01)",
+    )
+    obsb.add_argument("--k", type=int, default=10)
+    obsb.add_argument("--epsilon", type=float, default=1e-5)
+    obsb.add_argument("--workers", type=int, default=40)
+    obsb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small interleaved rounds, no overhead bar (the CI smoke mode)",
+    )
+    obsb.set_defaults(func=_cmd_obs_bench)
+
+    trace_p = sub.add_parser(
+        "trace", help="work with span sinks written by serve --trace-export"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a span JSONL sink to Chrome trace_event JSON"
+    )
+    trace_export.add_argument(
+        "--input", required=True, help="span JSONL sink (serve --trace-export)"
+    )
+    trace_export.add_argument(
+        "--out", required=True, help="output Chrome trace_event JSON path"
+    )
+    trace_export.add_argument(
+        "--trace-id", default=None, help="export only this trace's spans"
+    )
+    trace_export.set_defaults(func=_cmd_trace)
     return parser
 
 

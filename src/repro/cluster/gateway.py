@@ -38,11 +38,11 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-import time
 from collections import Counter
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
+from .. import obs
 from ..api.admission import AdmissionController
 from ..api.gateway import RESPONSE_FOR, Gateway
 from ..api.requests import (
@@ -73,6 +73,7 @@ from ..config import (
     PlacementPolicy,
 )
 from ..errors import ClusterError, DeadlineError, OverloadError, ReproError
+from ..obs import clock
 from ..store.wal import pack_record
 from . import messages
 from .replica import ReplicaSpec, replica_main
@@ -236,6 +237,7 @@ class ClusterGateway:
                 hubs=tuple(service.hubs),
                 graph_version=service.graph_version,
                 store_root=str(service.store.root),
+                obs=self.config.obs,
             )
         return ReplicaSpec(
             replica_id=index,
@@ -245,14 +247,15 @@ class ClusterGateway:
             hubs=tuple(service.hubs),
             graph_version=service.graph_version,
             store_root=None,
+            obs=self.config.obs,
         )
 
     def _spawn(self, index: int, *, from_store: bool = False) -> ReplicaHandle:
         handle = ReplicaHandle(self._spec(index, from_store=from_store), self._ctx)
-        deadline = time.monotonic() + self.cluster.spawn_timeout_s
+        deadline = clock.now() + self.cluster.spawn_timeout_s
         try:
             while not handle.conn.poll(0.05):
-                if time.monotonic() > deadline or not handle.alive():
+                if clock.now() > deadline or not handle.alive():
                     raise ClusterError(
                         f"replica {index} never completed its spawn handshake"
                     )
@@ -293,10 +296,12 @@ class ClusterGateway:
                 f" ({self.cluster.max_respawns}) is exhausted"
             )
         self._respawn_counts[index] = count
-        self.replicas[index].close(terminate=True)
-        self.replicas[index] = self._spawn(
-            index, from_store=self.service.store is not None
-        )
+        obs.event("replica-crashed", replica=index, respawn=count)
+        with obs.span("cluster.respawn", replica=index):
+            self.replicas[index].close(terminate=True)
+            self.replicas[index] = self._spawn(
+                index, from_store=self.service.store is not None
+            )
         self.counters["respawns"] += 1
 
     def close(self) -> None:
@@ -337,6 +342,7 @@ class ClusterGateway:
         tag = frame[0]
         if tag == messages.APPLIED:
             handle.applied_version = max(handle.applied_version, frame[1])
+            obs.ingest_spans(frame[2])
             return None
         if tag == messages.SYNCED:
             handle.applied_version = max(handle.applied_version, frame[2])
@@ -365,13 +371,24 @@ class ClusterGateway:
         response timeout.
         """
         handle = self.replicas[index]
-        timeout_at = time.monotonic() + self.cluster.response_timeout_s
+        timeout_at = clock.now() + self.cluster.response_timeout_s
+        with obs.span("cluster.await", replica=index):
+            return self._await_loop(handle, index, ticket, deadline, timeout_at)
+
+    def _await_loop(
+        self,
+        handle: ReplicaHandle,
+        index: int,
+        ticket: int,
+        deadline: Deadline | None,
+        timeout_at: float,
+    ) -> list[ApiResponse]:
         while True:
             try:
                 if not handle.conn.poll(0.05):
                     if not handle.alive():
                         raise _ReplicaDied(f"replica {index} exited")
-                    now = time.monotonic()
+                    now = clock.now()
                     if deadline is not None and deadline.expired(now):
                         raise _DeadlineExpired(index)
                     if now > timeout_at:
@@ -385,6 +402,7 @@ class ClusterGateway:
                 continue
             if frame[0] == messages.RESPONSES and frame[1] == ticket:
                 handle.applied_version = max(handle.applied_version, frame[3])
+                obs.ingest_spans(frame[4])
                 return list(frame[2])
             if frame[0] in (messages.SYNCED, messages.BYE):
                 continue
@@ -400,16 +418,17 @@ class ClusterGateway:
             return
         ticket = self._next_ticket()
         handle.send((messages.SYNC, ticket))
-        deadline = time.monotonic() + self.cluster.response_timeout_s
-        while handle.applied_version < self.service.graph_version:
-            try:
-                if not handle.conn.poll(0.05):
-                    if not handle.alive() or time.monotonic() > deadline:
-                        raise _ReplicaDied(f"replica {index} failed its barrier")
-                    continue
-                self._absorb(handle, handle.conn.recv())
-            except (EOFError, OSError) as exc:
-                raise _ReplicaDied(str(exc)) from exc
+        deadline = clock.now() + self.cluster.response_timeout_s
+        with obs.span("cluster.barrier", replica=index):
+            while handle.applied_version < self.service.graph_version:
+                try:
+                    if not handle.conn.poll(0.05):
+                        if not handle.alive() or clock.now() > deadline:
+                            raise _ReplicaDied(f"replica {index} failed its barrier")
+                        continue
+                    self._absorb(handle, handle.conn.recv())
+                except (EOFError, OSError) as exc:
+                    raise _ReplicaDied(str(exc)) from exc
 
     def _dispatch(
         self,
@@ -424,6 +443,12 @@ class ClusterGateway:
             self._barrier(index)
         ticket = self._next_ticket()
         handle = self.replicas[index]
+        ctx = obs.current()
+        if ctx is not None:
+            # Replica-side spans join this request's trace: the context
+            # rides each request as a pickled instance attribute.
+            for request in requests:
+                obs.attach(request, ctx)
         handle.send((messages.REQUESTS, ticket, tuple(requests), coalesce))
         handle.dispatched += 1
         return ticket
@@ -583,7 +608,36 @@ class ClusterGateway:
             )
 
     def execute(self, request: ApiRequest) -> ApiResponse:
-        """Execute one request, raising typed errors (the embedded path)."""
+        """Execute one request, raising typed errors (the embedded path).
+
+        Latency lands in the ``cluster.<op>`` stage histograms (distinct
+        from the primary gateway's ``request.<op>`` stages, so replicated
+        and single-process timings never mix); a sampled request's
+        coordinator work is wrapped in a ``gateway.execute`` span with
+        ``tier="cluster"``.
+        """
+        queued = clock.now()
+        with self._lock:
+            waited = clock.now() - queued
+            obs.observe("queue.wait", waited)
+            source = getattr(request, "source", None)
+            ctx = obs.trace_of(request)
+            if ctx is None:
+                with obs.measured(f"cluster.{request.op}", source=source):
+                    return self._execute(request)
+            with obs.activate(ctx):
+                obs.record_span(
+                    "queue.wait", start=queued, duration=waited, observe=False
+                )
+                with obs.span("gateway.execute", op=request.op, tier="cluster"):
+                    with obs.measured(
+                        f"cluster.{request.op}",
+                        trace_id=ctx.trace_id,
+                        source=source,
+                    ):
+                        return self._execute(request)
+
+    def _execute(self, request: ApiRequest) -> ApiResponse:
         with self._lock:
             if self._closed:
                 raise ClusterError("cluster gateway is closed")
@@ -630,19 +684,25 @@ class ClusterGateway:
             # and a replica that misses any version sees a replication
             # gap and crashes. The codec frames zero rows fine.
             frame = pack_record(self.service.graph_version, request.updates)
-            for index, handle in enumerate(self.replicas):
-                try:
-                    handle.send((messages.APPLY, frame))
-                except _ReplicaDied:
-                    # The respawn bootstraps at head, delta included.
-                    self._revive(index)
+            ctx = obs.current()
+            with obs.span(
+                "cluster.ship_wal",
+                seq=self.service.graph_version,
+                replicas=len(self.replicas),
+            ):
+                for index, handle in enumerate(self.replicas):
+                    try:
+                        handle.send((messages.APPLY, frame, ctx))
+                    except _ReplicaDied:
+                        # The respawn bootstraps at head, delta included.
+                        self._revive(index)
             self.counters["deltas_shipped"] += 1
         return response
 
     # -- reads --------------------------------------------------------- #
 
     def _execute_batch(self, request: BatchQuery) -> BatchResult:
-        start = time.perf_counter()
+        start = clock.now()
         chunks = self._partition(request.sources)
         fresh = self._is_fresh(request)
         by_position: dict[int, TopKResult] = {}
@@ -663,7 +723,7 @@ class ClusterGateway:
             results=results,
             snapshot_version=self.service.graph_version,
             staleness=max((r.staleness for r in results), default=0),
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=clock.now() - start,
         )
 
     def _run_chunks(
@@ -702,7 +762,7 @@ class ClusterGateway:
         system, so the per-replica chunks go out as one scatter round —
         parallel, like every other chunked read path.
         """
-        start = time.perf_counter()
+        start = clock.now()
         per_replica = {
             index: Prefetch(sources=tuple(sources))
             for index, sources in self._partition(request.sources).items()
@@ -717,7 +777,7 @@ class ClusterGateway:
             requested=len(request.sources),
             pending=pending,
             snapshot_version=self.service.graph_version,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=clock.now() - start,
         )
 
     # -- observability ------------------------------------------------- #
@@ -789,7 +849,39 @@ class ClusterGateway:
         run: ReadRun,
         responses: list[ApiResponse | None],
     ) -> None:
-        """Answer one coalesced read run via parallel per-replica batches."""
+        """Answer one coalesced read run via parallel per-replica batches.
+
+        Mirrors the single-process scheduler's tracing: the run executes
+        under the first traced member's context in a ``schedule.run``
+        span, so per-replica chunk spans (and the replica-side execution
+        they ship back) link into that member's trace.
+        """
+        lead = next(
+            (
+                ctx
+                for ctx in (obs.trace_of(requests[p]) for p in run.positions)
+                if ctx is not None
+            ),
+            None,
+        )
+        if lead is None:
+            self._execute_run_inner(requests, run, responses)
+            return
+        with obs.activate(lead):
+            with obs.span(
+                "schedule.run",
+                members=len(run.positions),
+                coalesced=run.coalesced,
+                tier="cluster",
+            ):
+                self._execute_run_inner(requests, run, responses)
+
+    def _execute_run_inner(
+        self,
+        requests: Sequence[ApiRequest],
+        run: ReadRun,
+        responses: list[ApiResponse | None],
+    ) -> None:
         first = requests[run.positions[0]]
         assert isinstance(first, TopKQuery)
         self.counters["reads_coalesced"] += run.coalesced

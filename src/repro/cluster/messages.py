@@ -16,7 +16,7 @@ replaying what the primary logged as ``seq``.
 
 Coordinator -> replica::
 
-    (APPLY, frame_bytes)                  ordered write delta (WAL frame)
+    (APPLY, frame_bytes, trace_ctx)       ordered write delta (WAL frame)
     (REQUESTS, ticket, requests, coalesce) reads to serve (typed ApiRequests)
     (SYNC, ticket)                        barrier: ack your applied version
     (SHUTDOWN,)                           drain and exit
@@ -24,10 +24,19 @@ Coordinator -> replica::
 Replica -> coordinator::
 
     (HELLO, graph_version)                spawn handshake
-    (APPLIED, seq)                        delta applied through version seq
-    (RESPONSES, ticket, responses, graph_version)
+    (APPLIED, seq, spans)                 delta applied through version seq
+    (RESPONSES, ticket, responses, graph_version, spans)
     (SYNCED, ticket, graph_version)
     (BYE, graph_version)                  clean shutdown acknowledgement
+
+``trace_ctx`` is the coordinator's active
+:class:`~repro.obs.TraceContext` (or ``None``), so replica-side work
+joins the request's distributed trace; ``spans`` is the replica
+tracer's drained span-record outbox (a list of dicts, empty when
+tracing is off), which the coordinator folds back into its own ring so
+one ``GET /v1/trace/<id>`` shows the whole cross-process tree. Typed
+requests shipped in ``REQUESTS`` frames carry their trace context as a
+pickled instance attribute (:data:`repro.obs.TRACE_ATTR`).
 """
 
 from __future__ import annotations

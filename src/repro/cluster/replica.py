@@ -32,9 +32,10 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from typing import Any
 
+from .. import obs
 from ..api.gateway import Gateway
 from ..api.requests import IngestBatch
-from ..config import PPRConfig, ServeConfig
+from ..config import ObsConfig, PPRConfig, ServeConfig
 from ..errors import ClusterError
 from ..serve.service import PPRService
 from ..store.wal import unpack_record
@@ -62,6 +63,9 @@ class ReplicaSpec:
     graph_version: int
     #: Store directory to recover from instead (the respawn path).
     store_root: str | None = None
+    #: Tracing/profiling knobs, mirrored from the coordinator's ApiConfig
+    #: so replica-side spans are sampled exactly like the front door's.
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
         if (self.graph_arrays is None) == (self.store_root is None):
@@ -117,6 +121,11 @@ def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
     replica's own gateway maps them to typed error responses, exactly as
     a single-process gateway would.
     """
+    if spec.obs.enabled:
+        # Outbox mode: finished spans accumulate locally and are drained
+        # into the reply frames — the coordinator owns the trace ring and
+        # the JSONL sink, so only it gets an export_path.
+        obs.configure(spec.obs.with_(export_path=None), outbox=True)
     service = build_replica_service(spec)
     gateway = Gateway(service)
     try:
@@ -128,13 +137,22 @@ def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
                 break
             tag = frame[0]
             if tag == messages.APPLY:
-                version = apply_delta(service, frame[1])
-                conn.send((messages.APPLIED, version))
+                _, frame_bytes, ctx = frame
+                with obs.activate(ctx):
+                    with obs.span("replica.apply", replica=spec.replica_id):
+                        version = apply_delta(service, frame_bytes)
+                conn.send((messages.APPLIED, version, obs.drain()))
             elif tag == messages.REQUESTS:
                 _, ticket, requests, coalesce = frame
                 responses = gateway.submit_many(list(requests), coalesce=coalesce)
                 conn.send(
-                    (messages.RESPONSES, ticket, responses, service.graph_version)
+                    (
+                        messages.RESPONSES,
+                        ticket,
+                        responses,
+                        service.graph_version,
+                        obs.drain(),
+                    )
                 )
             elif tag == messages.SYNC:
                 conn.send((messages.SYNCED, frame[1], service.graph_version))

@@ -212,6 +212,66 @@ class ConsistencyLevel(enum.Enum):
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Configuration of the observability layer (:mod:`repro.obs`).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for distributed tracing. Off (the default) the
+        whole span machinery collapses to a couple of attribute checks
+        per request; the per-stage latency histograms and the slow-query
+        log stay on regardless (they are counters, not traces).
+    sample_rate:
+        Fraction of ingress requests that mint a trace, decided once at
+        the front door with a deterministic accumulator (exactly this
+        fraction samples, no RNG). ``1.0`` traces everything.
+    ring_capacity:
+        Finished spans retained in the in-process ring buffer that backs
+        ``GET /v1/trace/<id>``; older spans fall off the end.
+    slowlog_capacity:
+        Entries retained in the slow-query ring (``GET /v1/slow``).
+    slowlog_threshold_ms:
+        Requests at least this slow are recorded in the slow-query log.
+    export_path:
+        Append every finished span as one JSON line to this file (the
+        structured event sink; ``repro trace export`` turns it into a
+        Chrome ``trace_event`` file). ``None`` disables the sink.
+
+    See ``docs/observability.md`` for the trace model and span taxonomy.
+    """
+
+    enabled: bool = False
+    sample_rate: float = 1.0
+    ring_capacity: int = 4096
+    slowlog_capacity: int = 256
+    slowlog_threshold_ms: float = 50.0
+    export_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ConfigError(
+                f"sample_rate must be in [0, 1], got {self.sample_rate}"
+            )
+        if self.ring_capacity < 1:
+            raise ConfigError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}"
+            )
+        if self.slowlog_capacity < 1:
+            raise ConfigError(
+                f"slowlog_capacity must be >= 1, got {self.slowlog_capacity}"
+            )
+        if self.slowlog_threshold_ms < 0:
+            raise ConfigError(
+                f"slowlog_threshold_ms must be >= 0, got {self.slowlog_threshold_ms}"
+            )
+
+    def with_(self, **changes: Any) -> "ObsConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ApiConfig:
     """Configuration of the typed gateway API (:mod:`repro.api`).
 
@@ -238,6 +298,11 @@ class ApiConfig:
         threshold — ``ANY`` reads shed first, then ``BOUNDED``, then
         ``FRESH`` reads and writes; admin ops are never shed. See
         ``docs/load.md``.
+    obs:
+        Observability configuration (:class:`ObsConfig`). A gateway built
+        with ``obs.enabled`` (or an ``export_path``) installs it as the
+        process-wide tracer; the default (disabled) leaves whatever is
+        already configured alone.
     """
 
     host: str = "127.0.0.1"
@@ -247,6 +312,7 @@ class ApiConfig:
     default_consistency: ConsistencyLevel = ConsistencyLevel.FRESH
     staleness_bound: int = 0
     admission_queue: int = 0
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -268,6 +334,8 @@ class ApiConfig:
             raise ConfigError(
                 f"staleness_bound must be >= 0, got {self.staleness_bound}"
             )
+        if not isinstance(self.obs, ObsConfig):
+            raise ConfigError(f"obs must be an ObsConfig, got {self.obs!r}")
 
     def with_(self, **changes: Any) -> "ApiConfig":
         """Return a copy with the given fields replaced."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from .. import obs
 from ..config import Backend, Phase, PPRConfig
 from ..errors import BackendError, ConvergenceError
 from ..graph.csr import CSRGraph
@@ -219,25 +220,39 @@ def parallel_local_push(
     """
     state.ensure_capacity(graph.capacity)
     stats = PushStats()
-    if config.backend is Backend.PURE:
-        _pure_phase(state, graph, Phase.POS, config, seeds, stats)
-        _pure_phase(state, graph, Phase.NEG, config, seeds, stats)
-        return stats
-    # The snapshot must cover the source id even when the source is an
-    # isolated vertex the graph has not seen yet.
-    min_capacity = max(graph.capacity, state.source + 1)
-    if config.backend is Backend.NUMPY:
-        from .push_vectorized import vectorized_phase
+    with obs.span(
+        "push.run",
+        backend=config.backend.value,
+        variant=config.variant.value,
+        source=state.source,
+    ) as span:
+        if config.backend is Backend.PURE:
+            _pure_phase(state, graph, Phase.POS, config, seeds, stats)
+            _pure_phase(state, graph, Phase.NEG, config, seeds, stats)
+            span.set(iterations=stats.num_iterations)
+            return stats
+        # The snapshot must cover the source id even when the source is an
+        # isolated vertex the graph has not seen yet.
+        min_capacity = max(graph.capacity, state.source + 1)
+        if config.backend is Backend.NUMPY:
+            from .push_vectorized import vectorized_phase
 
-        snapshot = csr if csr is not None else CSRGraph.from_digraph(graph, min_capacity)
-        state.ensure_capacity(snapshot.num_vertices)
-        vectorized_phase(state, snapshot, Phase.POS, config, seeds, stats)
-        vectorized_phase(state, snapshot, Phase.NEG, config, seeds, stats)
-        return stats
-    if config.backend is Backend.MULTIPROCESS:
-        from ..parallel.multiproc import multiprocess_push
+            snapshot = (
+                csr if csr is not None else CSRGraph.from_digraph(graph, min_capacity)
+            )
+            state.ensure_capacity(snapshot.num_vertices)
+            vectorized_phase(state, snapshot, Phase.POS, config, seeds, stats)
+            vectorized_phase(state, snapshot, Phase.NEG, config, seeds, stats)
+            span.set(iterations=stats.num_iterations)
+            return stats
+        if config.backend is Backend.MULTIPROCESS:
+            from ..parallel.multiproc import multiprocess_push
 
-        snapshot = csr if csr is not None else CSRGraph.from_digraph(graph, min_capacity)
-        state.ensure_capacity(snapshot.num_vertices)
-        return multiprocess_push(state, snapshot, config, seeds=seeds, stats=stats)
-    raise BackendError(f"unsupported backend: {config.backend!r}")
+            snapshot = (
+                csr if csr is not None else CSRGraph.from_digraph(graph, min_capacity)
+            )
+            state.ensure_capacity(snapshot.num_vertices)
+            stats = multiprocess_push(state, snapshot, config, seeds=seeds, stats=stats)
+            span.set(iterations=stats.num_iterations)
+            return stats
+        raise BackendError(f"unsupported backend: {config.backend!r}")

@@ -14,7 +14,7 @@ changes over all sources.
 
 from __future__ import annotations
 
-import time
+from ..obs import clock
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -160,7 +160,7 @@ class DynamicPPRTracker:
 
     def _push(self, seeds: Iterable[int] | None) -> BatchStats:
         batch = BatchStats()
-        start = time.perf_counter()
+        start = clock.now()
         if self.sequential:
             seq = sequential_local_push(self.state, self.graph, self.config, seeds=seeds)
             batch.sequential_push = seq
@@ -169,7 +169,7 @@ class DynamicPPRTracker:
             batch.push = parallel_local_push(
                 self.state, self.graph, self.config, seeds=seeds, csr=csr
             )
-        batch.wall_time = time.perf_counter() - start
+        batch.wall_time = clock.now() - start
         return batch
 
     def apply_batch(
@@ -188,7 +188,7 @@ class DynamicPPRTracker:
         or a serving layer sharing one snapshot across many trackers);
         when given, the tracker installs it instead of rebuilding its own.
         """
-        start = time.perf_counter()
+        start = clock.now()
         touched: list[int] = []
         change = 0.0
         for update in updates:
@@ -203,7 +203,7 @@ class DynamicPPRTracker:
             self._advance_snapshot(updates)
         batch = self._push(seeds=touched)
         batch.restore = RestoreStats(len(updates), change)
-        batch.wall_time = time.perf_counter() - start
+        batch.wall_time = clock.now() - start
         self.batches_processed += 1
         self.updates_processed += len(updates)
         return batch

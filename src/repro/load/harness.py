@@ -26,7 +26,7 @@ shows both arms.
 
 from __future__ import annotations
 
-import time
+from ..obs import clock
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
 from typing import Any, Callable, Sequence
@@ -225,9 +225,9 @@ def run_open_loop(
                 request = dc_replace(
                     request, deadline=Deadline.after_ms(spec.timeout_ms)
                 )
-            t0 = time.perf_counter()
+            t0 = clock.now()
             response = submit(request)
-            seconds = time.perf_counter() - t0
+            seconds = clock.now() - t0
         server_free = start + seconds
         report.served += 1
         report.makespan_s = server_free
@@ -309,9 +309,9 @@ def measure_saturation(
         if service_time is not None:
             total += float(service_time(request))
         else:
-            t0 = time.perf_counter()
+            t0 = clock.now()
             submit(request)
-            total += time.perf_counter() - t0
+            total += clock.now() - t0
         count += 1
     return count / total if total > 0 else float("inf")
 

@@ -1,0 +1,110 @@
+"""Chrome ``trace_event`` export for collected spans.
+
+Chrome's trace viewer (``about:tracing``, or https://ui.perfetto.dev)
+reads a JSON object with a ``traceEvents`` array; each complete span
+maps to one ``"ph": "X"`` (complete) event with microsecond timestamps.
+Span timestamps come from the shared monotonic clock
+(:mod:`repro.obs.clock`), which on Linux is machine-global — so replica
+and coordinator spans of one trace line up on the same timeline, grouped
+into per-process tracks by ``pid``.
+
+``repro trace export`` drives :func:`export_chrome_trace` over the JSONL
+event sink a server wrote (``ObsConfig.export_path``) or over a single
+trace fetched from ``GET /v1/trace/<id>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def chrome_events(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Map finished span records to Chrome ``trace_event`` dicts."""
+    events = []
+    for span in spans:
+        args = {
+            "trace_id": span.get("trace_id"),
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        args.update(span.get("attrs") or {})
+        if span.get("events"):
+            args["events"] = span["events"]
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(span.get("start") or 0.0) * 1e6,
+                "dur": max(float(span.get("duration") or 0.0), 0.0) * 1e6,
+                "pid": span.get("pid", 0),
+                "tid": span.get("pid", 0),
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """A complete ``about:tracing``-loadable document."""
+    return {"traceEvents": chrome_events(spans), "displayTimeUnit": "ms"}
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load span records from a JSONL event sink file."""
+    spans = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def export_chrome_trace(
+    spans: list[dict[str, Any]], out_path: str | Path
+) -> int:
+    """Write spans as a Chrome trace file; returns the event count."""
+    document = chrome_trace(spans)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    return len(document["traceEvents"])
+
+
+def span_children(spans: list[dict[str, Any]]) -> dict[str | None, list[dict[str, Any]]]:
+    """Group spans by ``parent_id`` (``None`` holds the roots)."""
+    children: dict[str | None, list[dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children
+
+
+def format_tree(spans: list[dict[str, Any]]) -> str:
+    """Indented one-line-per-span rendering of a trace (CLI/debugging)."""
+    by_parent = span_children(spans)
+    ids = {span["span_id"] for span in spans}
+    lines: list[str] = []
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        duration = span.get("duration") or 0.0
+        events = "".join(
+            f" !{event['name']}" for event in span.get("events") or []
+        )
+        lines.append(
+            f"{'  ' * depth}{span['name']}  {duration * 1000:.3f} ms"
+            f"  [pid {span.get('pid', '?')}]{events}"
+        )
+        for child in sorted(
+            by_parent.get(span["span_id"], []), key=lambda s: s["start"]
+        ):
+            walk(child, depth + 1)
+
+    roots = [
+        span for span in spans
+        if span.get("parent_id") is None or span["parent_id"] not in ids
+    ]
+    for root in sorted(roots, key=lambda s: s["start"]):
+        walk(root, 0)
+    return "\n".join(lines)

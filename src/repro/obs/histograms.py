@@ -1,0 +1,111 @@
+"""Cumulative per-stage latency histograms — the Prometheus surface.
+
+Point-in-time percentile gauges (what ``/v1/metrics`` exported before
+this module) are not aggregatable: two scrapes cannot be combined, and a
+p999 computed over a sliding sample window silently forgets the spike
+that triggered the page. Cumulative histograms are the standard fix —
+monotone ``_bucket``/``_sum``/``_count`` series that Prometheus can
+``rate()`` and ``histogram_quantile()`` over any window.
+
+The registry here is **always on** (it is a pile of counters, not a
+trace): the gateways feed it per-request and queue-wait observations on
+every request whether or not tracing is enabled, and every *sampled*
+span finish feeds the stage named by the span. That is what makes the
+ISSUE's "Prometheus and traces can never disagree" hold — both read the
+same observations.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+#: Upper bounds (seconds, ``le``) of the latency buckets: log-spaced from
+#: 100 microseconds (a hot cached top-k) to 60 seconds (a wedged replica
+#: hitting its response timeout), plus the implicit ``+Inf`` overflow.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """One stage's cumulative latency distribution.
+
+    ``counts[i]`` is the number of observations in ``(bounds[i-1],
+    bounds[i]]``; the final slot is the ``+Inf`` overflow. Cumulative
+    (Prometheus ``le``) values are derived at render time.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.sum += seconds
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket cumulative counts (the ``le`` series, +Inf last)."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (travels in ``/v1/stats`` under ``obs``)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class HistogramRegistry:
+    """Thread-safe ``stage name -> Histogram`` map.
+
+    Stage names are dot-paths (``request.top_k``, ``queue.wait``,
+    ``engine.query``, ``wal.append`` — see ``docs/observability.md`` for
+    the full taxonomy); they become the ``stage`` label of the single
+    ``repro_latency_seconds`` Prometheus family.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, Histogram] = {}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = Histogram()
+            histogram.observe(seconds)
+
+    def get(self, stage: str) -> Histogram | None:
+        with self._lock:
+            return self._stages.get(stage)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe ``{stage: histogram}`` snapshot, stages sorted."""
+        with self._lock:
+            return {
+                stage: self._stages[stage].to_dict()
+                for stage in sorted(self._stages)
+            }

@@ -1,0 +1,81 @@
+"""Bounded slow-query log (the ``GET /v1/slow`` surface).
+
+A slow-query log that grows with the number of slow queries is itself an
+overload hazard — the moment the system degrades is exactly the moment
+every request crosses the threshold. The log is therefore a fixed-size
+ring: a burst of N slow requests costs O(capacity) memory however large
+N gets (``tests/test_obs.py`` regression-tests this), with ``recorded``
+counting every entry ever admitted so the drop is visible.
+
+The log is always on (like the histograms, it is bookkeeping, not a
+trace); entries carry the trace id when the request happened to be
+sampled, so a slow entry can be followed into ``GET /v1/trace/<id>``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from . import clock
+
+
+class SlowQueryLog:
+    """Fixed-capacity ring of the most recent over-threshold requests."""
+
+    def __init__(self, capacity: int, threshold_ms: float) -> None:
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: Entries ever admitted (monotone; ``recorded - len(self)`` fell
+        #: off the ring).
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def record(
+        self,
+        *,
+        stage: str,
+        duration_s: float,
+        status: str = "OK",
+        trace_id: str | None = None,
+        source: int | None = None,
+    ) -> bool:
+        """Admit one finished request; under-threshold ones are ignored."""
+        duration_ms = duration_s * 1000.0
+        if duration_ms < self.threshold_ms:
+            return False
+        entry = {
+            "stage": stage,
+            "duration_ms": duration_ms,
+            "status": status,
+            "trace_id": trace_id,
+            "source": source,
+            "at": clock.now(),
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+        return True
+
+    def entries(self, threshold_ms: float | None = None) -> list[dict[str, Any]]:
+        """Retained entries (slowest-threshold filterable), newest last."""
+        with self._lock:
+            entries = [dict(entry) for entry in self._ring]
+        if threshold_ms is not None:
+            entries = [e for e in entries if e["duration_ms"] >= threshold_ms]
+        return entries
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "threshold_ms": self.threshold_ms,
+                "depth": len(self._ring),
+                "recorded": self.recorded,
+            }

@@ -1,8 +1,19 @@
-"""Profiling-metric dataclasses (the paper's Table 4 metrics)."""
+"""Profiling-metric dataclasses (the paper's Table 4 metrics).
+
+Wall-time measurements feeding these reports must read :func:`now` —
+re-exported from :mod:`repro.obs.clock`, the single monotonic source
+shared by tracer spans, the latency histograms, and
+:class:`repro.utils.timer.Timer` — so profiling numbers are directly
+comparable to bench and serve timings.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..obs.clock import now
+
+__all__ = ["CPUProfile", "GPUProfile", "ProfilingReport", "now"]
 
 
 @dataclass(frozen=True)

@@ -42,13 +42,13 @@ walkthrough.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
 from ..config import (
     Backend,
     HubRefresh,
@@ -63,6 +63,7 @@ from ..core.invariant import restore_invariant
 from ..core.push_parallel import parallel_local_push
 from ..core.state import PPRState
 from ..core.stats import PushStats
+from ..obs import clock
 from ..errors import ConfigError, VertexError
 from ..graph.csr import CSRGraph
 from ..graph.delta import CSRView, DeltaCSRGraph
@@ -432,13 +433,14 @@ class PPRService:
         if self.config.backend is Backend.PURE:
             return None
         if self._csr is None or self._csr_version != self.graph_version:
-            csr = CSRGraph.from_digraph(self.graph)
-            if self.serve.snapshot is SnapshotStrategy.DELTA:
-                self._csr = DeltaCSRGraph.wrap(csr)
-            else:
-                self._csr = csr
-            self._csr_version = self.graph_version
-            self._metrics.snapshot_rebuilds += 1
+            with obs.span("snapshot.rebuild", version=self.graph_version):
+                csr = CSRGraph.from_digraph(self.graph)
+                if self.serve.snapshot is SnapshotStrategy.DELTA:
+                    self._csr = DeltaCSRGraph.wrap(csr)
+                else:
+                    self._csr = csr
+                self._csr_version = self.graph_version
+                self._metrics.snapshot_rebuilds += 1
         return self._csr
 
     def _advance_snapshot(self, updates: Sequence[EdgeUpdate]) -> bool:
@@ -457,17 +459,19 @@ class PPRService:
             or self._csr_version != self.graph_version - 1
         ):
             return False
-        view = self._csr
-        if not isinstance(view, DeltaCSRGraph):
-            view = DeltaCSRGraph.wrap(view)
-        view = view.apply_updates(self.graph, updates)
-        if view.should_consolidate(self.serve.snapshot_overlay_threshold):
-            view = view.consolidated()
-            self._metrics.snapshot_consolidations += 1
-        else:
-            self._metrics.snapshot_delta_applies += 1
-        self._csr = view
-        self._csr_version = self.graph_version
+        with obs.span("snapshot.advance", updates=len(updates)) as span:
+            view = self._csr
+            if not isinstance(view, DeltaCSRGraph):
+                view = DeltaCSRGraph.wrap(view)
+            view = view.apply_updates(self.graph, updates)
+            if view.should_consolidate(self.serve.snapshot_overlay_threshold):
+                view = view.consolidated()
+                self._metrics.snapshot_consolidations += 1
+                span.set(consolidated=True)
+            else:
+                self._metrics.snapshot_delta_applies += 1
+            self._csr = view
+            self._csr_version = self.graph_version
         return True
 
     def set_snapshot(self, csr: CSRView) -> None:
@@ -545,52 +549,60 @@ class PPRService:
         ``StoreConfig.checkpoint_interval`` batches).
         """
         updates = list(updates)
-        touched: list[int] = []
-        residents = self.cache.entries()
-        for update in updates:
-            self.graph.apply(update)
+        with obs.span("engine.ingest", updates=len(updates)):
+            touched: list[int] = []
+            residents = self.cache.entries()
+            for update in updates:
+                self.graph.apply(update)
+                for entry in residents:
+                    restore_invariant(
+                        entry.state, self.graph, update, self.config.alpha
+                    )
+                if self.hub_index is not None:
+                    self.hub_index.restore_applied(update)
+                touched.append(update.u)
+            touched_set = set(touched)
             for entry in residents:
-                restore_invariant(entry.state, self.graph, update, self.config.alpha)
-            if self.hub_index is not None:
-                self.hub_index.restore_applied(update)
-            touched.append(update.u)
-        touched_set = set(touched)
-        for entry in residents:
-            entry.pending_seeds.update(touched_set)
-        if self.store is not None:
-            self.store.log_batch(self.graph_version + 1, updates)
-        self.graph_version += 1
-        self._metrics.updates_ingested += len(updates)
-        self._metrics.batches_ingested += 1
-        if snapshot is not None:
-            self.set_snapshot(snapshot)
-        else:
-            self._advance_snapshot(updates)
-
-        traces: dict[int, PushStats] = {}
-        if self.hub_index is not None:
-            if self.serve.hub_refresh is HubRefresh.EAGER:
-                traces.update(
-                    self.hub_index.reconverge(touched, snapshot=self._snapshot())
-                )
+                entry.pending_seeds.update(touched_set)
+            if self.store is not None:
+                self.store.log_batch(self.graph_version + 1, updates)
+            self.graph_version += 1
+            self._metrics.updates_ingested += len(updates)
+            self._metrics.batches_ingested += 1
+            if snapshot is not None:
+                self.set_snapshot(snapshot)
             else:
-                self._hub_pending.update(touched_set)
-        if self.serve.refresh is RefreshPolicy.EAGER:
-            for entry in residents:
-                traces[entry.source] = self._refresh(entry)
-        if self.store is not None:
-            self.store.maybe_checkpoint(self)
-        return traces
+                self._advance_snapshot(updates)
+
+            traces: dict[int, PushStats] = {}
+            if self.hub_index is not None:
+                if self.serve.hub_refresh is HubRefresh.EAGER:
+                    with obs.span("hub.reconverge", touched=len(touched)):
+                        traces.update(
+                            self.hub_index.reconverge(
+                                touched, snapshot=self._snapshot()
+                            )
+                        )
+                else:
+                    self._hub_pending.update(touched_set)
+            if self.serve.refresh is RefreshPolicy.EAGER:
+                for entry in residents:
+                    traces[entry.source] = self._refresh(entry)
+            if self.store is not None:
+                self.store.maybe_checkpoint(self)
+            return traces
 
     def _refresh(self, entry: ResidentSource) -> PushStats:
         """Push one resident back to convergence on the current version."""
-        stats = parallel_local_push(
-            entry.state,
-            self.graph,
-            self.config,
-            seeds=entry.pending_seeds,
-            csr=self._snapshot(),
-        )
+        with obs.span("push.refresh", source=entry.source) as span:
+            stats = parallel_local_push(
+                entry.state,
+                self.graph,
+                self.config,
+                seeds=entry.pending_seeds,
+                csr=self._snapshot(),
+            )
+            span.set(iterations=stats.num_iterations)
         entry.mark_converged(self.graph_version, self._metrics.updates_ingested)
         return stats
 
@@ -663,11 +675,14 @@ class PPRService:
         version it is actually ε-approximate on.
         """
         k = self.serve.top_k if k is None else k
-        start = time.perf_counter()
-        entry, staleness, cold = self._resident(source, max_staleness)
-        answer = certified_top_k(entry.state, k)
+        start = clock.now()
+        with obs.span("engine.query", source=source, k=k) as span:
+            entry, staleness, cold = self._resident(source, max_staleness)
+            with obs.span("topk.certify", source=source, k=k):
+                answer = certified_top_k(entry.state, k)
+            span.set(cold=cold, staleness=staleness)
         entry.queries += 1
-        wall = time.perf_counter() - start
+        wall = clock.now() - start
         self._metrics.record_query(staleness, wall)
         return ServedQuery(
             source=source,
@@ -694,12 +709,12 @@ class PPRService:
         vertex it only *scores*; sources, as in :meth:`_execute_query`,
         are registered on demand).
         """
-        start = time.perf_counter()
+        start = clock.now()
         if not self.graph.has_vertex(target):
             raise VertexError(target)
         entry, staleness, cold = self._resident(source, max_staleness)
         entry.queries += 1
-        wall = time.perf_counter() - start
+        wall = clock.now() - start
         self._metrics.record_query(staleness, wall)
         return ServedScore(
             source=source,
@@ -752,8 +767,9 @@ class PPRService:
         if cold or self.pool.pending:
             # The drain admits *every* pending request, including earlier
             # prefetches — register all of them before snapshotting.
-            self._ensure_vertices(self.pool.pending)
-            self._install(self.pool.drain(self.graph, self._snapshot()))
+            with obs.span("push.admit", pending=len(self.pool.pending)):
+                self._ensure_vertices(self.pool.pending)
+                self._install(self.pool.drain(self.graph, self._snapshot()))
         answers = []
         for s in sources:
             answer = self._execute_query(s, k, max_staleness=max_staleness)
@@ -803,8 +819,9 @@ class PPRService:
         self.pool.request(source)
         batch = [source] + [s for s in self.pool.pending if s != source]
         batch = batch[: self.pool.batch_size]
-        self._ensure_vertices(batch)
-        admitted = self.pool.admit(self.graph, self._snapshot(), batch)
+        with obs.span("push.admit", source=source, batch=len(batch)):
+            self._ensure_vertices(batch)
+            admitted = self.pool.admit(self.graph, self._snapshot(), batch)
         # Install the queried source last (MRU) so that an admission batch
         # wider than the cache cannot evict it before it answers.
         target = admitted.pop(source)

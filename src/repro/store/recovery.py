@@ -19,7 +19,7 @@ properties make that possible:
 from __future__ import annotations
 
 import os
-import time
+from ..obs import clock
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -98,7 +98,7 @@ def recover(
                 f" {expected[:12]}… — recover with the original configuration"
             )
 
-    start = time.perf_counter()
+    start = clock.now()
     service = restore_service(checkpoint)
     wal = WriteAheadLog(root / "wal")
     torn = wal.truncate_torn_tails()
@@ -122,7 +122,7 @@ def recover(
         # not from the recovery.
         store._batches_since_checkpoint = replayed_batches
         service.attach_store(store, checkpoint=False)
-    wall = time.perf_counter() - start
+    wall = clock.now() - start
     return RecoveryResult(
         service=service,
         checkpoint_path=checkpoint.path,

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..config import FsyncPolicy
 from ..errors import StoreError
 from ..graph.update import EdgeOp, EdgeUpdate
@@ -239,10 +240,12 @@ class WriteAheadLog:
                         f"segment already exists with live records: {self._current}"
                     )
             self._fh = open(self._current, "ab")
-        self._fh.write(frame)
-        self._fh.flush()
-        if self.fsync is FsyncPolicy.ALWAYS:
-            os.fsync(self._fh.fileno())
+        fsync = self.fsync is FsyncPolicy.ALWAYS
+        with obs.span("wal.append", seq=seq, bytes=len(frame), fsync=fsync):
+            self._fh.write(frame)
+            self._fh.flush()
+            if fsync:
+                os.fsync(self._fh.fileno())
         self.records_appended += 1
         return self._current
 

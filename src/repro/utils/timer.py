@@ -1,9 +1,16 @@
-"""Tiny wall-clock timer used by the benchmark harness."""
+"""Tiny wall-clock timer used by the benchmark harness.
+
+Built on :data:`repro.obs.clock.now` — the same monotonic source the
+tracer's spans and the per-stage latency histograms read — so a
+``Timer`` lap printed by a benchmark is directly comparable to a span
+duration in a trace or a ``repro_latency_seconds`` bucket.
+"""
 
 from __future__ import annotations
 
-import time
 from types import TracebackType
+
+from ..obs import clock
 
 
 class Timer:
@@ -25,7 +32,7 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock.now()
         return self
 
     def __exit__(
@@ -36,7 +43,7 @@ class Timer:
     ) -> None:
         if self._start is None:  # pragma: no cover - defensive
             return
-        lap = time.perf_counter() - self._start
+        lap = clock.now() - self._start
         self.laps.append(lap)
         self.elapsed += lap
         self._start = None

@@ -19,6 +19,15 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """The tracer is process-global; no test may leak spans into the next."""
+    from repro import obs
+
+    yield
+    obs.reset()
+
+
 @pytest.fixture
 def paper_graph() -> DynamicDiGraph:
     """The 4-vertex graph of the paper's Figures 1-3.

@@ -203,6 +203,10 @@ class TestMetricsEndpoint:
     def test_exposition_format_is_parseable(self, live):
         server, http, _ = live
         http.query({"op": "top_k", "source": 0, "k": 3})
+        # Pre-create the request.stats histogram stage: scraping runs a
+        # Stats request itself, and the two scrapes below must expose
+        # the same sample *names*.
+        http.query({"op": "stats"})
         status, headers, body = raw_get(f"{server.url}/v1/metrics")
         assert status == 200
         assert headers["Content-Type"] == "text/plain; version=0.0.4"
@@ -222,6 +226,10 @@ class TestMetricsEndpoint:
             else:
                 assert sample_re.match(line), f"unparseable sample: {line!r}"
                 base = line.split("{", 1)[0].split(" ", 1)[0]
+                # Histogram series share their family's announcement.
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if base not in helped and base.endswith(suffix):
+                        base = base[: -len(suffix)]
                 # Every sample is announced before it appears.
                 assert base in helped and base in typed
         # The text client sees the same exposition (scraping bumps the
@@ -258,8 +266,30 @@ class TestMetricsEndpoint:
         samples = scrape(server)
         assert "repro_queries_total" in samples  # counters get _total
         assert "repro_hit_rate" in samples  # gauges do not
-        assert "repro_latency_p999_s" in samples  # p999 is exported
+        # Point-in-time percentile gauges stay in /v1/stats JSON only;
+        # the scrape surface carries cumulative histograms instead.
+        assert "repro_latency_p999_s" not in samples
         assert all(name.startswith("repro_") for name in samples)
+
+    def test_latency_is_a_cumulative_histogram_per_stage(self, live):
+        server, http, _ = live
+        http.query({"op": "top_k", "source": 0, "k": 3})
+        samples = scrape(server)
+        stage = 'stage="request.top_k"'
+        count_key = f"repro_latency_seconds_count{{{stage}}}"
+        assert samples[count_key] >= 1
+        assert samples[f"repro_latency_seconds_sum{{{stage}}}"] > 0
+        buckets = [
+            value for name, value in samples.items()
+            if name.startswith("repro_latency_seconds_bucket{")
+            and stage in name
+        ]
+        # _bucket series are cumulative and end at the +Inf total.
+        assert buckets == sorted(buckets)
+        inf_key = f'repro_latency_seconds_bucket{{{stage},le="+Inf"}}'
+        assert samples[inf_key] == samples[count_key]
+        # The admission wait is measured on every request, always on.
+        assert 'repro_latency_seconds_count{stage="queue.wait"}' in samples
 
 
 @pytest.fixture()
@@ -426,3 +456,89 @@ class TestServiceMetricsEdgeCases:
             metrics.record_query(staleness=0, seconds=0.001)
         assert len(metrics.query_seconds) <= 8
         assert metrics.queries == 20  # lifetime counter unaffected by trim
+
+
+@pytest.fixture()
+def traced():
+    """A server whose gateway traces every request (sample_rate=1)."""
+    from repro.api import Gateway, make_server as _make_server
+    from repro.config import ApiConfig, ObsConfig
+
+    graph = random_graph(np.random.default_rng(13), n=40, m=200)
+    service = PPRService(
+        graph, NUMPY_CONFIG, ServeConfig(cache_capacity=16, admission_batch=4)
+    )
+    gateway = Gateway(
+        service,
+        ApiConfig(
+            obs=ObsConfig(enabled=True, sample_rate=1.0, slowlog_threshold_ms=0.0)
+        ),
+    )
+    server = _make_server(gateway, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, HttpClient(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestTraceRoutes:
+    def test_sampled_response_carries_a_queryable_trace_id(self, traced):
+        server, http = traced
+        answer = http.query({"op": "top_k", "source": 0, "k": 3})
+        assert answer["ok"] and answer["trace_id"]
+        spans = http.trace(answer["trace_id"])
+        names = {span["name"] for span in spans}
+        assert {"http.request", "gateway.execute", "http.respond"} <= names
+        ids = {span["span_id"] for span in spans}
+        assert all(
+            span["parent_id"] in ids
+            for span in spans
+            if span["parent_id"] is not None
+        )
+
+    def test_x_trace_id_header_matches_body(self, traced):
+        server, _ = traced
+        request = urllib.request.Request(
+            f"{server.url}/v1/query",
+            data=json.dumps({"op": "top_k", "source": 1, "k": 3}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            headers = dict(response.headers)
+            body = json.loads(response.read())
+        assert headers["X-Trace-Id"] == body["trace_id"]
+
+    def test_batch_travels_as_one_trace(self, traced):
+        server, http = traced
+        body = http._request(
+            "POST",
+            "/v1/query",
+            {"requests": [{"source": 0, "k": 3}, {"source": 1, "k": 3}]},
+        )
+        assert [r["ok"] for r in body["responses"]] == [True, True]
+        spans = http.trace(body["trace_id"])
+        assert {s["name"] for s in spans} >= {"http.request", "schedule.run"}
+        assert len({s["trace_id"] for s in spans}) == 1
+
+    def test_unknown_trace_is_404(self, traced):
+        server, _ = traced
+        try:
+            raw_get(f"{server.url}/v1/trace/nonesuch")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:  # pragma: no cover - failure path
+            pytest.fail("expected a 404 for an unknown trace id")
+
+    def test_slow_log_route_refilters_by_threshold(self, traced):
+        server, http = traced
+        http.query({"op": "top_k", "source": 0, "k": 3})
+        entries = http.slow(threshold_ms=0.0)
+        assert entries and any(
+            entry["stage"] == "request.top_k" for entry in entries
+        )
+        assert entries[-1]["trace_id"]  # sampled: joinable to /v1/trace
+        assert http.slow(threshold_ms=1e9) == []
