@@ -1,0 +1,67 @@
+"""Chaos — scripted faults against the replicated cluster tier.
+
+Regenerates the chaos-benchmark table (one deterministic write/read
+trace with a dropped replication frame and a mid-trace primary crash,
+driven by a :class:`repro.chaos.FaultPlan`) and asserts the failover
+subsystem's acceptance bar: zero acked-write loss across the primary
+kill, every ANY read answered throughout the failover window, no
+request past the deadline, and post-heal FRESH answers bit-identical
+to a single-process oracle at matched versions.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_chaos.py -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.chaos import chaos_benchmark
+
+from .conftest import RESULTS_DIR
+
+REPLICAS = 3
+#: Generous wall-clock bar per read — "no hangs", not a latency SLO.
+DEADLINE_S = 5.0
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return chaos_benchmark("youtube", replicas=REPLICAS)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def chaos_table(chaos_result):
+    table = chaos_result.table()
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "chaos.txt").write_text(table + "\n")
+
+
+def test_scripted_faults_actually_fired(chaos_result):
+    """The plan is the experiment: both faults must have injected."""
+    assert "primary.apply:crash" in chaos_result.injected
+    assert any(f.startswith("cluster.ship:") for f in chaos_result.injected)
+
+
+def test_primary_kill_promotes_with_zero_acked_write_loss(chaos_result):
+    assert chaos_result.zero_loss
+    assert chaos_result.epoch >= 1
+    assert chaos_result.failovers >= 1
+
+
+def test_any_reads_answered_throughout_the_failover_window(chaos_result):
+    assert chaos_result.available
+
+
+def test_no_request_hangs_past_the_deadline(chaos_result):
+    assert chaos_result.max_read_ms <= DEADLINE_S * 1e3
+    assert chaos_result.failover_write_ms <= DEADLINE_S * 1e3
+
+
+def test_post_heal_answers_bit_identical_to_oracle(chaos_result):
+    """Untouched probe sources, matched versions, bit-exact floats."""
+    assert chaos_result.matched
+
+
+def test_gap_killed_replica_was_rebuilt(chaos_result):
+    assert chaos_result.respawns >= 1

@@ -47,6 +47,7 @@ from .requests import (
     HubQuery,
     IngestBatch,
     Prefetch,
+    Ready,
     REQUEST_TYPES,
     ScoreQuery,
     Stats,
@@ -54,6 +55,7 @@ from .requests import (
     consistency_for,
     request_from_dict,
 )
+from .resilience import CircuitBreaker, DeterministicJitter, RetryPolicy
 from .responses import (
     ApiResponse,
     BatchResult,
@@ -63,6 +65,7 @@ from .responses import (
     HubResult,
     IngestResult,
     PrefetchResult,
+    ReadyResult,
     ScoreResult,
     StatsResult,
     TopKResult,
@@ -78,9 +81,11 @@ __all__ = [
     "BatchResult",
     "CheckpointNow",
     "CheckpointResult",
+    "CircuitBreaker",
     "Client",
     "Consistency",
     "Deadline",
+    "DeterministicJitter",
     "ErrorInfo",
     "FRESH",
     "Gateway",
@@ -96,6 +101,9 @@ __all__ = [
     "PrefetchResult",
     "Priority",
     "REQUEST_TYPES",
+    "Ready",
+    "ReadyResult",
+    "RetryPolicy",
     "ScoreQuery",
     "ScoreResult",
     "Stats",

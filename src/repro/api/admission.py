@@ -46,7 +46,7 @@ from typing import Any
 
 from ..config import ConsistencyLevel
 from ..errors import ConfigError, OverloadError
-from .requests import ApiRequest, Consistency, Health, Prefetch, Stats
+from .requests import ApiRequest, Consistency, Health, Prefetch, Ready, Stats
 
 
 class Priority(enum.IntEnum):
@@ -68,7 +68,7 @@ SHED_FRACTION: dict[Priority, float] = {
 
 def priority_of(request: ApiRequest) -> Priority:
     """Classify one request into its admission priority class."""
-    if isinstance(request, (Stats, Health)):
+    if isinstance(request, (Stats, Health, Ready)):
         return Priority.ADMIN
     if isinstance(request, Prefetch):
         return Priority.ANY  # warming hints are the cheapest work to drop

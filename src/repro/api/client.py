@@ -29,6 +29,7 @@ from .requests import (
     HubQuery,
     IngestBatch,
     Prefetch,
+    Ready,
     ScoreQuery,
     Stats,
     TopKQuery,
@@ -41,6 +42,7 @@ from .responses import (
     HubResult,
     IngestResult,
     PrefetchResult,
+    ReadyResult,
     ScoreResult,
     StatsResult,
     TopKResult,
@@ -173,6 +175,15 @@ class Client:
     def health(self) -> HealthResult:
         """Liveness probe with engine size counters."""
         return self._send(Health())
+
+    def ready(self) -> ReadyResult:
+        """Readiness probe: replica roster, primary identity, epoch.
+
+        Unlike :meth:`health`, a degraded cluster does not raise — it
+        answers with ``ready=False`` and the per-replica detail, the
+        embedded twin of ``GET /v1/readyz`` returning 503.
+        """
+        return self._send(Ready())
 
     # ------------------------------------------------------------------ #
     # writes

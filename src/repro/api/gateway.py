@@ -52,6 +52,7 @@ from .requests import (
     HubQuery,
     IngestBatch,
     Prefetch,
+    Ready,
     ScoreQuery,
     Stats,
     TopKQuery,
@@ -65,6 +66,7 @@ from .responses import (
     HubResult,
     IngestResult,
     PrefetchResult,
+    ReadyResult,
     ScoreResult,
     StatsResult,
     TopKResult,
@@ -84,6 +86,7 @@ RESPONSE_FOR: dict[type[ApiRequest], type[ApiResponse]] = {
     CheckpointNow: CheckpointResult,
     Stats: StatsResult,
     Health: HealthResult,
+    Ready: ReadyResult,
 }
 
 
@@ -289,6 +292,18 @@ class Gateway:
                 resident=len(service.cache),
                 hubs=len(service.hubs),
                 snapshot_version=service.graph_version,
+                wall_time_s=clock.now() - start,
+            )
+        if isinstance(request, Ready):
+            # A single-process gateway has no replication machinery that
+            # could be degraded: alive implies ready.
+            return ReadyResult(
+                ready=True,
+                status="ready",
+                primary="embedded",
+                epoch=0,
+                replicas=(),
+                snapshot_version=self.service.graph_version,
                 wall_time_s=clock.now() - start,
             )
         raise RequestError(f"unhandled request type: {type(request).__name__}")

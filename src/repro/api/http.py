@@ -11,7 +11,8 @@ method    route           operation
 ``POST``  ``/v1/ingest``  an :class:`~repro.api.requests.IngestBatch`
 ``GET``   ``/v1/stats``   structured metrics
 ``GET``   ``/v1/metrics`` Prometheus text exposition of the same stats
-``GET``   ``/v1/healthz`` liveness probe
+``GET``   ``/v1/healthz`` liveness probe (200 while the process serves)
+``GET``   ``/v1/readyz``  readiness probe (503 while degraded/failing over)
 ``GET``   ``/v1/trace/<id>`` spans of one sampled trace (:mod:`repro.obs`)
 ``GET``   ``/v1/slow``    slow-query log (``?threshold_ms=`` re-filters)
 ========  =============== =================================================
@@ -35,6 +36,7 @@ internal lock serializes engine access across worker threads.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.error import HTTPError
@@ -45,7 +47,8 @@ from .. import obs
 from ..errors import ReproError, RequestError
 from .gateway import Gateway
 from .metrics import render_prometheus
-from .requests import Health, IngestBatch, Stats, request_from_dict
+from .requests import Health, IngestBatch, Ready, Stats, request_from_dict
+from .resilience import DeterministicJitter, RetryPolicy
 from .responses import ErrorInfo, StatsResult
 
 #: Stable error code -> HTTP status.
@@ -147,6 +150,8 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         route = parts.path
         if route == "/v1/healthz":
             self._send_gateway(Health())
+        elif route == "/v1/readyz":
+            self._send_ready()
         elif route == "/v1/stats":
             self._send_gateway(Stats())
         elif route == "/v1/metrics":
@@ -214,6 +219,28 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     status_for(response.error), payload, trace_id=ing.trace_id
                 )
+
+    def _send_ready(self) -> None:
+        """Readiness maps the ``ready`` bit onto HTTP: 200 ready, 503 not.
+
+        Distinct from ``/v1/healthz`` (pure liveness, 200 while the
+        process serves): a load balancer drains a backend on 503 here —
+        e.g. mid-failover, a dead replica, or an open circuit breaker —
+        without the supervisor restarting a perfectly alive process.
+        """
+        ing = obs.ingress("http.request", route=self.path, op="ready")
+        with ing:
+            request = Ready()
+            obs.attach(request, ing.ctx)
+            response = self.gateway.submit(request)
+            payload = response.to_dict()
+            if ing.trace_id is not None:
+                payload["trace_id"] = ing.trace_id
+            status = status_for(response.error)
+            if status == 200 and not getattr(response, "ready", True):
+                status = 503
+            with obs.span("http.respond", status=status):
+                self._send_json(status, payload, trace_id=ing.trace_id)
 
     def _send_trace(self, trace_id: str) -> None:
         spans = obs.trace(trace_id)
@@ -301,19 +328,73 @@ def serve_http(
         server.server_close()
 
 
+#: Error codes safe to retry on an idempotent request: transient serving
+#: conditions (failover window, queue spike, missed deadline), never a
+#: problem with the request itself.
+RETRYABLE_CODES = frozenset({"CLUSTER", "DEADLINE", "OVERLOAD"})
+
+#: Write operations — never retried (a lost ack could double-apply).
+_NON_IDEMPOTENT_OPS = frozenset({"ingest", "checkpoint"})
+
+
 class HttpClient:
     """Minimal stdlib HTTP client speaking the gateway protocol.
 
     The network twin of :class:`repro.api.client.Client`, used by tests,
     the smoke script, and ``examples/http_client_demo.py``. Raises the
     typed :class:`~repro.errors.ReproError` a failed response encodes.
+
+    With a :class:`~repro.api.resilience.RetryPolicy`, *idempotent*
+    requests (every GET; query reads, but never writes) that fail with a
+    transport error or a transient typed failure (``CLUSTER`` /
+    ``DEADLINE`` / ``OVERLOAD``) are retried under exponential backoff
+    with deterministic jitter; each attempt gets the full ``timeout``.
+    Writes are never retried — a lost ack could mean a double-apply —
+    which is what ``expect_version`` conditional ingest is for.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._jitter = DeterministicJitter()
 
     def _request(
+        self,
+        method: str,
+        route: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        idempotent: bool | None = None,
+    ) -> dict[str, Any]:
+        if idempotent is None:
+            idempotent = method == "GET"
+        policy = self.retry
+        attempts = policy.attempts if (policy is not None and idempotent) else 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(policy.backoff_s(attempt - 1, self._jitter.next()))
+            try:
+                return self._request_once(method, route, payload)
+            except ReproError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt == attempts - 1:
+                    raise
+            except HTTPError:
+                # A decoded non-typed server answer — not transient.
+                raise
+            except OSError:
+                # URLError (connection refused/reset, socket timeout):
+                # the server may be mid-restart or mid-failover.
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable: retry loop returns or raises")
+
+    def _request_once(
         self, method: str, route: str, payload: dict[str, Any] | None = None
     ) -> dict[str, Any]:
         url = f"{self.base_url}{route}"
@@ -340,11 +421,23 @@ class HttpClient:
 
     def query(self, payload: dict[str, Any]) -> dict[str, Any]:
         """POST one request object to ``/v1/query``."""
-        return self._request("POST", "/v1/query", payload)
+        return self._request(
+            "POST",
+            "/v1/query",
+            payload,
+            idempotent=payload.get("op") not in _NON_IDEMPOTENT_OPS,
+        )
 
     def query_many(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
         """POST a scheduled request sequence to ``/v1/query``."""
-        body = self._request("POST", "/v1/query", {"requests": payloads})
+        body = self._request(
+            "POST",
+            "/v1/query",
+            {"requests": payloads},
+            idempotent=all(
+                p.get("op") not in _NON_IDEMPOTENT_OPS for p in payloads
+            ),
+        )
         return list(body["responses"])
 
     def ingest(
@@ -384,3 +477,21 @@ class HttpClient:
 
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/v1/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        """GET ``/v1/readyz`` — the readiness payload, degraded or not.
+
+        A degraded cluster answers HTTP 503 *with* the full per-replica
+        payload; this returns that payload (``ready: false``) rather than
+        raising, so probes can report what exactly is degraded.
+        """
+        url = f"{self.base_url}/v1/readyz"
+        try:
+            with urlopen(Request(url, method="GET"), timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except HTTPError as exc:
+            if exc.code == 503:
+                body = json.loads(exc.read() or b"{}")
+                if "ready" in body:
+                    return body
+            raise

@@ -527,6 +527,22 @@ class Health(ApiRequest):
         return cls()
 
 
+@dataclass(frozen=True)
+class Ready(ApiRequest):
+    """Readiness probe: can this tier serve traffic *right now*?
+
+    Distinct from :class:`Health` (liveness): a cluster mid-failover or
+    with dead/ejected replicas is alive but not ready, and answers with
+    per-replica state so a load balancer can act (``/v1/readyz``).
+    """
+
+    op: ClassVar[str] = "ready"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Ready":
+        return cls()
+
+
 #: Stable op tag -> request class; the wire protocol's dispatch table.
 REQUEST_TYPES: dict[str, type[ApiRequest]] = {
     cls.op: cls
@@ -540,6 +556,7 @@ REQUEST_TYPES: dict[str, type[ApiRequest]] = {
         CheckpointNow,
         Stats,
         Health,
+        Ready,
     )
 }
 

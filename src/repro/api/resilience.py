@@ -1,0 +1,159 @@
+"""Client- and coordinator-side resilience primitives.
+
+Three small, deterministic building blocks (``docs/faults.md``):
+
+* :class:`DeterministicJitter` — backoff jitter without an RNG. Same
+  discipline as trace sampling (:mod:`repro.obs.trace`): a golden-ratio
+  accumulator walks the unit interval in the most uniformly-spread
+  deterministic sequence there is, so two runs of the same workload
+  retry at the same instants and chaos schedules stay reproducible.
+* :class:`RetryPolicy` — bounded retries with exponential backoff, as a
+  frozen value object the HTTP client evaluates per attempt.
+* :class:`CircuitBreaker` — per-replica ejection, counted in *requests*
+  rather than wall-clock so tests and chaos schedules are deterministic:
+  after ``failure_threshold`` consecutive failures the breaker opens and
+  the replica leaves the read rotation; after ``cooldown`` denied
+  requests it half-opens and one probe request decides whether it
+  closes again.
+
+None of these sleep or read a clock themselves — callers own time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["CircuitBreaker", "DeterministicJitter", "RetryPolicy"]
+
+#: Fractional part of the golden ratio: successive multiples mod 1.0 are
+#: the lowest-discrepancy (most evenly spread) sequence on [0, 1).
+_GOLDEN = 0.6180339887498949
+
+
+class DeterministicJitter:
+    """A no-RNG jitter source: the golden-ratio low-discrepancy walk."""
+
+    __slots__ = ("_accumulator",)
+
+    def __init__(self) -> None:
+        self._accumulator = 0.0
+
+    def next(self) -> float:
+        """The next jitter value in [0, 1)."""
+        self._accumulator = (self._accumulator + _GOLDEN) % 1.0
+        return self._accumulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``attempts`` counts *total* tries (1 = no retry). The backoff before
+    retry ``n`` (1-based) is ``base_backoff_s * multiplier**(n-1)``
+    capped at ``max_backoff_s``, scaled down by up to ``jitter`` of
+    itself using a caller-supplied jitter value in [0, 1) — jitter only
+    ever shortens the wait, so the cap is a hard bound.
+    """
+
+    attempts: int = 3
+    base_backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_backoff_s < 0:
+            raise ConfigError("base_backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1.0")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigError("max_backoff_s must be >= base_backoff_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+
+    def backoff_s(self, retry: int, jitter_value: float) -> float:
+        """Seconds to wait before 1-based retry ``retry``."""
+        raw = min(
+            self.base_backoff_s * self.multiplier ** (retry - 1),
+            self.max_backoff_s,
+        )
+        return raw * (1.0 - self.jitter * jitter_value)
+
+
+class CircuitBreaker:
+    """Request-counted circuit breaker for one replica.
+
+    States: ``closed`` (healthy, all requests pass), ``open`` (ejected —
+    :meth:`allow` denies, and each denial counts toward the cooldown),
+    ``half_open`` (cooldown elapsed; exactly one probe request passes
+    and its outcome decides the next state). Counting denials instead of
+    reading a clock keeps the breaker deterministic under virtual-step
+    chaos schedules.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ConfigError("cooldown must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self.failures = 0
+        self.denials = 0
+        self._probing = False
+
+    def allow(self) -> bool:
+        """May a request be routed here? Denials advance the cooldown."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            self.denials += 1
+            if self.denials >= self.cooldown:
+                self.state = self.HALF_OPEN
+                self._probing = True
+                return True
+            return False
+        # Half-open: one probe is in flight; hold further traffic until
+        # its outcome arrives.
+        if not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.denials = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self.denials = 0
+        self._probing = False
+
+    def to_dict(self) -> dict[str, int | str]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "denials": self.denials,
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, failures={self.failures})"

@@ -289,3 +289,32 @@ class HealthResult(ApiResponse):
             "resident": self.resident,
             "hubs": self.hubs,
         }
+
+
+@dataclass(frozen=True)
+class ReadyResult(ApiResponse):
+    """Readiness payload (:class:`~repro.api.requests.Ready`).
+
+    ``ready`` is the load-balancer bit (``/v1/readyz`` maps it to
+    200/503); ``replicas`` carries one dict per worker — alive flag,
+    role, applied-version lag behind the acked head, circuit-breaker
+    state — and ``primary``/``epoch`` identify the current write
+    authority. A single-process gateway is trivially ready.
+    """
+
+    op: ClassVar[str] = "ready"
+
+    ready: bool = True
+    status: str = "ready"
+    primary: str | None = "embedded"
+    epoch: int = 0
+    replicas: tuple[dict[str, Any], ...] = ()
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "ready": self.ready,
+            "status": self.status,
+            "primary": self.primary,
+            "epoch": self.epoch,
+            "replicas": [dict(r) for r in self.replicas],
+        }

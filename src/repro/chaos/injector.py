@@ -1,0 +1,176 @@
+"""The process-wide fault injector behind every chaos site.
+
+One :class:`ChaosInjector` per process (module-level ``INJECTOR``, like
+:data:`repro.obs.TRACER`). With no plan installed a site probe is two
+attribute checks — the production hot path stays unharmed. With a plan
+installed, each site call walks the plan's faults, advances the private
+visit counter of every fault that *matches* (same site, replica filter
+satisfied), and fires the first fault whose window covers the visit.
+
+Every injected fault is emitted as an :func:`repro.obs.event` span event
+(``chaos.inject``) and recorded on :attr:`ChaosInjector.injected`, so a
+trace shows the fault and the recovery in one tree and tests/smokes can
+assert exactly which faults actually fired.
+
+Call-site contract:
+
+* :func:`check` — fire-and-act: ``ERROR`` raises ``OSError``, ``CRASH``
+  calls ``os._exit`` (worker processes only), ``WEDGE`` blocks forever.
+  For sites where those defaults are the right semantics.
+* :func:`fire` — fire-and-return: the call site interprets the
+  :class:`~repro.chaos.plan.Fault` itself (drop/duplicate/delay a frame,
+  retire the embedded primary, ...). Returns ``None`` when nothing fires.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from .. import obs
+from .plan import Fault, FaultKind, FaultPlan
+
+__all__ = [
+    "ChaosInjector",
+    "INJECTOR",
+    "check",
+    "fire",
+    "injected",
+    "install",
+    "reset",
+]
+
+
+class _FaultState:
+    """Per-installation firing state of one scripted fault."""
+
+    __slots__ = ("fault", "seen", "fired")
+
+    def __init__(self, fault: Fault) -> None:
+        self.fault = fault
+        self.seen = 0
+        self.fired = 0
+
+    def matches(self, replica: int | None) -> bool:
+        return self.fault.replica is None or self.fault.replica == replica
+
+    def visit(self) -> bool:
+        """Count one visit; True when this visit is inside the fire window."""
+        self.seen += 1
+        if self.fault.at <= self.seen < self.fault.at + self.fault.count:
+            self.fired += 1
+            return True
+        return False
+
+
+class ChaosInjector:
+    """Deterministic fault injection for one process."""
+
+    def __init__(self) -> None:
+        self._states: list[_FaultState] = []
+        self.plan: FaultPlan | None = None
+        #: Replica id this process runs as (None in the coordinator).
+        self.self_replica: int | None = None
+        #: Every fault that actually fired: (site, Fault, context attrs).
+        self.injected: list[tuple[str, Fault, dict[str, Any]]] = []
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None
+
+    def install(self, plan: FaultPlan | None, *, replica: int | None = None) -> None:
+        """Adopt ``plan`` (resetting all counters); ``None`` uninstalls."""
+        self.plan = plan
+        self.self_replica = replica
+        self._states = [_FaultState(f) for f in plan.faults] if plan else []
+        self.injected = []
+
+    def reset(self) -> None:
+        self.install(None)
+
+    def fire(self, site: str, *, replica: int | None = None, **ctx: Any) -> Fault | None:
+        """Probe one site visit; returns the fault that fires, if any.
+
+        ``replica`` is the call's replica context (a coordinator probing
+        a per-replica seam passes the index); in a worker process the
+        injector's own ``self_replica`` is the context. Every matching
+        fault's visit counter advances exactly once per call, so plans
+        stay deterministic even when several faults share a site.
+        """
+        if self.plan is None:
+            return None
+        if replica is None:
+            replica = self.self_replica
+        winner: Fault | None = None
+        for state in self._states:
+            if state.fault.site != site or not state.matches(replica):
+                continue
+            if state.visit() and winner is None:
+                winner = state.fault
+        if winner is not None:
+            record = dict(ctx)
+            if replica is not None:
+                record.setdefault("replica", replica)
+            self.injected.append((site, winner, record))
+            obs.event(
+                "chaos.inject", site=site, kind=winner.kind.value, **record
+            )
+        return winner
+
+    def check(self, site: str, *, replica: int | None = None, **ctx: Any) -> None:
+        """Probe a site and apply the default action for what fires."""
+        fault = self.fire(site, replica=replica, **ctx)
+        if fault is None:
+            return
+        if fault.kind is FaultKind.ERROR:
+            raise OSError(fault.message or f"injected fault at {site}")
+        if fault.kind is FaultKind.CRASH:
+            # The SIGKILL analog: no atexit hooks, no finally blocks —
+            # the process vanishes mid-operation, exactly like a kill -9.
+            os._exit(3)
+        if fault.kind is FaultKind.WEDGE:  # pragma: no cover - exits via kill
+            while True:
+                time.sleep(3600.0)
+        # DROP/DUP/DELAY have no sensible default; sites that support
+        # them use fire() and interpret the fault themselves.
+
+    def summary(self) -> list[dict[str, Any]]:
+        """JSON-safe log of every fault that fired (tests, smoke, stats)."""
+        return [
+            {"site": site, "kind": fault.kind.value, **attrs}
+            for site, fault, attrs in self.injected
+        ]
+
+    def __repr__(self) -> str:
+        plan = self.plan.name if self.plan else None
+        return f"ChaosInjector(plan={plan!r}, injected={len(self.injected)})"
+
+
+#: The process-wide injector every chaos site probes.
+INJECTOR = ChaosInjector()
+
+
+def install(plan: FaultPlan | None, *, replica: int | None = None) -> None:
+    """Install ``plan`` process-wide (``None`` uninstalls)."""
+    INJECTOR.install(plan, replica=replica)
+
+
+def reset() -> None:
+    """Remove any installed plan; tests call this between cases."""
+    INJECTOR.reset()
+
+
+def fire(site: str, *, replica: int | None = None, **ctx: Any) -> Fault | None:
+    """Probe ``site``; the call site interprets the returned fault."""
+    return INJECTOR.fire(site, replica=replica, **ctx)
+
+
+def check(site: str, *, replica: int | None = None, **ctx: Any) -> None:
+    """Probe ``site``, applying default fault actions (raise/crash/wedge)."""
+    INJECTOR.check(site, replica=replica, **ctx)
+
+
+def injected() -> list[dict[str, Any]]:
+    """The faults that have fired in this process, in firing order."""
+    return INJECTOR.summary()

@@ -32,10 +32,17 @@ Commands
 ``serve <dataset> [--host H] [--port P] [--hubs N] [--replicas N]``
     Run the typed-gateway HTTP front-end (:mod:`repro.api.http`) over a
     deterministic dataset-analog service: ``POST /v1/query``,
-    ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``. With
-    ``--replicas N`` the gateway is the replicated cluster tier
+    ``POST /v1/ingest``, ``GET /v1/stats``, ``GET /v1/healthz``
+    (liveness), ``GET /v1/readyz`` (readiness — 503 while degraded).
+    With ``--replicas N`` the gateway is the replicated cluster tier
     (:mod:`repro.cluster`): N worker processes serve reads, writes ship
-    as ordered deltas. ``--trace`` turns on end-to-end request tracing
+    as ordered deltas, and a dead primary fails over to the
+    most-caught-up replica. ``--store DIR`` persists ingest through a
+    WAL+checkpoint store; ``--chaos PLAN.json`` arms a deterministic
+    fault-injection plan (:mod:`repro.chaos`, see ``docs/faults.md``).
+    SIGTERM/SIGINT shut down gracefully — stop accepting, drain
+    admitted requests, checkpoint if dirty, join replicas — bounded by
+    ``--drain-timeout``. ``--trace`` turns on end-to-end request tracing
     (:mod:`repro.obs`) at ``--trace-sample`` rate, queryable via
     ``GET /v1/trace/<id>`` and ``GET /v1/slow``; ``--trace-export``
     additionally appends every finished span to a JSONL file for
@@ -60,6 +67,14 @@ Commands
     bit-identical and within its staleness contract — and, with enough
     cores to host the replicas, unless the cluster wins >= 2.5x.
     ``--tiny`` is the CI smoke mode. See ``docs/cluster.md``.
+``chaos-bench <dataset> [--replicas N] [--tiny]``
+    Drive a deterministic write/read trace through the replicated
+    cluster while a scripted :mod:`repro.chaos` fault plan drops a
+    replication frame and crashes the primary mid-trace; exits nonzero
+    unless every acked write survives the failover, every ANY read
+    answers, nothing hangs past the deadline, and post-heal FRESH
+    answers are bit-identical to a single-process oracle. ``--tiny``
+    is the CI smoke mode. See ``docs/faults.md``.
 ``load-bench <dataset> [--tiny]``
     Open-loop goodput knee curve: measure closed-loop saturation, then
     replay Zipf multi-tenant traffic at fractions of it up to 2x through
@@ -350,11 +365,18 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    import time
+
+    from . import chaos
     from .api.gateway import Gateway
     from .api.http import GatewayRequestHandler, make_server
     from .bench.gateway import workload_service
+    from .chaos import FaultPlan
     from .cluster import ClusterGateway
-    from .config import ApiConfig, ClusterConfig, ObsConfig
+    from .config import ApiConfig, ClusterConfig, ObsConfig, StoreConfig
+    from .store.store import StateStore
 
     service, prepared = workload_service(
         args.dataset,
@@ -364,6 +386,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_hubs=args.hubs,
         top_k=args.k,
     )
+    if args.store is not None:
+        store = StateStore(args.store, StoreConfig(root=args.store))
+        service.attach_store(store)
+        print(f"store:    {args.store} (WAL + checkpoints)")
+    if args.chaos is not None:
+        plan = FaultPlan.load(args.chaos)
+        chaos.install(plan)
+        print(f"chaos:    {plan.name or args.chaos} ({len(plan)} faults armed)")
     obs_config = ObsConfig(
         enabled=args.trace or args.trace_export is not None,
         sample_rate=args.trace_sample,
@@ -382,12 +412,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.verbose:
         GatewayRequestHandler.log_traffic = True
     server = make_server(gateway)
+
+    # Graceful shutdown: SIGTERM (orchestrators) and SIGINT both stop
+    # accepting connections, then drain in-flight work, flush/checkpoint
+    # the store, and join the replicas — all bounded by --drain-timeout.
+    # server.shutdown() blocks until serve_forever exits, so the handler
+    # fires it from a helper thread rather than the serving main thread.
+    stop_signal: list[str] = []
+
+    def _request_stop(signum: int, _frame: object) -> None:
+        if stop_signal:  # second signal: let the default disposition kill us
+            signal.signal(signum, signal.SIG_DFL)
+            signal.raise_signal(signum)
+            return
+        stop_signal.append(signal.Signals(signum).name)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     print(f"workload: {prepared.describe()}")
     print(f"service:  {service}")
     if cluster is not None:
         print(f"cluster:  {cluster}")
     print(f"listening on {server.url} "
-          "(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz)")
+          "(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz /v1/readyz)")
     if obs_config.enabled:
         print(f"tracing:  sampling {obs_config.sample_rate:.0%} of requests"
               f" (GET /v1/trace/<id>, GET /v1/slow)"
@@ -395,12 +445,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  if obs_config.export_path else ""))
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
     finally:
+        deadline = time.monotonic() + args.drain_timeout
+        print(f"\nshutting down ({stop_signal[0] if stop_signal else 'exit'}):"
+              f" draining for up to {args.drain_timeout:.0f}s")
         server.server_close()
+        admission = getattr(gateway, "admission", None)
+        if admission is not None:
+            while admission.depth > 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            if admission.depth:
+                print(f"drain:    {admission.depth} request(s) abandoned")
+        if service.store is not None and not service.store.failed:
+            if service.store._batches_since_checkpoint > 0:
+                service.store.checkpoint(service)
+                print(f"store:    checkpointed at v{service.graph_version}")
+            service.store.close()
         if cluster is not None:
-            cluster.close()
+            cluster.close(
+                deadline_s=max(0.5, deadline - time.monotonic())
+            )
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     return 0
 
 
@@ -472,6 +538,45 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         f"replicated serving: {verdict} — answers"
         f" {'bit-identical' if result.matched else 'MISMATCH'},"
         f" contracts {'honored' if result.bounded_ok else 'VIOLATED'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    from .bench.chaos import chaos_benchmark
+
+    if args.tiny:
+        # CI smoke: 2 replicas, a shorter trace with the same fault
+        # schedule — the full failover machinery (drop, gap-kill,
+        # rebuild, primary crash, promotion, post-heal bit-identity)
+        # fires either way; only the trace length shrinks.
+        replicas, writes, reads, sources, probes = 2, 6, 4, 12, 4
+    else:
+        replicas, writes, reads, sources, probes = (
+            args.replicas, args.writes, args.reads, args.sources, args.probes
+        )
+    result = chaos_benchmark(
+        args.dataset,
+        replicas=replicas,
+        writes=writes,
+        reads_per_write=reads,
+        kill_at_write=max(2, writes // 2),
+        num_sources=sources,
+        probes=probes,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    ok = result.passed(deadline_s=args.deadline)
+    print(
+        "chaos: "
+        + (
+            "survived — zero acked-write loss, ANY served throughout,"
+            " post-heal bit-identical"
+            if ok
+            else "FAILED — see table above"
+        )
     )
     return 0 if ok else 1
 
@@ -692,6 +797,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through N replica worker processes (0 = single-process)",
     )
     serve_http.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist ingest through a WAL+checkpoint store at DIR",
+    )
+    serve_http.add_argument(
+        "--chaos", default=None, metavar="PLAN.json",
+        help="arm a deterministic fault-injection plan (repro.chaos)",
+    )
+    serve_http.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="graceful-shutdown budget: drain, checkpoint, join replicas",
+    )
+    serve_http.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve_http.set_defaults(func=_cmd_serve)
@@ -714,6 +831,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="2 replicas, short trace, no speedup bar (the CI smoke mode)",
     )
     clb.set_defaults(func=_cmd_cluster_bench)
+
+    chb = sub.add_parser(
+        "chaos-bench",
+        help="scripted fault plan vs the cluster: failover with zero acked-write loss",
+    )
+    chb.add_argument("dataset", choices=sorted(DATASETS))
+    chb.add_argument("--replicas", type=int, default=3)
+    chb.add_argument("--writes", type=int, default=10)
+    chb.add_argument("--reads", type=int, default=6, help="ANY reads per write")
+    chb.add_argument("--sources", type=int, default=24)
+    chb.add_argument("--probes", type=int, default=6,
+                     help="untouched sources for the post-heal oracle check")
+    chb.add_argument("--k", type=int, default=10)
+    chb.add_argument("--epsilon", type=float, default=1e-5)
+    chb.add_argument("--workers", type=int, default=40)
+    chb.add_argument("--deadline", type=float, default=5.0,
+                     help="per-read hang bar in seconds")
+    chb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2 replicas, short trace, same fault schedule (the CI smoke mode)",
+    )
+    chb.set_defaults(func=_cmd_chaos_bench)
 
     gwb = sub.add_parser(
         "gateway-bench",

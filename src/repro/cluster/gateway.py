@@ -27,10 +27,20 @@ one core:
   store when one is attached, else from an order-exact graph snapshot —
   and the interrupted chunk is re-dispatched. Respawns beyond
   ``ClusterConfig.max_respawns`` surface as
-  :class:`~repro.errors.ClusterError` (stable code ``CLUSTER``).
+  :class:`~repro.errors.ClusterError` (stable code ``CLUSTER``);
+* **primary failover**: when the embedded primary is retired (chaos
+  kill, fenced store after an fsync failure), the next write promotes
+  the most-caught-up live replica — it replays the WAL tail, takes over
+  the store, and every subsequent frame is stamped with a bumped
+  *epoch* so the fenced writer's late deltas are rejected. ANY/BOUNDED
+  reads keep serving from the surviving replicas throughout; FRESH
+  degrades to a typed 503 until the promotion completes. A per-replica
+  :class:`~repro.api.resilience.CircuitBreaker` ejects a failing
+  replica from the read rotation before its deadline fires.
 
-See ``docs/cluster.md`` for the topology, routing table, and failure
-model; ``benchmarks/bench_cluster.py`` races this gateway against the
+See ``docs/cluster.md`` for the topology and routing table,
+``docs/faults.md`` for the failure model and failover walkthrough;
+``benchmarks/bench_cluster.py`` races this gateway against the
 single-process one on the same trace.
 """
 
@@ -42,29 +52,35 @@ from collections import Counter
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
-from .. import obs
+from .. import chaos, obs
 from ..api.admission import AdmissionController
 from ..api.gateway import RESPONSE_FOR, Gateway
 from ..api.requests import (
     ApiRequest,
     BatchQuery,
     Deadline,
+    Health,
     HubQuery,
     IngestBatch,
     Prefetch,
+    Ready,
     ScoreQuery,
     Stats,
     TopKQuery,
 )
+from ..api.resilience import CircuitBreaker
 from ..api.responses import (
     ApiResponse,
     BatchResult,
     ErrorInfo,
+    HealthResult,
     PrefetchResult,
+    ReadyResult,
     StatsResult,
     TopKResult,
 )
 from ..api.scheduling import ReadRun, plan_schedule, scatter_run_results
+from ..chaos import FaultKind
 from ..config import (
     ApiConfig,
     CatchUpPolicy,
@@ -72,7 +88,13 @@ from ..config import (
     ConsistencyLevel,
     PlacementPolicy,
 )
-from ..errors import ClusterError, DeadlineError, OverloadError, ReproError
+from ..errors import (
+    ClusterError,
+    DeadlineError,
+    OverloadError,
+    ReproError,
+    StoreError,
+)
 from ..obs import clock
 from ..store.wal import pack_record
 from . import messages
@@ -118,6 +140,10 @@ class ReplicaHandle:
         self.applied_version = -1
         #: Reads/chunks dispatched to this replica (stats surface).
         self.dispatched = 0
+        #: Tickets whose answers nobody is waiting for anymore (hedged
+        #: reads that lost the race, deadline-abandoned dispatches):
+        #: their late RESPONSES frames are absorbed, not protocol errors.
+        self.abandoned: set[int] = set()
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -134,7 +160,7 @@ class ReplicaHandle:
         if not self.process.is_alive():
             raise _ReplicaDied(f"{self.process.name} is not alive")
 
-    def close(self, *, terminate: bool = False) -> None:
+    def close(self, *, terminate: bool = False, timeout: float = 5.0) -> None:
         """Join the worker; ``terminate`` kills it outright (no wait).
 
         The forced path uses SIGKILL, not SIGTERM: a worker wedged under
@@ -142,14 +168,15 @@ class ReplicaHandle:
         (stopped processes leave catchable signals pending), so the old
         terminate-then-join dance stalled two full join timeouts exactly
         when a fast replacement mattered most. SIGKILL takes effect
-        regardless of stop state.
+        regardless of stop state. ``timeout`` bounds each join (graceful
+        shutdown passes its remaining drain budget).
         """
         if terminate and self.process.is_alive():
             self.process.kill()
-        self.process.join(timeout=5.0)
+        self.process.join(timeout=timeout)
         if self.process.is_alive():
             self.process.kill()
-            self.process.join(timeout=5.0)
+            self.process.join(timeout=timeout)
         self.conn.close()
 
 
@@ -212,6 +239,25 @@ class ClusterGateway:
         )
         self._respawn_counts: dict[int, int] = {}
         self._closed = False
+        #: Write-authority term; bumped at every failover and stamped
+        #: into every WAL frame shipped under the new primary.
+        self.epoch = 0
+        #: Index of the promoted replica, or None while the embedded
+        #: engine is primary.
+        self._primary_index: int | None = None
+        #: True once the embedded engine has been retired (chaos kill or
+        #: fenced store) — the next write triggers a failover.
+        self._embedded_dead = False
+        #: Acknowledged head version: the newest version an acked write
+        #: produced. Tracks ``service.graph_version`` while the embedded
+        #: engine is primary, then the promoted replica's acked writes.
+        self._head = service.graph_version
+        #: APPLY frames held back by a DELAY fault, per replica index.
+        self._delayed: dict[int, tuple] = {}
+        self.breakers: list[CircuitBreaker] = [
+            CircuitBreaker(self.cluster.breaker_failures, self.cluster.breaker_cooldown)
+            for _ in range(self.cluster.replicas)
+        ]
         self.replicas: list[ReplicaHandle] = []
         try:
             for index in range(self.cluster.replicas):
@@ -227,6 +273,9 @@ class ClusterGateway:
     def _spec(self, index: int, *, from_store: bool) -> ReplicaSpec:
         service = self.service
         serve = service.serve.with_(store=None)
+        # The coordinator's installed fault plan rides every spec; the
+        # worker re-installs it fresh (zeroed counters, replica-scoped).
+        plan = chaos.INJECTOR.plan
         if from_store:
             assert service.store is not None
             return ReplicaSpec(
@@ -238,6 +287,7 @@ class ClusterGateway:
                 graph_version=service.graph_version,
                 store_root=str(service.store.root),
                 obs=self.config.obs,
+                chaos=plan,
             )
         return ReplicaSpec(
             replica_id=index,
@@ -248,6 +298,7 @@ class ClusterGateway:
             graph_version=service.graph_version,
             store_root=None,
             obs=self.config.obs,
+            chaos=plan,
         )
 
     def _spawn(self, index: int, *, from_store: bool = False) -> ReplicaHandle:
@@ -269,15 +320,15 @@ class ClusterGateway:
         if tag != messages.HELLO:
             handle.close(terminate=True)
             raise ClusterError(f"replica {index} sent {tag!r} instead of hello")
-        if version != self.service.graph_version:
+        if version != self._head:
             # A store bootstrap under a lax fsync policy can land behind
             # head; an order-exact snapshot of the live primary cannot.
             handle.close(terminate=True)
-            if from_store:
+            if from_store and self._primary_index is None:
                 return self._spawn(index, from_store=False)
             raise ClusterError(
                 f"replica {index} came up at v{version},"
-                f" primary is at v{self.service.graph_version}"
+                f" acked head is at v{self._head}"
             )
         handle.applied_version = version
         return handle
@@ -295,6 +346,20 @@ class ClusterGateway:
                 f"replica {index} died and its respawn budget"
                 f" ({self.cluster.max_respawns}) is exhausted"
             )
+        if self._primary_index is not None and self.service.store is None:
+            # Post-failover without a store there is nothing to rebuild
+            # from: the retired embedded engine is behind the forwarded
+            # writes, and only the promoted primary has the full history.
+            raise ClusterError(
+                f"replica {index} died and cannot be rebuilt: no store"
+                " to recover from after failover"
+            )
+        if index == self._primary_index:
+            # The promoted primary died; a plain respawn recovers its
+            # state but not its role (no store attached worker-side, no
+            # epoch), so the next write must run a fresh failover.
+            self._primary_index = None
+            obs.event("primary.lost", replica=index, epoch=self.epoch)
         self._respawn_counts[index] = count
         obs.event("replica-crashed", replica=index, respawn=count)
         with obs.span("cluster.respawn", replica=index):
@@ -304,24 +369,32 @@ class ClusterGateway:
             )
         self.counters["respawns"] += 1
 
-    def close(self) -> None:
+    def close(self, *, deadline_s: float | None = None) -> None:
         """Drain and stop every worker (idempotent).
 
         A clean drain: each live replica gets a ``SHUTDOWN`` frame and
         acknowledges with ``BYE`` after finishing whatever frame it was
         serving; stragglers are terminated after a grace period.
+        ``deadline_s`` bounds the whole drain (graceful shutdown) — past
+        it, remaining workers get SIGKILL joins with a minimal timeout.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            limit = clock.now() + deadline_s if deadline_s is not None else None
             for handle in self.replicas:
                 try:
                     handle.send((messages.SHUTDOWN,))
                 except _ReplicaDied:
                     pass
             for handle in self.replicas:
-                handle.close()
+                if limit is None:
+                    handle.close()
+                else:
+                    handle.close(
+                        timeout=max(0.1, min(5.0, limit - clock.now()))
+                    )
 
     def __enter__(self) -> "ClusterGateway":
         return self
@@ -347,6 +420,14 @@ class ClusterGateway:
         if tag == messages.SYNCED:
             handle.applied_version = max(handle.applied_version, frame[2])
             return frame
+        if tag == messages.RESPONSES and frame[1] in handle.abandoned:
+            # A hedged read's losing answer, or a deadline-abandoned
+            # dispatch finally finishing: keep the version/span
+            # bookkeeping, drop the payload.
+            handle.abandoned.discard(frame[1])
+            handle.applied_version = max(handle.applied_version, frame[3])
+            obs.ingest_spans(frame[4])
+            return None
         return frame
 
     def _drain_acks(self) -> None:
@@ -414,13 +495,13 @@ class ClusterGateway:
     def _barrier(self, index: int) -> None:
         """Explicit catch-up: wait until the replica acks head version."""
         handle = self.replicas[index]
-        if handle.applied_version >= self.service.graph_version:
+        if handle.applied_version >= self._head:
             return
         ticket = self._next_ticket()
         handle.send((messages.SYNC, ticket))
         deadline = clock.now() + self.cluster.response_timeout_s
         with obs.span("cluster.barrier", replica=index):
-            while handle.applied_version < self.service.graph_version:
+            while handle.applied_version < self._head:
                 try:
                     if not handle.conn.poll(0.05):
                         if not handle.alive() or clock.now() > deadline:
@@ -439,6 +520,13 @@ class ClusterGateway:
         fresh: bool,
     ) -> int:
         """Ship a read chunk to one replica; returns the ticket to await."""
+        if fresh and not self.has_primary:
+            # No write authority exists, so "fresh as of now" is not a
+            # promise anyone can keep. The typed 503 is the promotion
+            # window's only degradation: ANY/BOUNDED reads keep serving.
+            raise ClusterError(
+                "FRESH reads unavailable: no primary (failover pending)"
+            )
         if fresh and self.cluster.catch_up is CatchUpPolicy.BARRIER:
             self._barrier(index)
         ticket = self._next_ticket()
@@ -454,16 +542,31 @@ class ClusterGateway:
         return ticket
 
     def _dispatch_single(self, index: int, request: ApiRequest) -> ApiResponse:
-        """One read on one replica, with crash detection and one retry."""
+        """One read on one replica, with crash detection and one retry.
+
+        Outcomes feed the replica's circuit breaker: a death or expired
+        deadline counts as a failure, a served answer closes it again.
+        """
         fresh = self._is_fresh(request)
         deadline = getattr(request, "deadline", None)
+        if (
+            self.cluster.hedge_reads
+            and not fresh
+            and len(self.replicas) > 1
+            and isinstance(request, (TopKQuery, ScoreQuery))
+        ):
+            return self._hedged_single(index, request)
         try:
             ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
-            return self._await(index, ticket, deadline)[0]
+            response = self._await(index, ticket, deadline)[0]
         except _DeadlineExpired:
+            self.breakers[index].record_failure()
             raise self._abandon(index, deadline) from None
         except _ReplicaDied:
+            self.breakers[index].record_failure()
             return self._retry_single(index, request, fresh)
+        self.breakers[index].record_success()
+        return response
 
     def _abandon(self, index: int, deadline: Deadline | None) -> DeadlineError:
         """Replace a replica whose in-flight ticket was abandoned.
@@ -500,13 +603,93 @@ class ClusterGateway:
         self._revive(index)
         try:
             ticket = self._dispatch(index, [request], coalesce=False, fresh=fresh)
-            return self._await(index, ticket, deadline)[0]
+            response = self._await(index, ticket, deadline)[0]
         except _DeadlineExpired:
+            self.breakers[index].record_failure()
             raise self._abandon(index, deadline) from None
         except _ReplicaDied as exc:
+            self.breakers[index].record_failure()
             raise ClusterError(
                 f"replica {index} died twice serving one request"
             ) from exc
+        self.breakers[index].record_success()
+        return response
+
+    def _hedged_single(self, index: int, request: ApiRequest) -> ApiResponse:
+        """Dispatch an idempotent read to two replicas; first answer wins.
+
+        The loser's ticket joins its handle's ``abandoned`` set so the
+        late answer is absorbed as bookkeeping rather than tripping the
+        protocol check. If one of the pair dies the race degrades to a
+        plain await on the survivor; if both die, the normal
+        revive-and-retry path takes over on the owner.
+        """
+        backup = self._route((index + 1) % len(self.replicas))
+        deadline = getattr(request, "deadline", None)
+        ctx = obs.current()
+        if ctx is not None:
+            obs.attach(request, ctx)
+        racers: dict[int, int] = {}  # replica index -> ticket
+        for i in dict.fromkeys((index, backup)):
+            try:
+                ticket = self._next_ticket()
+                handle = self.replicas[i]
+                handle.send((messages.REQUESTS, ticket, (request,), False))
+                handle.dispatched += 1
+                racers[i] = ticket
+            except _ReplicaDied:
+                self.breakers[i].record_failure()
+        if not racers:
+            return self._retry_single(index, request, False)
+        self.counters["reads_hedged"] += 1
+        timeout_at = clock.now() + self.cluster.response_timeout_s
+        with obs.span("cluster.hedge", owner=index, racers=len(racers)):
+            while racers:
+                now = clock.now()
+                if deadline is not None and deadline.expired(now):
+                    for i, ticket in racers.items():
+                        self.replicas[i].abandoned.add(ticket)
+                        self.breakers[i].record_failure()
+                    raise deadline.to_error()
+                if now > timeout_at:
+                    break
+                for i, ticket in list(racers.items()):
+                    handle = self.replicas[i]
+                    try:
+                        if not handle.conn.poll(0.01):
+                            if not handle.alive():
+                                raise _ReplicaDied(f"replica {i} exited")
+                            continue
+                        frame = self._absorb(handle, handle.conn.recv())
+                    except _ReplicaDied:
+                        self.breakers[i].record_failure()
+                        del racers[i]
+                        continue
+                    except (EOFError, OSError):
+                        self.breakers[i].record_failure()
+                        del racers[i]
+                        continue
+                    if frame is None or frame[0] in (messages.SYNCED, messages.BYE):
+                        continue
+                    if frame[0] == messages.RESPONSES and frame[1] == ticket:
+                        handle.applied_version = max(
+                            handle.applied_version, frame[3]
+                        )
+                        obs.ingest_spans(frame[4])
+                        self.breakers[i].record_success()
+                        for loser, lost in racers.items():
+                            if loser != i:
+                                self.replicas[loser].abandoned.add(lost)
+                        return frame[2][0]
+                    raise ClusterError(
+                        f"replica {i} broke protocol: got {frame[0]!r}"
+                        f" while awaiting hedged ticket {ticket}"
+                    )
+        # Both racers died or the response timeout lapsed: abandon any
+        # survivors' tickets and fall back to revive-and-retry.
+        for i, ticket in racers.items():
+            self.replicas[i].abandoned.add(ticket)
+        return self._retry_single(index, request, False)
 
     def _scatter(
         self, per_replica: dict[int, ApiRequest], fresh: bool
@@ -552,6 +735,29 @@ class ClusterGateway:
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
+
+    @property
+    def has_primary(self) -> bool:
+        """Is there a live write authority (embedded or promoted)?"""
+        return self._primary_index is not None or not self._embedded_dead
+
+    def _route(self, index: int) -> int:
+        """First replica at or after ``index`` whose breaker admits traffic.
+
+        Walking forward keeps HASHED placement's warm-cache affinity for
+        healthy replicas while ejecting open-breaker ones from the
+        rotation; if every breaker is open the original owner gets the
+        request anyway (serving a maybe-failing replica beats failing
+        outright, and the denials advance each breaker's cooldown).
+        """
+        n = len(self.replicas)
+        for step in range(n):
+            candidate = (index + step) % n
+            if self.breakers[candidate].allow():
+                if candidate != index:
+                    self.counters["reads_rerouted"] += 1
+                return candidate
+        return index
 
     def _owner(self, source: int) -> int:
         if self.cluster.placement is PlacementPolicy.HASHED:
@@ -604,7 +810,7 @@ class ClusterGateway:
             shape = RESPONSE_FOR.get(type(request), ApiResponse)
             return shape.failure(
                 ErrorInfo.from_exception(exc),
-                snapshot_version=self.service.graph_version,
+                snapshot_version=self._head,
             )
 
     def execute(self, request: ApiRequest) -> ApiResponse:
@@ -641,63 +847,316 @@ class ClusterGateway:
         with self._lock:
             if self._closed:
                 raise ClusterError("cluster gateway is closed")
-            self._drain_acks()
-            self.counters[request.op] += 1
-            # Under the lock, so queueing on a busy coordinator counts
-            # against the budget (matching the single-process gateway).
-            deadline = getattr(request, "deadline", None)
-            if deadline is not None and deadline.expired():
-                raise deadline.to_error()
-            if isinstance(request, IngestBatch):
-                return self._execute_ingest(request)
-            if isinstance(request, TopKQuery):
-                return self._dispatch_single(self._owner(request.source), request)
-            if isinstance(request, ScoreQuery):
-                return self._dispatch_single(self._owner(request.source), request)
-            if isinstance(request, HubQuery):
-                self._rotor = (self._rotor + 1) % len(self.replicas)
-                return self._dispatch_single(self._rotor, request)
-            if isinstance(request, BatchQuery):
-                return self._execute_batch(request)
-            if isinstance(request, Prefetch):
-                return self._execute_prefetch(request)
-            if isinstance(request, Stats):
-                return self._execute_stats(request)
-            # Health, CheckpointNow, and anything engine-administrative
-            # run on the primary, which owns durability and identity.
-            return self.primary.execute(request)
+            try:
+                return self._execute_routed(request)
+            except (_ReplicaDied, _DeadlineExpired) as exc:
+                # Backstop: the retry paths convert these; anything that
+                # still escapes must not reach HTTP clients as internal
+                # control flow.
+                raise ClusterError(
+                    f"replica failure escaped the retry path: {exc}"
+                ) from exc
+            except (EOFError, BrokenPipeError, ConnectionError) as exc:
+                # A replica pipe breaking mid-request is a cluster
+                # failure (stable code CLUSTER, HTTP 503), never a raw
+                # EOFError/BrokenPipeError to the caller.
+                raise ClusterError(
+                    f"replica channel broke mid-request: {exc}"
+                ) from exc
+
+    def _execute_routed(self, request: ApiRequest) -> ApiResponse:
+        self._drain_acks()
+        self.counters[request.op] += 1
+        # Under the lock, so queueing on a busy coordinator counts
+        # against the budget (matching the single-process gateway).
+        deadline = getattr(request, "deadline", None)
+        if deadline is not None and deadline.expired():
+            raise deadline.to_error()
+        if isinstance(request, IngestBatch):
+            return self._execute_ingest(request)
+        if isinstance(request, TopKQuery):
+            return self._dispatch_single(
+                self._route(self._owner(request.source)), request
+            )
+        if isinstance(request, ScoreQuery):
+            return self._dispatch_single(
+                self._route(self._owner(request.source)), request
+            )
+        if isinstance(request, HubQuery):
+            self._rotor = (self._rotor + 1) % len(self.replicas)
+            return self._dispatch_single(self._route(self._rotor), request)
+        if isinstance(request, BatchQuery):
+            return self._execute_batch(request)
+        if isinstance(request, Prefetch):
+            return self._execute_prefetch(request)
+        if isinstance(request, Stats):
+            return self._execute_stats(request)
+        if isinstance(request, Ready):
+            return self._execute_ready()
+        if isinstance(request, Health):
+            return self._execute_health()
+        # CheckpointNow and anything engine-administrative run on
+        # whatever node currently holds the primary role.
+        return self._admin_execute(request)
+
+    def _admin_execute(self, request: ApiRequest) -> ApiResponse:
+        """Run an administrative request on the current write authority."""
+        if self._primary_index is not None:
+            return self._dispatch_single(self._primary_index, request)
+        if self._embedded_dead:
+            raise ClusterError(
+                f"no primary available for {request.op!r} (failover pending)"
+            )
+        return self.primary.execute(request)
 
     # -- writes -------------------------------------------------------- #
 
     def _execute_ingest(self, request: IngestBatch) -> ApiResponse:
-        """Apply on the primary, then ship the delta to every replica.
+        """Apply on the current primary, then ship the delta everywhere.
 
         The primary's gateway does validation, optimistic-concurrency
         checks, WAL logging, and checkpoint cadence; only an
         *acknowledged* batch is framed (with the WAL's own codec) and
         shipped. Replication is asynchronous — acks drain lazily — but
         FIFO pipes guarantee every later read observes the delta.
+
+        Failure handling is what makes this the failover trigger: a
+        ``primary.apply`` CRASH fault retires the embedded engine, and a
+        fenced store (failed WAL append) retires it after surfacing the
+        write's typed error — either way the *next* write promotes the
+        most-caught-up replica and is forwarded to it.
         """
-        response = self.primary.execute(request)
+        fault = chaos.fire("primary.apply", seq=self._head + 1)
+        if fault is not None and fault.kind is FaultKind.CRASH:
+            self.kill_primary()
+        if fault is not None and fault.kind is FaultKind.ERROR:
+            raise ClusterError(
+                fault.message or "injected primary failure at primary.apply"
+            )
+        if self._primary_index is not None or self._embedded_dead:
+            return self._forward_ingest(request)
+        try:
+            response = self.primary.execute(request)
+        except StoreError:
+            if self.service.store is not None and self.service.store.failed:
+                # The frame was rolled back, so durable state still
+                # matches the acked history — but this engine can no
+                # longer persist writes. Retire it; the write itself
+                # surfaces as a typed STORE failure the client retries.
+                self._embedded_dead = True
+                obs.event("primary.retired", reason="store-failed", head=self._head)
+            raise
         if response.error is None:
+            self._head = self.service.graph_version
             # Ship even an empty batch: the primary bumped its version,
             # and a replica that misses any version sees a replication
             # gap and crashes. The codec frames zero rows fine.
-            frame = pack_record(self.service.graph_version, request.updates)
-            ctx = obs.current()
+            frame = pack_record(self._head, request.updates, epoch=self.epoch)
             with obs.span(
-                "cluster.ship_wal",
-                seq=self.service.graph_version,
-                replicas=len(self.replicas),
+                "cluster.ship_wal", seq=self._head, replicas=len(self.replicas)
             ):
-                for index, handle in enumerate(self.replicas):
-                    try:
-                        handle.send((messages.APPLY, frame, ctx))
-                    except _ReplicaDied:
-                        # The respawn bootstraps at head, delta included.
-                        self._revive(index)
+                self._ship_frame(frame, obs.current(), seq=self._head)
             self.counters["deltas_shipped"] += 1
         return response
+
+    def kill_primary(self) -> None:
+        """Retire the embedded primary (chaos/test hook).
+
+        The engine stops taking writes immediately; promotion is
+        deferred to the next write so the degraded window (FRESH reads
+        answering 503, ANY/BOUNDED still serving) is observable and
+        deterministic rather than racing the failover.
+        """
+        self._embedded_dead = True
+        obs.event("primary.retired", reason="killed", head=self._head)
+
+    def _ship_frame(
+        self,
+        frame: bytes,
+        ctx: Any,
+        *,
+        seq: int = -1,
+        exclude: int | None = None,
+    ) -> None:
+        """Ship one APPLY frame to every replica, chaos seams included.
+
+        The ``cluster.ship`` site models the channel's failure modes
+        per replica: DROP discards the frame (the replica later sees a
+        gap, crashes, and is rebuilt), DUP sends it twice (idempotent
+        apply absorbs it), DELAY holds it back so the next frame
+        overtakes it (reordering → gap → rebuild), ERROR breaks the
+        pipe (immediate revive).
+        """
+        for index, handle in enumerate(self.replicas):
+            if index == exclude:
+                continue
+            fault = chaos.fire("cluster.ship", replica=index, seq=seq)
+            kind = fault.kind if fault is not None else None
+            try:
+                if kind is FaultKind.ERROR:
+                    raise _ReplicaDied(
+                        fault.message or "injected pipe failure at cluster.ship"
+                    )
+                if kind is FaultKind.DROP:
+                    continue
+                delayed = self._delayed.pop(index, None)
+                if kind is FaultKind.DELAY:
+                    self._delayed[index] = (messages.APPLY, frame, ctx)
+                    if delayed is not None:
+                        handle.send(delayed)
+                    continue
+                handle.send((messages.APPLY, frame, ctx))
+                if delayed is not None:
+                    # The held-back frame lands *after* its successor:
+                    # reordering on a nominally-FIFO channel.
+                    handle.send(delayed)
+                if kind is FaultKind.DUP:
+                    handle.send((messages.APPLY, frame, ctx))
+            except _ReplicaDied:
+                # The respawn bootstraps at head, delta included.
+                self._revive(index)
+
+    def _forward_ingest(self, request: IngestBatch) -> ApiResponse:
+        """Apply a write on the promoted primary replica.
+
+        Runs the failover first when no replica holds the role yet. On
+        success the produced WAL frame is re-created coordinator-side
+        (same seq, same updates, current epoch) and shipped to the other
+        replicas. If the promoted primary dies mid-write, it is demoted
+        and rebuilt, a fresh failover picks a new primary, and the write
+        is retried exactly once.
+        """
+        for attempt in range(2):
+            if self._primary_index is None:
+                self._failover()
+            index = self._primary_index
+            handle = self.replicas[index]
+            ticket = self._next_ticket()
+            ctx = obs.current()
+            if ctx is not None:
+                obs.attach(request, ctx)
+            try:
+                handle.send((messages.INGEST, ticket, request, ctx))
+                response = self._await(
+                    index, ticket, getattr(request, "deadline", None)
+                )[0]
+            except _DeadlineExpired:
+                raise self._abandon(
+                    index, getattr(request, "deadline", None)
+                ) from None
+            except _ReplicaDied:
+                if attempt == 0:
+                    self._revive(index)  # also clears _primary_index
+                    continue
+                raise ClusterError(
+                    "promoted primary died twice applying one write"
+                ) from None
+            if response.error is None:
+                self._head = max(self._head, response.snapshot_version)
+                frame = pack_record(
+                    response.snapshot_version, request.updates, epoch=self.epoch
+                )
+                with obs.span(
+                    "cluster.ship_wal",
+                    seq=response.snapshot_version,
+                    replicas=len(self.replicas) - 1,
+                ):
+                    self._ship_frame(
+                        frame, ctx, seq=response.snapshot_version, exclude=index
+                    )
+                self.counters["deltas_shipped"] += 1
+            return response
+        raise ClusterError("unreachable: forwarded write loop exhausted")
+
+    def _failover(self) -> None:
+        """Promote the most-caught-up live replica to primary.
+
+        Bumps the epoch *per attempt* so a partially-promoted replica
+        that died mid-handshake is fenced just like the old primary.
+        Replayed WAL-tail frames returned by the promoted node are
+        shipped to the other replicas, so a delta that died with the old
+        primary's pipes still reaches the whole fleet.
+        """
+        self._drain_acks()
+        store = self.service.store
+        candidates = sorted(
+            (
+                index
+                for index, handle in enumerate(self.replicas)
+                if handle.alive() and index != self._primary_index
+            ),
+            key=lambda index: self.replicas[index].applied_version,
+            reverse=True,
+        )
+        if not candidates:
+            raise ClusterError("failover impossible: no live replica to promote")
+        errors: list[str] = []
+        for index in candidates:
+            self.epoch += 1
+            handle = self.replicas[index]
+            obs.event(
+                "cluster.failover",
+                promoted=index,
+                epoch=self.epoch,
+                applied_version=handle.applied_version,
+            )
+            try:
+                with obs.span("cluster.failover", replica=index, epoch=self.epoch):
+                    ticket = self._next_ticket()
+                    handle.send(
+                        (
+                            messages.PROMOTE,
+                            ticket,
+                            self.epoch,
+                            str(store.root) if store is not None else None,
+                            store.config if store is not None else None,
+                        )
+                    )
+                    version, replayed = self._await_promoted(index, ticket)
+            except (ClusterError, _ReplicaDied) as exc:
+                errors.append(f"replica {index}: {exc}")
+                continue
+            self._primary_index = index
+            handle.applied_version = max(handle.applied_version, version)
+            self._head = max(self._head, version)
+            self.counters["failovers"] += 1
+            ctx = obs.current()
+            for frame in replayed:
+                self._ship_frame(frame, ctx, exclude=index)
+            return
+        raise ClusterError(
+            "failover failed on every candidate: " + "; ".join(errors)
+        )
+
+    def _await_promoted(self, index: int, ticket: int) -> tuple[int, list[bytes]]:
+        """Wait for the PROMOTED handshake (bounded by response timeout)."""
+        handle = self.replicas[index]
+        timeout_at = clock.now() + self.cluster.response_timeout_s
+        while True:
+            try:
+                if not handle.conn.poll(0.05):
+                    if not handle.alive():
+                        raise _ReplicaDied(f"replica {index} died mid-promotion")
+                    if clock.now() > timeout_at:
+                        raise _ReplicaDied(f"replica {index} promotion timed out")
+                    continue
+                frame = handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise _ReplicaDied(str(exc)) from exc
+            frame = self._absorb(handle, frame)
+            if frame is None:
+                continue
+            if frame[0] == messages.PROMOTED and frame[1] == ticket:
+                obs.ingest_spans(frame[4])
+                return frame[2], list(frame[3])
+            if frame[0] in (messages.SYNCED, messages.RESPONSES, messages.BYE):
+                # Stale answers to abandoned tickets may still be in
+                # flight; promotion must not trip over them.
+                continue
+            raise ClusterError(
+                f"replica {index} broke protocol: got {frame[0]!r}"
+                f" while awaiting promotion ticket {ticket}"
+            )
 
     # -- reads --------------------------------------------------------- #
 
@@ -721,7 +1180,7 @@ class ClusterGateway:
         results = tuple(by_position[i] for i in range(len(request.sources)))
         return BatchResult(
             results=results,
-            snapshot_version=self.service.graph_version,
+            snapshot_version=self._head,
             staleness=max((r.staleness for r in results), default=0),
             wall_time_s=clock.now() - start,
         )
@@ -776,14 +1235,84 @@ class ClusterGateway:
         return PrefetchResult(
             requested=len(request.sources),
             pending=pending,
-            snapshot_version=self.service.graph_version,
+            snapshot_version=self._head,
             wall_time_s=clock.now() - start,
         )
 
     # -- observability ------------------------------------------------- #
 
+    def _execute_ready(self) -> ReadyResult:
+        """Cluster readiness: per-replica state, primary identity, epoch.
+
+        ``ready`` is False while there is no write authority (failover
+        pending) or any worker is dead or ejected by its breaker — the
+        503 a load balancer drains on. Answered coordinator-side from
+        bookkeeping already in hand: a readiness probe must not block on
+        the very replicas it is asking about.
+        """
+        start = clock.now()
+        self._drain_acks()
+        replicas: list[dict[str, Any]] = []
+        degraded = False
+        for index, handle in enumerate(self.replicas):
+            alive = handle.alive()
+            breaker = self.breakers[index]
+            if not alive or breaker.state == CircuitBreaker.OPEN:
+                degraded = True
+            replicas.append(
+                {
+                    "replica": index,
+                    "alive": alive,
+                    "role": (
+                        "primary" if index == self._primary_index else "replica"
+                    ),
+                    "applied_version": handle.applied_version,
+                    "lag": max(0, self._head - handle.applied_version),
+                    "breaker": breaker.state,
+                }
+            )
+        if self._primary_index is not None:
+            primary = f"replica-{self._primary_index}"
+        elif not self._embedded_dead:
+            primary = "embedded"
+        else:
+            primary = None
+        ready = self.has_primary and not degraded
+        return ReadyResult(
+            ready=ready,
+            status="ready" if ready else "degraded",
+            primary=primary,
+            epoch=self.epoch,
+            replicas=tuple(replicas),
+            snapshot_version=self._head,
+            wall_time_s=clock.now() - start,
+        )
+
+    def _execute_health(self) -> HealthResult:
+        """Liveness: the coordinator process is up and answering.
+
+        Deliberately does *not* route to the primary — liveness must keep
+        returning 200 through a failover window (the process is alive;
+        it is readiness that is degraded), so a supervisor does not
+        restart a coordinator that is mid-promotion. Engine counters come
+        from the coordinator's embedded service; the version reported is
+        the acked head, the cluster-wide truth.
+        """
+        start = clock.now()
+        service = self.service
+        return HealthResult(
+            status="ok",
+            graph_version=self._head,
+            num_vertices=service.graph.num_vertices,
+            num_edges=service.graph.num_edges,
+            resident=len(service.cache),
+            hubs=len(service.hubs),
+            snapshot_version=self._head,
+            wall_time_s=clock.now() - start,
+        )
+
     def _execute_stats(self, request: Stats) -> StatsResult:
-        response = self.primary.execute(request)
+        response = self._admin_execute(request)
         assert isinstance(response, StatsResult)
         stats: dict[str, Any] = dict(response.stats)
         if self.admission is not None:
@@ -797,6 +1326,15 @@ class ClusterGateway:
             "dispatched": [h.dispatched for h in self.replicas],
             "respawns": self.counters["respawns"],
             "deltas_shipped": self.counters["deltas_shipped"],
+            "epoch": self.epoch,
+            "primary": (
+                f"replica-{self._primary_index}"
+                if self._primary_index is not None
+                else ("embedded" if not self._embedded_dead else None)
+            ),
+            "failovers": self.counters["failovers"],
+            "breakers": [breaker.to_dict() for breaker in self.breakers],
+            "chaos": chaos.injected(),
             "gateway": dict(self.counters),
         }
         return StatsResult(
@@ -908,7 +1446,7 @@ class ClusterGateway:
             by_source = {
                 source: TopKResult.failure(
                     error,
-                    snapshot_version=self.service.graph_version,
+                    snapshot_version=self._head,
                     source=source,
                 )
                 for source in run.sources

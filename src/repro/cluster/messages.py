@@ -19,6 +19,10 @@ Coordinator -> replica::
     (APPLY, frame_bytes, trace_ctx)       ordered write delta (WAL frame)
     (REQUESTS, ticket, requests, coalesce) reads to serve (typed ApiRequests)
     (SYNC, ticket)                        barrier: ack your applied version
+    (PROMOTE, ticket, epoch, store_root, store_config)
+                                          become primary: own the store,
+                                          replay the WAL tail, fence epoch
+    (INGEST, ticket, request, trace_ctx)  forwarded write (promoted primary)
     (SHUTDOWN,)                           drain and exit
 
 Replica -> coordinator::
@@ -27,7 +31,22 @@ Replica -> coordinator::
     (APPLIED, seq, spans)                 delta applied through version seq
     (RESPONSES, ticket, responses, graph_version, spans)
     (SYNCED, ticket, graph_version)
+    (PROMOTED, ticket, graph_version, frames, spans)
     (BYE, graph_version)                  clean shutdown acknowledgement
+
+``PROMOTE``/``PROMOTED`` carry the failover handshake
+(``docs/faults.md``): the coordinator picks the most-caught-up live
+replica, sends it the new write-authority ``epoch`` plus the store root
+(or ``None`` for a storeless cluster); the replica truncates torn WAL
+tails, replays records past its own applied version, attaches the store
+under the new epoch, and answers with its resulting version and the
+replayed records re-stamped as ``pack_record`` frames under the new
+epoch — which the coordinator ships to the *other* replicas so the whole
+fleet converges. After promotion, writes are forwarded as ``INGEST``
+frames and answered with ordinary ``RESPONSES`` frames (ticket, one
+response); replicas reject ``APPLY`` frames whose epoch predates the one
+they were promoted-or-fenced into, which is what makes a zombie
+primary's late deltas harmless.
 
 ``trace_ctx`` is the coordinator's active
 :class:`~repro.obs.TraceContext` (or ``None``), so replica-side work
@@ -45,6 +64,8 @@ from __future__ import annotations
 APPLY = "apply"
 REQUESTS = "requests"
 SYNC = "sync"
+PROMOTE = "promote"
+INGEST = "ingest"
 SHUTDOWN = "shutdown"
 
 #: Replica -> coordinator tags.
@@ -52,4 +73,5 @@ HELLO = "hello"
 APPLIED = "applied"
 RESPONSES = "responses"
 SYNCED = "synced"
+PROMOTED = "promoted"
 BYE = "bye"

@@ -32,13 +32,14 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from typing import Any
 
-from .. import obs
+from .. import chaos, obs
 from ..api.gateway import Gateway
 from ..api.requests import IngestBatch
-from ..config import ObsConfig, PPRConfig, ServeConfig
+from ..chaos import FaultPlan
+from ..config import ObsConfig, PPRConfig, ServeConfig, StoreConfig
 from ..errors import ClusterError
 from ..serve.service import PPRService
-from ..store.wal import unpack_record
+from ..store.wal import WalRecord, pack_record, unpack_record
 from . import messages
 
 
@@ -66,6 +67,10 @@ class ReplicaSpec:
     #: Tracing/profiling knobs, mirrored from the coordinator's ApiConfig
     #: so replica-side spans are sampled exactly like the front door's.
     obs: ObsConfig = ObsConfig()
+    #: Scripted fault schedule, installed fresh in the worker process with
+    #: ``replica=replica_id`` so ``replica=``-scoped faults fire in the
+    #: right process and counters never inherit coordinator state (fork).
+    chaos: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if (self.graph_arrays is None) == (self.store_root is None):
@@ -91,15 +96,14 @@ def build_replica_service(spec: ReplicaSpec) -> PPRService:
     )
 
 
-def apply_delta(service: PPRService, frame: bytes) -> int:
-    """Apply one WAL-framed write delta; returns the replica's new version.
+def apply_record(service: PPRService, record: WalRecord) -> int:
+    """Apply one decoded write delta; returns the replica's new version.
 
-    CRC-verified by :func:`~repro.store.wal.unpack_record`. Frames at or
-    below the replica's version are skipped idempotently (a respawned
-    replica may be re-shipped deltas its recovery already covered); a
-    gap raises — a replica must never serve a history with holes.
+    Records at or below the replica's version are skipped idempotently (a
+    respawned replica may be re-shipped deltas its recovery already
+    covered, and a duplicated pipe frame must be harmless); a gap raises
+    — a replica must never serve a history with holes.
     """
-    record = unpack_record(frame)
     if record.seq <= service.graph_version:
         return service.graph_version
     if record.seq != service.graph_version + 1:
@@ -111,6 +115,62 @@ def apply_delta(service: PPRService, frame: bytes) -> int:
     return service.graph_version
 
 
+def apply_delta(service: PPRService, frame: bytes) -> int:
+    """Apply one WAL-framed write delta; returns the replica's new version.
+
+    CRC-verified by :func:`~repro.store.wal.unpack_record` — a replica
+    must not apply a delta the channel damaged.
+    """
+    return apply_record(service, unpack_record(frame))
+
+
+def promote(
+    service: PPRService,
+    *,
+    epoch: int,
+    store_root: str | None,
+    store_config: StoreConfig | None = None,
+) -> tuple[int, list[bytes]]:
+    """Make this replica the primary: own the store, fence ``epoch``.
+
+    The FIFO pipe already delivered every delta the coordinator shipped,
+    so the replica's in-memory state is at (or just behind) the acked
+    head. Promotion closes the remaining gap from *durable* state: torn
+    WAL tails are truncated, every intact record past the replica's
+    version is replayed through the normal ingest path, and the store is
+    attached (no fresh checkpoint — the one on disk is still valid)
+    with its epoch bumped so every future frame is stamped ``epoch``.
+
+    Returns the promoted node's graph version plus the replayed records
+    re-stamped as ``pack_record`` frames under the new epoch — the
+    coordinator ships those to the *other* replicas so any delta that
+    died with the old primary's pipes still reaches the whole fleet.
+
+    A storeless cluster (no durability to inherit) promotes trivially:
+    the replica simply starts answering forwarded writes.
+    """
+    if store_root is None:
+        return service.graph_version, []
+    from ..store.store import StateStore
+
+    store = StateStore(store_root, store_config)
+    store.wal.truncate_torn_tails()
+    pending = store.status().replay_batches
+    replayed: list[bytes] = []
+    for record in store.wal.iter_records(after_seq=service.graph_version):
+        if record.seq != service.graph_version + 1:
+            raise ClusterError(
+                f"promotion gap: replica at v{service.graph_version},"
+                f" WAL record is v{record.seq}"
+            )
+        service.gateway.execute(IngestBatch(updates=record.updates))
+        replayed.append(pack_record(record.seq, record.updates, epoch=epoch))
+    store._batches_since_checkpoint = pending
+    store.epoch = epoch
+    service.attach_store(store, checkpoint=False)
+    return service.graph_version, replayed
+
+
 def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
     """Worker-process loop: build the replica, then serve frames forever.
 
@@ -120,14 +180,24 @@ def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
     Engine-level failures inside a read do *not* crash the worker: the
     replica's own gateway maps them to typed error responses, exactly as
     a single-process gateway would.
+
+    The worker tracks the write-authority ``epoch`` it has observed
+    (adopted from applied frames and from its own promotion). An APPLY
+    frame stamped with an *older* epoch is a zombie primary's late write:
+    it is rejected — acknowledged at the current version, never applied —
+    and emitted as a ``replica.fenced_frame`` event.
     """
     if spec.obs.enabled:
         # Outbox mode: finished spans accumulate locally and are drained
         # into the reply frames — the coordinator owns the trace ring and
         # the JSONL sink, so only it gets an export_path.
         obs.configure(spec.obs.with_(export_path=None), outbox=True)
+    # Fresh install (not fork inheritance): visit counters start at zero
+    # in every worker, and replica= scoping matches this process.
+    chaos.install(spec.chaos, replica=spec.replica_id)
     service = build_replica_service(spec)
     gateway = Gateway(service)
+    epoch = 0
     try:
         conn.send((messages.HELLO, service.graph_version))
         while True:
@@ -139,11 +209,27 @@ def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
             if tag == messages.APPLY:
                 _, frame_bytes, ctx = frame
                 with obs.activate(ctx):
+                    record = unpack_record(frame_bytes)
+                    if record.epoch < epoch:
+                        obs.event(
+                            "replica.fenced_frame",
+                            replica=spec.replica_id,
+                            seq=record.seq,
+                            frame_epoch=record.epoch,
+                            epoch=epoch,
+                        )
+                        conn.send(
+                            (messages.APPLIED, service.graph_version, obs.drain())
+                        )
+                        continue
+                    epoch = record.epoch
                     with obs.span("replica.apply", replica=spec.replica_id):
-                        version = apply_delta(service, frame_bytes)
+                        chaos.check("replica.apply", seq=record.seq)
+                        version = apply_record(service, record)
                 conn.send((messages.APPLIED, version, obs.drain()))
             elif tag == messages.REQUESTS:
                 _, ticket, requests, coalesce = frame
+                chaos.check("replica.serve", ticket=ticket)
                 responses = gateway.submit_many(list(requests), coalesce=coalesce)
                 conn.send(
                     (
@@ -156,6 +242,37 @@ def replica_main(spec: ReplicaSpec, conn: Connection) -> None:
                 )
             elif tag == messages.SYNC:
                 conn.send((messages.SYNCED, frame[1], service.graph_version))
+            elif tag == messages.PROMOTE:
+                _, ticket, new_epoch, store_root, store_config = frame
+                with obs.span(
+                    "replica.promote", replica=spec.replica_id, epoch=new_epoch
+                ):
+                    version, replayed = promote(
+                        service,
+                        epoch=new_epoch,
+                        store_root=store_root,
+                        store_config=store_config,
+                    )
+                epoch = new_epoch
+                conn.send(
+                    (messages.PROMOTED, ticket, version, replayed, obs.drain())
+                )
+            elif tag == messages.INGEST:
+                _, ticket, request, ctx = frame
+                with obs.activate(ctx):
+                    with obs.span(
+                        "replica.ingest", replica=spec.replica_id, tier="primary"
+                    ):
+                        response = gateway.submit(request)
+                conn.send(
+                    (
+                        messages.RESPONSES,
+                        ticket,
+                        (response,),
+                        service.graph_version,
+                        obs.drain(),
+                    )
+                )
             elif tag == messages.SHUTDOWN:
                 conn.send((messages.BYE, service.graph_version))
                 break

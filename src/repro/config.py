@@ -404,8 +404,18 @@ class ClusterConfig:
     spawn_timeout_s / response_timeout_s:
         How long to wait for a worker's hello handshake / a dispatched
         read before declaring the replica dead.
+    hedge_reads:
+        Dispatch idempotent non-FRESH single reads to a second replica
+        as well and take the first answer — latency insurance against a
+        slow or wedged owner, at the cost of duplicated read work.
+    breaker_failures / breaker_cooldown:
+        Per-replica circuit breaker: consecutive failures before the
+        replica is ejected from the read rotation, and denied requests
+        before a half-open probe is allowed
+        (:class:`repro.api.resilience.CircuitBreaker`).
 
-    See ``docs/cluster.md`` for topology and the failure model.
+    See ``docs/cluster.md`` for topology and ``docs/faults.md`` for the
+    failure model.
     """
 
     replicas: int = 2
@@ -415,6 +425,9 @@ class ClusterConfig:
     start_method: str = "fork"
     spawn_timeout_s: float = 60.0
     response_timeout_s: float = 300.0
+    hedge_reads: bool = False
+    breaker_failures: int = 3
+    breaker_cooldown: int = 8
 
     def __post_init__(self) -> None:
         if not 1 <= self.replicas <= 64:
@@ -438,6 +451,14 @@ class ClusterConfig:
             )
         if self.spawn_timeout_s <= 0 or self.response_timeout_s <= 0:
             raise ConfigError("cluster timeouts must be > 0")
+        if self.breaker_failures < 1:
+            raise ConfigError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown < 1:
+            raise ConfigError(
+                f"breaker_cooldown must be >= 1, got {self.breaker_cooldown}"
+            )
 
     def with_(self, **changes: Any) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import chaos
 from ..config import (
     Backend,
     HubRefresh,
@@ -193,6 +194,11 @@ def write_checkpoint(directory: PathLike, service: PPRService) -> Path:
         np.savez_compressed(fh, **arrays)
         fh.flush()
         os.fsync(fh.fileno())
+    # The crash-during-checkpoint window: the tmp file is durable but the
+    # atomic rename has not happened. A CRASH fault here leaves the .tmp
+    # behind and the previous checkpoint authoritative — exactly what
+    # recovery must tolerate (tests/test_store.py exercises this site).
+    chaos.check("checkpoint.rename", version=service.graph_version)
     os.replace(tmp, final)
     return final
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from ..config import StoreConfig
 from ..graph.update import EdgeUpdate
+from ..errors import StoreError
 from .checkpoint import (
     checkpoint_version,
     list_checkpoints,
@@ -104,6 +105,14 @@ class StateStore:
         self.wal = WriteAheadLog(self.wal_dir, fsync=self.config.fsync)
         self._batches_since_checkpoint = 0
         self.checkpoints_written = 0
+        #: Write-authority term stamped into every WAL frame; the cluster
+        #: tier bumps it on the store's new owner at each failover.
+        self.epoch = 0
+        #: Set after an append failed mid-batch: the frame was rolled back
+        #: but the acknowledged-state / durable-state invariant can no
+        #: longer be trusted for *future* writes on this handle, so the
+        #: store fences itself until a new owner re-attaches it.
+        self.failed = False
 
     @classmethod
     def from_config(cls, config: StoreConfig) -> "StateStore":
@@ -115,8 +124,23 @@ class StateStore:
     # ------------------------------------------------------------------ #
 
     def log_batch(self, seq: int, updates: list[EdgeUpdate]) -> None:
-        """Append one ingest batch (producing graph version ``seq``)."""
-        self.wal.append(seq, updates)
+        """Append one ingest batch (producing graph version ``seq``).
+
+        Raises :class:`~repro.errors.StoreError` if a previous append on
+        this handle failed (the store is fenced — see :attr:`failed`) or
+        if this append's write/fsync fails, in which case the frame is
+        rolled back and the store fences itself.
+        """
+        if self.failed:
+            raise StoreError(
+                f"store at {self.root} is fenced after a failed append;"
+                " recover it under a new owner before writing"
+            )
+        try:
+            self.wal.append(seq, updates, epoch=self.epoch)
+        except StoreError:
+            self.failed = True
+            raise
         self._batches_since_checkpoint += 1
 
     def maybe_checkpoint(self, service: "PPRService") -> Path | None:

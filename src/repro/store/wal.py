@@ -10,16 +10,20 @@ WAL tail``.
 Format — an append-only sequence of framed records per segment file::
 
     frame   := header payload
-    header  := magic(4s = b"RWAL") seq(uint64) length(uint32) crc(uint32)
+    header  := magic(4s = b"RWL2") seq(uint64) epoch(uint64)
+               length(uint32) crc(uint32)
     payload := (m, 3) int64 rows of (u, v, op), little-endian
 
 ``seq`` is the graph version the batch produces (version after applying);
-``crc`` is CRC-32 over the packed ``seq`` plus the payload, so a frame
-whose length field survived but whose body (or seq) was torn mid-write is
-rejected. Iteration stops at the first torn or corrupt frame — everything
-before it is intact by construction (frames are written with one
-buffered write and, under :attr:`~repro.config.FsyncPolicy.ALWAYS`, one
-fsync each).
+``epoch`` is the write-authority term the frame was produced under — the
+cluster tier bumps it at every primary failover, and replicas reject
+frames from a stale epoch so a zombie primary's late writes cannot land
+(``docs/faults.md``). ``crc`` is CRC-32 over the packed ``seq`` and
+``epoch`` plus the payload, so a frame whose length field survived but
+whose body (or seq/epoch) was torn mid-write is rejected. Iteration
+stops at the first torn or corrupt frame — everything before it is
+intact by construction (frames are written with one buffered write and,
+under :attr:`~repro.config.FsyncPolicy.ALWAYS`, one fsync each).
 
 Segments are named ``wal-<first seq>.log``. The store rotates to a fresh
 segment at every checkpoint and drops segments whose records are all
@@ -38,16 +42,16 @@ from pathlib import Path
 
 import numpy as np
 
-from .. import obs
+from .. import chaos, obs
 from ..config import FsyncPolicy
 from ..errors import StoreError
 from ..graph.update import EdgeOp, EdgeUpdate
 
 PathLike = str | os.PathLike
 
-FRAME_MAGIC = b"RWAL"
-_HEADER = struct.Struct("<4sQII")  # magic, seq, payload length, crc32
-_SEQ = struct.Struct("<Q")
+FRAME_MAGIC = b"RWL2"
+_HEADER = struct.Struct("<4sQQII")  # magic, seq, epoch, payload length, crc32
+_SEQ_EPOCH = struct.Struct("<QQ")
 
 #: Upper bound on one frame's payload (64 MiB ≈ 2.8M updates) — a length
 #: field beyond it is treated as tail corruption, not an allocation request.
@@ -86,20 +90,27 @@ class WalRecord:
 
     seq: int
     updates: tuple[EdgeUpdate, ...]
+    #: Write-authority term the frame was produced under (0 until the
+    #: cluster tier's first failover bumps it).
+    epoch: int = 0
 
 
-def pack_record(seq: int, updates: Sequence[EdgeUpdate]) -> bytes:
+def pack_record(seq: int, updates: Sequence[EdgeUpdate], *, epoch: int = 0) -> bytes:
     """One complete CRC-framed record (header + payload) as bytes.
 
     The frame the WAL appends to its segments — and, reused verbatim,
     the wire format the cluster tier (:mod:`repro.cluster`) ships write
-    deltas in: one durability codec, one replication codec.
+    deltas in: one durability codec, one replication codec. ``epoch`` is
+    the writer's authority term; it is covered by the CRC and enforced
+    by replicas (a frame from a fenced epoch is rejected, not applied).
     """
     if seq < 0:
         raise StoreError(f"seq must be >= 0, got {seq}")
+    if epoch < 0:
+        raise StoreError(f"epoch must be >= 0, got {epoch}")
     payload = encode_updates(updates)
-    crc = zlib.crc32(_SEQ.pack(seq) + payload)
-    return _HEADER.pack(FRAME_MAGIC, seq, len(payload), crc) + payload
+    crc = zlib.crc32(_SEQ_EPOCH.pack(seq, epoch) + payload)
+    return _HEADER.pack(FRAME_MAGIC, seq, epoch, len(payload), crc) + payload
 
 
 def unpack_record(frame: bytes) -> WalRecord:
@@ -111,7 +122,7 @@ def unpack_record(frame: bytes) -> WalRecord:
     """
     if len(frame) < _HEADER.size:
         raise StoreError(f"short frame: {len(frame)} bytes")
-    magic, seq, length, crc = _HEADER.unpack_from(frame, 0)
+    magic, seq, epoch, length, crc = _HEADER.unpack_from(frame, 0)
     if magic != FRAME_MAGIC:
         raise StoreError(f"bad frame magic: {magic!r}")
     if length > MAX_PAYLOAD or _HEADER.size + length != len(frame):
@@ -120,9 +131,9 @@ def unpack_record(frame: bytes) -> WalRecord:
             f" {len(frame) - _HEADER.size} payload bytes"
         )
     payload = frame[_HEADER.size :]
-    if zlib.crc32(_SEQ.pack(seq) + payload) != crc:
+    if zlib.crc32(_SEQ_EPOCH.pack(seq, epoch) + payload) != crc:
         raise StoreError(f"frame CRC mismatch at seq {seq}")
-    return WalRecord(seq=seq, updates=tuple(decode_updates(payload)))
+    return WalRecord(seq=seq, updates=tuple(decode_updates(payload)), epoch=epoch)
 
 
 @dataclass(frozen=True)
@@ -156,20 +167,20 @@ def scan_segment(path: PathLike) -> SegmentScan:
         header_end = offset + _HEADER.size
         if header_end > len(data):
             break
-        magic, seq, length, crc = _HEADER.unpack_from(data, offset)
+        magic, seq, epoch, length, crc = _HEADER.unpack_from(data, offset)
         if magic != FRAME_MAGIC or length > MAX_PAYLOAD:
             break
         payload_end = header_end + length
         if payload_end > len(data):
             break
         payload = data[header_end:payload_end]
-        if zlib.crc32(_SEQ.pack(seq) + payload) != crc:
+        if zlib.crc32(_SEQ_EPOCH.pack(seq, epoch) + payload) != crc:
             break
         try:
             updates = decode_updates(payload)
         except StoreError:
             break
-        records.append(WalRecord(seq=seq, updates=tuple(updates)))
+        records.append(WalRecord(seq=seq, updates=tuple(updates), epoch=epoch))
         offset = payload_end
     return SegmentScan(
         path=path,
@@ -214,15 +225,22 @@ class WriteAheadLog:
     # writing
     # ------------------------------------------------------------------ #
 
-    def append(self, seq: int, updates: Sequence[EdgeUpdate]) -> Path:
+    def append(self, seq: int, updates: Sequence[EdgeUpdate], *, epoch: int = 0) -> Path:
         """Append one batch frame; returns the segment it landed in.
 
         The first append after construction or :meth:`rotate` opens a new
         segment named after ``seq``. The frame is written with a single
         buffered write + flush (+ fsync under ``ALWAYS``), so a crash can
         tear at most the frame being written.
+
+        An I/O failure mid-append (most plausibly the fsync — the chaos
+        site ``wal.fsync`` injects exactly that) rolls the frame back:
+        the segment is truncated to its pre-append length before the
+        typed :class:`~repro.errors.StoreError` is raised, so the
+        on-disk log holds *acknowledged batches only* and the next
+        append cannot leave a half-durable frame between two good ones.
         """
-        frame = pack_record(seq, updates)
+        frame = pack_record(seq, updates, epoch=epoch)
         if self._fh is None:
             self._current = self.directory / (
                 f"{SEGMENT_PREFIX}{seq:016d}{SEGMENT_SUFFIX}"
@@ -241,13 +259,29 @@ class WriteAheadLog:
                     )
             self._fh = open(self._current, "ab")
         fsync = self.fsync is FsyncPolicy.ALWAYS
+        offset = self._fh.tell()
         with obs.span("wal.append", seq=seq, bytes=len(frame), fsync=fsync):
-            self._fh.write(frame)
-            self._fh.flush()
-            if fsync:
-                os.fsync(self._fh.fileno())
+            try:
+                self._fh.write(frame)
+                self._fh.flush()
+                chaos.check("wal.fsync", seq=seq)
+                if fsync:
+                    os.fsync(self._fh.fileno())
+            except OSError as exc:
+                self._rollback(offset)
+                raise StoreError(
+                    f"wal append failed at seq {seq} (frame rolled back): {exc}"
+                ) from exc
         self.records_appended += 1
         return self._current
+
+    def _rollback(self, offset: int) -> None:
+        """Truncate the open segment back to ``offset`` after a failed write."""
+        try:
+            self._fh.truncate(offset)
+            self._fh.seek(offset)
+        except OSError:  # pragma: no cover - disk gone entirely
+            pass
 
     def rotate(self) -> None:
         """Close the current segment; the next append starts a fresh one."""
@@ -292,9 +326,13 @@ class WriteAheadLog:
 
         Raises :class:`StoreError` on a seq gap or regression between
         consecutive yielded records — a hole in the replay history is not
-        recoverable and must not be silently skipped.
+        recoverable and must not be silently skipped. An epoch regression
+        (a later record stamped with an *older* write-authority term) is
+        rejected the same way: it means a fenced writer's frame landed
+        after the failover that fenced it, which replay must not honour.
         """
         expected = None
+        epoch = None
         for scan in self.scan():
             for record in scan.records:
                 if record.seq <= after_seq:
@@ -304,7 +342,13 @@ class WriteAheadLog:
                         f"WAL sequence gap: expected {expected}, got {record.seq}"
                         f" in {scan.path.name}"
                     )
+                if epoch is not None and record.epoch < epoch:
+                    raise StoreError(
+                        f"WAL epoch regression: {epoch} -> {record.epoch} at seq"
+                        f" {record.seq} in {scan.path.name}"
+                    )
                 expected = record.seq + 1
+                epoch = record.epoch
                 yield record
 
     def truncate_torn_tails(self) -> int:

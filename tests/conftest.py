@@ -28,6 +28,15 @@ def _reset_obs():
     obs.reset()
 
 
+@pytest.fixture(autouse=True)
+def _reset_chaos():
+    """The fault injector is process-global; no plan may leak across tests."""
+    from repro import chaos
+
+    yield
+    chaos.reset()
+
+
 @pytest.fixture
 def paper_graph() -> DynamicDiGraph:
     """The 4-vertex graph of the paper's Figures 1-3.

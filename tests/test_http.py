@@ -485,14 +485,34 @@ def traced():
         thread.join(timeout=5)
 
 
+def trace_spans(http, trace_id, required, deadline_s=5.0):
+    """Poll the trace route until ``required`` span names appear.
+
+    The server records ``http.request``/``http.respond`` *after* the
+    response bytes are flushed, so an immediate fetch can race the
+    handler thread's last microseconds.
+    """
+    import time
+
+    deadline = time.monotonic() + deadline_s
+    while True:
+        spans = http.trace(trace_id)
+        if required <= {span["name"] for span in spans}:
+            return spans
+        if time.monotonic() >= deadline:
+            return spans
+        time.sleep(0.02)
+
+
 class TestTraceRoutes:
     def test_sampled_response_carries_a_queryable_trace_id(self, traced):
         server, http = traced
         answer = http.query({"op": "top_k", "source": 0, "k": 3})
         assert answer["ok"] and answer["trace_id"]
-        spans = http.trace(answer["trace_id"])
+        required = {"http.request", "gateway.execute", "http.respond"}
+        spans = trace_spans(http, answer["trace_id"], required)
         names = {span["name"] for span in spans}
-        assert {"http.request", "gateway.execute", "http.respond"} <= names
+        assert required <= names
         ids = {span["span_id"] for span in spans}
         assert all(
             span["parent_id"] in ids
@@ -520,8 +540,9 @@ class TestTraceRoutes:
             {"requests": [{"source": 0, "k": 3}, {"source": 1, "k": 3}]},
         )
         assert [r["ok"] for r in body["responses"]] == [True, True]
-        spans = http.trace(body["trace_id"])
-        assert {s["name"] for s in spans} >= {"http.request", "schedule.run"}
+        required = {"http.request", "schedule.run"}
+        spans = trace_spans(http, body["trace_id"], required)
+        assert {s["name"] for s in spans} >= required
         assert len({s["trace_id"] for s in spans}) == 1
 
     def test_unknown_trace_is_404(self, traced):
@@ -542,3 +563,165 @@ class TestTraceRoutes:
         )
         assert entries[-1]["trace_id"]  # sampled: joinable to /v1/trace
         assert http.slow(threshold_ms=1e9) == []
+
+
+class TestReadiness:
+    def test_single_process_is_trivially_ready(self, live):
+        server, http, _ = live
+        body = http.readyz()
+        assert body["ready"] is True
+        assert body["primary"] == "embedded"
+        assert body["epoch"] == 0
+        status, _, raw = raw_get(f"{server.url}/v1/readyz")
+        assert status == 200 and json.loads(raw)["ready"] is True
+
+    def test_degraded_cluster_is_503_but_still_carries_the_payload(self):
+        from repro.cluster import PPRCluster
+        from repro.config import ClusterConfig
+
+        graph = random_graph(np.random.default_rng(13), n=40, m=200)
+        service = PPRService(graph, serve=ServeConfig(cache_capacity=16))
+        with PPRCluster(service, ClusterConfig(replicas=2)) as cluster:
+            server = make_server(cluster.gateway, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                http = HttpClient(server.url)
+                assert http.readyz()["ready"] is True
+
+                cluster.gateway.kill_primary()
+                body = http.readyz()  # HTTP 503, payload preserved
+                assert body["ready"] is False
+                assert body["primary"] is None
+                # Liveness is independent: the process still answers 200.
+                assert http.healthz()["status"] == "ok"
+
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    raw_get(f"{server.url}/v1/readyz")
+                assert excinfo.value.code == 503
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+
+class TestClientRetry:
+    """Retry loop unit tests: `_request_once` is stubbed, no server."""
+
+    @staticmethod
+    def client(attempts: int = 3) -> HttpClient:
+        from repro.api.resilience import RetryPolicy
+
+        return HttpClient(
+            "http://127.0.0.1:1",  # never dialed: _request_once is stubbed
+            retry=RetryPolicy(attempts=attempts, base_backoff_s=0.0),
+        )
+
+    def test_transient_cluster_error_is_retried_to_success(self, monkeypatch):
+        from repro.errors import ClusterError
+
+        http = self.client()
+        calls: list[str] = []
+
+        def flaky(method, route, payload=None):
+            calls.append(route)
+            if len(calls) < 3:
+                raise ClusterError("primary failing over")
+            return {"ok": True}
+
+        monkeypatch.setattr(http, "_request_once", flaky)
+        assert http._request("GET", "/v1/stats") == {"ok": True}
+        assert len(calls) == 3
+
+    def test_budget_exhaustion_raises_the_last_typed_error(self, monkeypatch):
+        from repro.errors import ClusterError
+
+        http = self.client(attempts=2)
+        calls: list[str] = []
+
+        def always_down(method, route, payload=None):
+            calls.append(route)
+            raise ClusterError("no live replicas")
+
+        monkeypatch.setattr(http, "_request_once", always_down)
+        with pytest.raises(ClusterError):
+            http._request("GET", "/v1/stats")
+        assert len(calls) == 2
+
+    def test_non_retryable_code_raises_on_first_attempt(self, monkeypatch):
+        http = self.client()
+        calls: list[str] = []
+
+        def bad_request(method, route, payload=None):
+            calls.append(route)
+            raise RequestError("unknown op")
+
+        monkeypatch.setattr(http, "_request_once", bad_request)
+        with pytest.raises(RequestError):
+            http._request("POST", "/v1/query", {"op": "top_k"}, idempotent=True)
+        assert len(calls) == 1
+
+    def test_writes_are_never_retried(self, monkeypatch):
+        from repro.errors import ClusterError
+
+        http = self.client()
+        calls: list[str] = []
+
+        def flaky(method, route, payload=None):
+            calls.append(route)
+            raise ClusterError("mid-failover")
+
+        monkeypatch.setattr(http, "_request_once", flaky)
+        with pytest.raises(ClusterError):
+            http.ingest([(1, 2)])
+        assert len(calls) == 1  # a write must not be re-applied blindly
+
+        calls.clear()
+        with pytest.raises(ClusterError):
+            http.query({"op": "ingest", "insert": [[1, 2]]})
+        assert len(calls) == 1  # op-level idempotence check on POST /v1/query
+
+    def test_reads_via_query_post_are_retryable(self, monkeypatch):
+        from repro.errors import ClusterError
+
+        http = self.client()
+        calls: list[str] = []
+
+        def flaky(method, route, payload=None):
+            calls.append(route)
+            if len(calls) == 1:
+                raise ClusterError("replica died")
+            return {"ok": True, "entries": []}
+
+        monkeypatch.setattr(http, "_request_once", flaky)
+        assert http.query({"op": "top_k", "source": 0, "k": 3})["ok"] is True
+        assert len(calls) == 2
+
+    def test_connection_errors_are_retried(self, monkeypatch):
+        http = self.client()
+        calls: list[str] = []
+
+        def refused(method, route, payload=None):
+            calls.append(route)
+            if len(calls) == 1:
+                raise ConnectionRefusedError("server restarting")
+            return {"status": "ok"}
+
+        monkeypatch.setattr(http, "_request_once", refused)
+        assert http._request("GET", "/v1/healthz") == {"status": "ok"}
+        assert len(calls) == 2
+
+    def test_no_policy_means_single_shot(self, monkeypatch):
+        from repro.errors import ClusterError
+
+        http = HttpClient("http://127.0.0.1:1")  # retry=None
+        calls: list[str] = []
+
+        def flaky(method, route, payload=None):
+            calls.append(route)
+            raise ClusterError("down")
+
+        monkeypatch.setattr(http, "_request_once", flaky)
+        with pytest.raises(ClusterError):
+            http._request("GET", "/v1/stats")
+        assert len(calls) == 1

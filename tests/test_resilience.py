@@ -1,0 +1,126 @@
+"""Client-side resilience primitives (:mod:`repro.api.resilience`).
+
+Three deterministic building blocks — no RNG, no clock reads — so retry
+schedules and breaker transitions replay identically across runs:
+jitter (golden-ratio walk), bounded exponential backoff, and the
+request-counted per-replica circuit breaker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.resilience import CircuitBreaker, DeterministicJitter, RetryPolicy
+from repro.errors import ConfigError
+
+
+class TestDeterministicJitter:
+    def test_sequence_is_reproducible(self):
+        a, b = DeterministicJitter(), DeterministicJitter()
+        assert [a.next() for _ in range(32)] == [b.next() for _ in range(32)]
+
+    def test_values_stay_in_unit_interval(self):
+        jitter = DeterministicJitter()
+        values = [jitter.next() for _ in range(256)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_walk_is_spread_not_clustered(self):
+        # Low-discrepancy property: each third of [0,1) gets its share.
+        jitter = DeterministicJitter()
+        values = [jitter.next() for _ in range(300)]
+        for lo in (0.0, 1 / 3, 2 / 3):
+            in_bin = sum(1 for v in values if lo <= v < lo + 1 / 3)
+            assert 80 <= in_bin <= 120
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        policy = RetryPolicy(
+            attempts=5, base_backoff_s=0.1, multiplier=2.0,
+            max_backoff_s=0.5, jitter=0.0,
+        )
+        waits = [policy.backoff_s(n, 0.0) for n in (1, 2, 3, 4)]
+        assert waits == [0.1, 0.2, 0.4, 0.5]  # capped at max_backoff_s
+
+    def test_jitter_only_shortens_the_wait(self):
+        policy = RetryPolicy(base_backoff_s=1.0, multiplier=1.0, jitter=0.5)
+        assert policy.backoff_s(1, 0.0) == 1.0
+        assert policy.backoff_s(1, 1.0) == 0.5
+        assert 0.5 <= policy.backoff_s(1, 0.3) <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_backoff_s": -0.1},
+            {"multiplier": 0.5},
+            {"base_backoff_s": 1.0, "max_backoff_s": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_config_is_typed(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=2)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_denies_and_denials_advance_the_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        # The cooldown's last denial converts into the half-open probe.
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_failure()
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # held until the probe's outcome
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.denials == 0  # the cooldown restarts from scratch
+
+    def test_to_dict_is_json_safe(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure()
+        assert breaker.to_dict() == {
+            "state": "closed", "failures": 1, "denials": 0,
+        }
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"cooldown": 0},
+    ])
+    def test_invalid_config_is_typed(self, kwargs):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(**kwargs)

@@ -412,6 +412,65 @@ class TestCrashRecovery:
         with pytest.raises(StoreError, match="mismatch"):
             recover_service(tmp_path, config=NUMPY_CONFIG.with_(epsilon=1e-4))
 
+    def test_crash_during_checkpoint_rename_recovers_from_previous(
+        self, tmp_path
+    ):
+        """Chaos at the ``checkpoint.rename`` seam: dying between the npz
+        tmp-write and the atomic rename must leave the *previous*
+        checkpoint authoritative, with the WAL tail carrying everything
+        since — and the recovered ``certified_top_k`` bit-exact against
+        the uninterrupted twin."""
+        from repro import chaos
+        from repro.chaos import Fault, FaultKind, FaultPlan
+
+        reference = _service()
+        persisted = _service()
+        reference.query_many([0, 1, 2, 3])
+        persisted.query_many([0, 1, 2, 3])
+        store = StateStore(
+            tmp_path, StoreConfig(root=str(tmp_path), checkpoint_interval=3)
+        )
+        persisted.attach_store(store)  # baseline checkpoint (plan not armed)
+        # Cadence renames at v3 (visit 1) and v6 (visit 2); the injected
+        # OSError is the crash window between tmp-write and rename.
+        chaos.install(
+            FaultPlan(
+                faults=(
+                    Fault(
+                        "checkpoint.rename",
+                        FaultKind.ERROR,
+                        at=2,
+                        message="power cut mid-rename",
+                    ),
+                ),
+                name="torn-checkpoint",
+            )
+        )
+        rng = np.random.default_rng(11)
+        died_at = None
+        for batch in _random_batches(rng, 8):
+            reference.ingest(batch)
+            try:
+                persisted.ingest(batch)
+            except OSError:
+                died_at = persisted.graph_version
+                break  # the process is gone: no close(), no cleanup
+        assert died_at == 6
+        chaos.reset()
+
+        # The torn tmp file is ignored; the newest *named* checkpoint is
+        # still v3, and the WAL tail replays v4..v6 on top of it.
+        assert latest_checkpoint(tmp_path / "checkpoints") is not None
+        result = recover(tmp_path, attach=False)
+        assert result.checkpoint_version == 3
+        assert result.replayed_batches == 3
+        recovered = result.service
+        assert recovered.graph_version == reference.graph_version == 6
+        for s in [0, 1, 2, 3]:
+            assert (
+                recovered.query(s, 10).entries == reference.query(s, 10).entries
+            )
+
     def test_matching_config_accepted(self, tmp_path):
         _, version = self._twin_runs(tmp_path)
         recovered = recover_service(tmp_path, config=NUMPY_CONFIG, attach=False)
