@@ -38,12 +38,14 @@ from .config import (
     ClusterConfig,
     ConsistencyLevel,
     FsyncPolicy,
+    PartitionerKind,
     Phase,
     PlacementPolicy,
     PPRConfig,
     PushVariant,
     RefreshPolicy,
     ServeConfig,
+    ShardConfig,
     StoreConfig,
 )
 from .core.analysis import (
@@ -109,6 +111,7 @@ from .parallel import (
     profile_cpu,
     profile_gpu,
 )
+from .shard import PPRShards, ShardedGateway
 from .serve import (
     AdmissionPool,
     PPRService,
@@ -165,7 +168,9 @@ __all__ = [
     "PPRCluster",
     "PPRConfig",
     "PPRService",
+    "PPRShards",
     "PPRState",
+    "PartitionerKind",
     "Phase",
     "PlacementPolicy",
     "PushStats",
@@ -179,6 +184,8 @@ __all__ = [
     "ServedQuery",
     "ServedScore",
     "ServiceMetrics",
+    "ShardConfig",
+    "ShardedGateway",
     "SlidingWindow",
     "SourceCache",
     "StateStore",

@@ -44,6 +44,8 @@ GAUGE_KEYS = frozenset(
         "depth",
         "capacity",
         "replicas",
+        "shards",
+        "head",
     }
 )
 
@@ -216,7 +218,10 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
     """Render one ``/v1/stats`` payload as Prometheus exposition text."""
     writer = _Writer()
     for key, value in stats.items():
-        if key in ("gateway", "admission", "cluster", "obs") or key in UNEXPORTED_KEYS:
+        if (
+            key in ("gateway", "admission", "cluster", "shard", "obs")
+            or key in UNEXPORTED_KEYS
+        ):
             continue
         _emit_scalar(writer, "", key, value)
 
@@ -269,4 +274,63 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
                 )
             else:
                 _emit_scalar(writer, "cluster", key, value)
+
+    shard = stats.get("shard")
+    if isinstance(shard, Mapping):
+        _emit_shard(writer, shard)
     return writer.render()
+
+
+def _emit_shard(writer: _Writer, shard: Mapping[str, Any]) -> None:
+    """Render the sharded tier's stats section.
+
+    Per-shard list entries become ``{shard="<id>"}``-labelled samples:
+    owned in-edges as a gauge (placement balance at a glance), frontier
+    exchange traffic as lifetime counters (the cross-shard cost of the
+    push workload), applied versions as gauges (replication skew).
+    """
+
+    def per_shard(
+        key: str, name: str, *, kind: str, help_text: str
+    ) -> None:
+        values = shard.get(key)
+        if not isinstance(values, (list, tuple)):
+            return
+        for index, value in enumerate(values):
+            if _is_number(value):
+                writer.sample(
+                    name, value, kind=kind,
+                    help_text=help_text, labels={"shard": index},
+                )
+
+    per_shard(
+        "edges", f"{PREFIX}_shard_edges", kind="gauge",
+        help_text="In-edges owned by each shard's vertex slice.",
+    )
+    per_shard(
+        "frontier_bytes", f"{PREFIX}_shard_frontier_bytes_total",
+        kind="counter",
+        help_text="Frontier-exchange bytes relayed for each shard's pushes.",
+    )
+    per_shard(
+        "exchange_rounds", f"{PREFIX}_shard_exchange_rounds_total",
+        kind="counter",
+        help_text="Cross-shard row fetches relayed for each shard's pushes.",
+    )
+    per_shard(
+        "applied_versions", f"{PREFIX}_shard_applied_version", kind="gauge",
+        help_text="Graph version each shard has applied and acknowledged.",
+    )
+    per_shard(
+        "dispatched", f"{PREFIX}_shard_dispatched_total", kind="counter",
+        help_text="Read dispatches routed to each shard.",
+    )
+    gateway = shard.get("gateway")
+    if isinstance(gateway, Mapping):
+        _emit_counter_map(
+            writer, f"{PREFIX}_shard_requests_total", "op", gateway,
+            "Requests handled by the shard coordinator, by counter name.",
+        )
+    for key in ("shards", "head", "respawns", "batches_shipped",
+                "checkpoint_rounds"):
+        _emit_scalar(writer, "shard", key, shard.get(key))

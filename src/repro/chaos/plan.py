@@ -24,6 +24,9 @@ site                   seam (process)
 ``checkpoint.rename``  between checkpoint tmp-write and atomic rename
 ``replica.apply``      before a replica applies a shipped delta (worker)
 ``replica.serve``      before a replica serves a read frame (worker)
+``shard.apply``        before a shard applies a write batch (shard worker)
+``shard.exchange``     per frontier-exchange relay (coordinator; ``replica=``
+                       carries the *requesting* shard index)
 =====================  ==================================================
 """
 

@@ -37,8 +37,13 @@ Commands
     With ``--replicas N`` the gateway is the replicated cluster tier
     (:mod:`repro.cluster`): N worker processes serve reads, writes ship
     as ordered deltas, and a dead primary fails over to the
-    most-caught-up replica. ``--store DIR`` persists ingest through a
-    WAL+checkpoint store; ``--chaos PLAN.json`` arms a deterministic
+    most-caught-up replica. With ``--shards N`` it is the *partitioned*
+    shard tier (:mod:`repro.shard`): N worker processes each own a
+    vertex slice of the graph and its PPR state, writes apply on every
+    shard, and cross-shard pushes exchange frontier rows through the
+    coordinator. ``--store DIR`` persists ingest through a
+    WAL+checkpoint store (per-shard stores plus a recovery manifest
+    under ``--shards``); ``--chaos PLAN.json`` arms a deterministic
     fault-injection plan (:mod:`repro.chaos`, see ``docs/faults.md``).
     SIGTERM/SIGINT shut down gracefully — stop accepting, drain
     admitted requests, checkpoint if dirty, join replicas — bounded by
@@ -67,6 +72,14 @@ Commands
     bit-identical and within its staleness contract — and, with enough
     cores to host the replicas, unless the cluster wins >= 2.5x.
     ``--tiny`` is the CI smoke mode. See ``docs/cluster.md``.
+``shard-bench [dataset] [--shards N] [--tiny]``
+    Race one mixed read/write trace through the partitioned shard tier
+    (:mod:`repro.shard`) vs the single-process gateway; exits nonzero
+    unless every answer is bit-identical and, at 4 shards, unless the
+    largest shard's resident graph bytes stay <= ~65% of the
+    single-process baseline (the ingest-throughput bar additionally
+    needs >= 4 cores). ``--tiny`` is the CI smoke mode. See
+    ``docs/sharding.md``.
 ``chaos-bench <dataset> [--replicas N] [--tiny]``
     Drive a deterministic write/read trace through the replicated
     cluster while a scripted :mod:`repro.chaos` fault plan drops a
@@ -378,6 +391,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .config import ApiConfig, ClusterConfig, ObsConfig, StoreConfig
     from .store.store import StateStore
 
+    if args.shards > 0 and args.replicas > 0:
+        print(
+            "--shards and --replicas are different scaling tiers (write"
+            " partitioning vs read replication); run one per process,"
+            " stacking them is future work (see docs/sharding.md)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards > 0 and args.hubs > 0:
+        print(
+            "the sharded tier does not support the hub tier"
+            " (a hub vector is global state with no owning shard);"
+            " drop --hubs or --shards",
+            file=sys.stderr,
+        )
+        return 2
     service, prepared = workload_service(
         args.dataset,
         epsilon=args.epsilon,
@@ -386,7 +415,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_hubs=args.hubs,
         top_k=args.k,
     )
-    if args.store is not None:
+    if args.store is not None and args.shards == 0:
         store = StateStore(args.store, StoreConfig(root=args.store))
         service.attach_store(store)
         print(f"store:    {args.store} (WAL + checkpoints)")
@@ -402,7 +431,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     api_config = ApiConfig(host=args.host, port=args.port, obs=obs_config)
     cluster = None
-    if args.replicas > 0:
+    shards_gw = None
+    if args.shards > 0:
+        from .config import ShardConfig
+        from .shard import ShardedGateway
+
+        # Each shard persists under --store/shard-NN/ with a coordinator
+        # manifest; the fault plan installed above rides the shard specs.
+        shards_gw = ShardedGateway(
+            service.graph,
+            ShardConfig(shards=args.shards),
+            api_config,
+            ppr=service.config,
+            serve=service.serve.with_(store=None),
+            store_root=args.store,
+        )
+        gateway = shards_gw
+        if args.store is not None:
+            print(f"store:    {args.store} (per-shard WAL + checkpoints,"
+                  " coordinator manifest)")
+    elif args.replicas > 0:
         cluster = ClusterGateway(
             service, ClusterConfig(replicas=args.replicas), api_config
         )
@@ -436,6 +484,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"service:  {service}")
     if cluster is not None:
         print(f"cluster:  {cluster}")
+    if shards_gw is not None:
+        print(f"shards:   {shards_gw}")
     print(f"listening on {server.url} "
           "(POST /v1/query /v1/ingest, GET /v1/stats /v1/healthz /v1/readyz)")
     if obs_config.enabled:
@@ -463,6 +513,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.store.close()
         if cluster is not None:
             cluster.close(
+                deadline_s=max(0.5, deadline - time.monotonic())
+            )
+        if shards_gw is not None:
+            if args.store is not None and shards_gw._batches_since_checkpoint:
+                from .api.requests import CheckpointNow
+
+                result = shards_gw.submit(CheckpointNow())
+                if result.error is None:
+                    print(f"store:    checkpointed all shards at"
+                          f" v{shards_gw._head}")
+            shards_gw.close(
                 deadline_s=max(0.5, deadline - time.monotonic())
             )
         for sig, handler in previous.items():
@@ -536,6 +597,61 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         )
     print(
         f"replicated serving: {verdict} — answers"
+        f" {'bit-identical' if result.matched else 'MISMATCH'},"
+        f" contracts {'honored' if result.bounded_ok else 'VIOLATED'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    from .bench.cluster import available_cores
+    from .bench.shard import shard_benchmark
+
+    if args.tiny:
+        # CI smoke: 2 shards, short trace — the full partitioned
+        # machinery (slicing, frontier exchange, merge) fires either
+        # way; the memory and throughput bars need 4 shards and 4 cores
+        # so they are measured but waived.
+        shards, slides, requests, sources = 2, 2, 64, 24
+    else:
+        shards, slides, requests, sources = (
+            args.shards, args.slides, args.requests, args.sources
+        )
+    result = shard_benchmark(
+        args.dataset,
+        shards=shards,
+        num_sources=sources,
+        num_slides=slides,
+        requests_per_slide=requests,
+        k=args.k,
+        epsilon=args.epsilon,
+        workers=args.workers,
+    )
+    print(result.table())
+    ok = result.matched and result.bounded_ok
+    mem_bar = 0.65
+    if not args.tiny and shards >= 4:
+        ok = ok and result.memory_ratio <= mem_bar
+        mem_verdict = (
+            f"{result.memory_ratio:.0%} of baseline (bar <= {mem_bar:.0%})"
+        )
+    else:
+        mem_verdict = (
+            f"{result.memory_ratio:.0%} of baseline (bar waived:"
+            f" {'tiny mode' if args.tiny else 'fewer than 4 shards'})"
+        )
+    bar = 1.5
+    if not args.tiny and available_cores() >= shards:
+        ok = ok and result.ingest_speedup >= bar
+        ingest_verdict = f"{result.ingest_speedup:.2f}x ingest (bar {bar}x)"
+    else:
+        ingest_verdict = (
+            f"{result.ingest_speedup:.2f}x ingest (bar waived:"
+            f" {'tiny mode' if args.tiny else 'too few cores'})"
+        )
+    print(
+        f"sharded serving: per-shard graph {mem_verdict} —"
+        f" {ingest_verdict} — answers"
         f" {'bit-identical' if result.matched else 'MISMATCH'},"
         f" contracts {'honored' if result.bounded_ok else 'VIOLATED'}"
     )
@@ -797,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through N replica worker processes (0 = single-process)",
     )
     serve_http.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the graph across N shard worker processes"
+        " (0 = unsharded; exclusive with --replicas)",
+    )
+    serve_http.add_argument(
         "--store", default=None, metavar="DIR",
         help="persist ingest through a WAL+checkpoint store at DIR",
     )
@@ -831,6 +954,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="2 replicas, short trace, no speedup bar (the CI smoke mode)",
     )
     clb.set_defaults(func=_cmd_cluster_bench)
+
+    shb = sub.add_parser(
+        "shard-bench",
+        help="race the partitioned shard tier against the single-process gateway",
+    )
+    shb.add_argument(
+        "dataset", nargs="?", default="youtube", choices=sorted(DATASETS)
+    )
+    shb.add_argument("--shards", type=int, default=4)
+    shb.add_argument("--slides", type=int, default=3)
+    shb.add_argument("--requests", type=int, default=128, help="reads per slide")
+    shb.add_argument("--sources", type=int, default=48)
+    shb.add_argument("--k", type=int, default=10)
+    shb.add_argument("--epsilon", type=float, default=1e-5)
+    shb.add_argument("--workers", type=int, default=40)
+    shb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2 shards, short trace, memory/speedup bars waived (the CI smoke mode)",
+    )
+    shb.set_defaults(func=_cmd_shard_bench)
 
     chb = sub.add_parser(
         "chaos-bench",

@@ -465,6 +465,93 @@ class ClusterConfig:
         return replace(self, **changes)
 
 
+class PartitionerKind(enum.Enum):
+    """Vertex placement strategy of the sharded tier (:mod:`repro.shard`).
+
+    ``HASH``
+        Stateless splitmix64 hash of the vertex id mod the shard count.
+        Balanced to within a few percent even on Zipf-distributed ids,
+        and repartition-free: a vertex's owner never changes as the
+        graph grows.
+    ``DEGREE``
+        Degree-aware greedy placement built from a seed graph (heaviest
+        in-degree vertices assigned first to the least-loaded shard),
+        with the hash rule as fallback for vertices unseen at build
+        time. Still repartition-free — the table is static.
+    """
+
+    HASH = "hash"
+    DEGREE = "degree"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Configuration of the partitioned serving tier (:mod:`repro.shard`).
+
+    Parameters
+    ----------
+    shards:
+        Worker processes, each *owning* a vertex slice of the dynamic
+        graph: its in-adjacency rows, the PPR states of its resident
+        sources, and (when a store is attached) its own WAL segment
+        directory and checkpoints. Unlike :class:`ClusterConfig`
+        replicas, shards partition writes and memory, not just reads.
+    partitioner:
+        Vertex placement strategy (see :class:`PartitionerKind`).
+    max_respawns:
+        How many times a crashed shard may be respawned before the
+        gateway gives up and raises.
+    start_method:
+        :mod:`multiprocessing` start method (``fork`` is the fast path
+        on Linux).
+    spawn_timeout_s / response_timeout_s:
+        How long to wait for a worker's hello handshake / a dispatched
+        frame before declaring the shard dead.
+    history_frames:
+        Bound on the in-memory ring of recent write frames the
+        coordinator keeps for catching up a respawned shard without a
+        store (a storeless gateway keeps the full history instead).
+
+    See ``docs/sharding.md`` for placement, the frontier-exchange
+    protocol, and the recovery manifest.
+    """
+
+    shards: int = 2
+    partitioner: PartitionerKind = PartitionerKind.HASH
+    max_respawns: int = 3
+    start_method: str = "fork"
+    spawn_timeout_s: float = 60.0
+    response_timeout_s: float = 300.0
+    history_frames: int = 512
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.shards <= 64:
+            raise ConfigError(f"shards must be in [1, 64], got {self.shards}")
+        if not isinstance(self.partitioner, PartitionerKind):
+            raise ConfigError(
+                f"partitioner must be a PartitionerKind, got {self.partitioner!r}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ConfigError(
+                "start_method must be one of fork/spawn/forkserver,"
+                f" got {self.start_method!r}"
+            )
+        if self.spawn_timeout_s <= 0 or self.response_timeout_s <= 0:
+            raise ConfigError("shard timeouts must be > 0")
+        if self.history_frames < 1:
+            raise ConfigError(
+                f"history_frames must be >= 1, got {self.history_frames}"
+            )
+
+    def with_(self, **changes: Any) -> "ShardConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 class RefreshPolicy(enum.Enum):
     """When the serving layer re-converges resident PPR states.
 

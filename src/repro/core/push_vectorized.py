@@ -257,8 +257,16 @@ def vectorized_phase(
     """Run one sign phase of the vectorized parallel push to exhaustion."""
     frontier = _prepare_seeds(state, phase, config.epsilon, seeds)
     iteration = _eager_iteration if config.variant.eager else _snapshot_iteration
+    # Distributed views (repro.shard) expose a prefetch hook so one batched
+    # round-trip fetches every remote in-row the iteration will gather;
+    # plain CSR snapshots don't have it and skip the probe entirely. The
+    # weights are informational (the eager variant re-reads residuals per
+    # chunk); the frontier is the contract.
+    prefetch = getattr(csr, "prefetch_rows", None)
     rounds = 0
     while frontier.size:
+        if prefetch is not None:
+            prefetch(frontier, state.r[frontier])
         rec = IterationRecord(phase=phase, frontier_size=int(frontier.size))
         frontier = iteration(state, csr, phase, config, frontier, rec)
         stats.record(rec)

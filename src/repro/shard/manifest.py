@@ -1,0 +1,416 @@
+"""Cross-shard durability: per-shard stores under one recovery manifest.
+
+Each shard worker owns a full :class:`repro.store.StateStore` — its own
+WAL segments and its own checkpoints, under ``<root>/shard-<NN>/`` — and
+persists *exactly* what a single-process store would: every applied
+batch is logged before it is acknowledged, checkpoints are atomic and
+order-exact. What a shard's store cannot express alone is the *group*
+property: which checkpoint epoch is consistent **across** shards.
+
+That is the manifest's job. After every coordinated checkpoint round
+(every shard acknowledged ``CHECKPOINTED`` at the same graph version)
+the gateway atomically rewrites ``<root>/manifest.json``::
+
+    {
+      "format": 1,
+      "version": <graph version of the completed round>,
+      "shards": <N>,
+      "partitioner": {...},        # Partitioner.to_manifest()
+      "shard_info": [{"shard": i, "version": v, "checkpoint": name|null}, ...]
+    }
+
+Because each shard also keeps its WAL tail past its checkpoint, the
+manifest version is a *floor*, not a fence: a recovering shard loads its
+newest checkpoint and replays its own WAL tail forward, so shards whose
+crash interleaved with in-flight batches still converge — the gateway
+heals any residual version skew with donor ``TAIL`` frames at spawn.
+
+Recovery of one shard (:func:`recover_shard`) mirrors
+:func:`repro.store.recovery.recover` with two shard-specific twists:
+
+* the graph inside the checkpoint is a :class:`ShardGraph` slice, decoded
+  by its own self-describing codec (the ``graph_meta`` JSON carries the
+  shard id and partitioner manifest);
+* WAL replay runs with the refresh policy forced to ``LAZY``: the shard
+  is alone during recovery — no coordinator is relaying frontier
+  exchanges yet — so an ``EAGER`` policy would try remote fetches it
+  cannot complete. Under ``LAZY`` (the default) this is bit-identical to
+  the uninterrupted run; under ``EAGER`` the deferred refreshes happen
+  at the first post-recovery query instead, converging to the same
+  ε-certified answers. See ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..config import RefreshPolicy, StoreConfig
+from ..core.state import PPRState
+from ..errors import StoreError
+from ..obs import clock
+from ..serve.cache import ResidentSource
+from ..store.checkpoint import (
+    CHECKPOINT_FORMAT,
+    _parse_ppr_config,
+    _parse_serve_config,
+    checkpoint_version,
+    config_fingerprint,
+    list_checkpoints,
+)
+from ..store.store import StateStore
+from ..store.wal import WriteAheadLog
+from .graph import ShardGraph
+from .partitioner import Partitioner
+from .service import ShardService
+
+PathLike = str | os.PathLike
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+
+def shard_store_root(root: PathLike, shard_id: int) -> Path:
+    """The store directory of shard ``shard_id`` under cluster root ``root``."""
+    return Path(root) / f"shard-{shard_id:02d}"
+
+
+# ---------------------------------------------------------------------- #
+# the coordinator manifest
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """One decoded ``manifest.json``: the last consistent checkpoint epoch."""
+
+    path: Path
+    version: int
+    shards: int
+    partitioner: dict[str, Any]
+    shard_info: tuple[dict[str, Any], ...]
+
+
+def write_manifest(
+    root: PathLike,
+    *,
+    version: int,
+    shards: int,
+    partitioner_manifest: dict[str, Any],
+    shard_info: list[dict[str, Any]],
+) -> Path:
+    """Atomically (re)write the cluster manifest after a checkpoint round.
+
+    Same tmp-write + fsync + rename discipline as checkpoints: a crash
+    mid-write leaves the previous manifest authoritative.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    final = root / MANIFEST_NAME
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "version": int(version),
+        "shards": int(shards),
+        "partitioner": partitioner_manifest,
+        "shard_info": shard_info,
+    }
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+def read_manifest(root: PathLike) -> ShardManifest:
+    """Load and validate ``<root>/manifest.json``.
+
+    Raises :class:`StoreError` on a missing or structurally malformed
+    manifest — recovery cannot guess the shard count or partitioner.
+    """
+    path = Path(root) / MANIFEST_NAME
+    if not path.exists():
+        raise StoreError(f"shard manifest not found: {path}")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"unreadable shard manifest {path}: {exc}") from exc
+    try:
+        fmt = int(payload["format"])
+        if fmt != MANIFEST_FORMAT:
+            raise StoreError(
+                f"{path.name}: unsupported manifest format {fmt}"
+                f" (this build reads {MANIFEST_FORMAT})"
+            )
+        shards = int(payload["shards"])
+        if shards < 1:
+            raise StoreError(f"{path.name}: shards must be >= 1, got {shards}")
+        partitioner = payload["partitioner"]
+        if not isinstance(partitioner, dict):
+            raise StoreError(f"{path.name}: partitioner must be an object")
+        info = payload["shard_info"]
+        if not isinstance(info, list) or len(info) != shards:
+            raise StoreError(
+                f"{path.name}: shard_info must list all {shards} shards"
+            )
+        return ShardManifest(
+            path=path,
+            version=int(payload["version"]),
+            shards=shards,
+            partitioner=partitioner,
+            shard_info=tuple(dict(entry) for entry in info),
+        )
+    except StoreError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"corrupt shard manifest {path.name}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# per-shard checkpoints
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardCheckpoint:
+    """One decoded per-shard checkpoint, ready to restore a ShardService.
+
+    The npz layout is exactly :func:`repro.store.checkpoint.write_checkpoint`'s
+    (that writer is generic over ``service.graph.to_arrays()``); only the
+    ``graph_*`` keys differ — they hold a :class:`ShardGraph` slice.
+    """
+
+    path: Path
+    version: int
+    updates_ingested: int
+    batches_ingested: int
+    config: Any
+    serve: Any
+    fingerprint: str
+    graph: ShardGraph
+    residents: list[ResidentSource]
+
+
+def read_shard_checkpoint(
+    path: PathLike, partitioner: Partitioner | None = None
+) -> ShardCheckpoint:
+    """Load and validate one per-shard checkpoint file.
+
+    Mirrors :func:`repro.store.checkpoint.read_checkpoint`; the graph is
+    rebuilt through :meth:`ShardGraph.from_arrays` (self-describing via
+    the embedded ``graph_meta`` JSON, cross-checked against
+    ``partitioner`` when given). Shard checkpoints never carry a hub
+    tier — :class:`ShardService` refuses to build one.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StoreError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+    except Exception as exc:  # zip/CRC/format damage
+        raise StoreError(f"unreadable checkpoint {path.name}: {exc}") from exc
+    try:
+        fmt = int(arrays["format"])
+        if fmt != CHECKPOINT_FORMAT:
+            raise StoreError(
+                f"{path.name}: unsupported checkpoint format {fmt}"
+                f" (this build reads {CHECKPOINT_FORMAT})"
+            )
+        config = _parse_ppr_config(str(arrays["ppr_config"]))
+        serve = _parse_serve_config(str(arrays["serve_config"]))
+        fingerprint = str(arrays["fingerprint"])
+        if fingerprint != config_fingerprint(config, serve):
+            raise StoreError(f"{path.name}: configuration fingerprint mismatch")
+        if int(arrays["has_hubs"]):
+            raise StoreError(
+                f"{path.name}: shard checkpoints cannot carry a hub tier"
+            )
+        graph = ShardGraph.from_arrays(
+            {
+                key[len("graph_") :]: value
+                for key, value in arrays.items()
+                if key.startswith("graph_")
+            },
+            partitioner=partitioner,
+        )
+        residents: list[ResidentSource] = []
+        state_offset = 0
+        pending_offset = 0
+        for i, source in enumerate(arrays["sources"].tolist()):
+            length = int(arrays["resident_lengths"][i])
+            state = PPRState.from_arrays(
+                {
+                    "source": np.int64(source),
+                    "p": arrays["resident_p"][state_offset : state_offset + length],
+                    "r": arrays["resident_r"][state_offset : state_offset + length],
+                }
+            )
+            state_offset += length
+            n_pending = int(arrays["pending_lengths"][i])
+            seeds = set(
+                arrays["pending"][pending_offset : pending_offset + n_pending].tolist()
+            )
+            pending_offset += n_pending
+            version, reflected, queries = arrays["resident_meta"][i].tolist()
+            residents.append(
+                ResidentSource(
+                    state=state,
+                    version=version,
+                    updates_reflected=reflected,
+                    pending_seeds=seeds,
+                    queries=queries,
+                )
+            )
+        return ShardCheckpoint(
+            path=path,
+            version=int(arrays["graph_version"]),
+            updates_ingested=int(arrays["updates_ingested"]),
+            batches_ingested=int(arrays["batches_ingested"]),
+            config=config,
+            serve=serve,
+            fingerprint=fingerprint,
+            graph=graph,
+            residents=residents,
+        )
+    except StoreError:
+        raise
+    except Exception as exc:  # missing keys, shape mismatches, bad enums
+        raise StoreError(f"corrupt checkpoint {path.name}: {exc}") from exc
+
+
+def latest_shard_checkpoint(
+    directory: PathLike, partitioner: Partitioner | None = None
+) -> ShardCheckpoint | None:
+    """The newest per-shard checkpoint that loads and validates, or None.
+
+    Damaged newer candidates are skipped, same policy as
+    :func:`repro.store.checkpoint.latest_checkpoint`.
+    """
+    candidates = list_checkpoints(directory)
+    errors: list[str] = []
+    for path in reversed(candidates):
+        try:
+            return read_shard_checkpoint(path, partitioner)
+        except StoreError as exc:
+            errors.append(str(exc))
+    if errors:
+        raise StoreError(
+            "no readable checkpoint; all candidates damaged: " + "; ".join(errors)
+        )
+    return None
+
+
+def restore_shard_service(checkpoint: ShardCheckpoint) -> ShardService:
+    """Materialize a :class:`ShardService` from one decoded checkpoint."""
+    return ShardService.restore(
+        graph=checkpoint.graph,
+        config=checkpoint.config,
+        serve=checkpoint.serve,
+        residents=checkpoint.residents,
+        hub_index=None,
+        graph_version=checkpoint.version,
+        updates_ingested=checkpoint.updates_ingested,
+        batches_ingested=checkpoint.batches_ingested,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# per-shard recovery
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardRecovery:
+    """A recovered shard service plus the forensics of how it got there."""
+
+    service: ShardService
+    checkpoint_path: Path
+    checkpoint_version: int
+    replayed_batches: int
+    replayed_updates: int
+    torn_bytes_dropped: int
+    wall_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.service.graph.shard_id}: recovered"
+            f" v{self.checkpoint_version} -> v{self.service.graph_version}"
+            f" ({self.replayed_batches} batches / {self.replayed_updates} updates"
+            f" replayed, {self.torn_bytes_dropped} torn bytes dropped,"
+            f" {self.wall_seconds * 1e3:.1f} ms)"
+        )
+
+
+def recover_shard(
+    root: PathLike,
+    *,
+    partitioner: Partitioner | None = None,
+    store_config: StoreConfig | None = None,
+    attach: bool = True,
+) -> ShardRecovery:
+    """Rebuild one shard's service from its own store directory.
+
+    ``root`` is the *per-shard* store root (``shard_store_root(...)``).
+    Newest valid checkpoint, truncate torn WAL tails, replay the tail
+    through the normal ingest path — with ``serve.refresh`` pinned to
+    ``LAZY`` for the duration of the replay (no coordinator is relaying
+    frontier exchanges during recovery; see the module docstring) — then
+    reattach a store without writing a redundant baseline checkpoint.
+    """
+    root = Path(root)
+    if not root.exists():
+        raise StoreError(f"shard store directory not found: {root}")
+    checkpoint = latest_shard_checkpoint(root / "checkpoints", partitioner)
+    if checkpoint is None:
+        raise StoreError(
+            f"no checkpoint under {root} — the shard store never saw an"
+            " attach (the WAL alone cannot rebuild the initial slice)"
+        )
+
+    start = clock.now()
+    service = restore_shard_service(checkpoint)
+    restored_serve = service.serve
+    service.serve = restored_serve.with_(refresh=RefreshPolicy.LAZY)
+    wal = WriteAheadLog(root / "wal")
+    torn = wal.truncate_torn_tails()
+    replayed_batches = 0
+    replayed_updates = 0
+    try:
+        for record in wal.iter_records(after_seq=checkpoint.version):
+            if record.seq != service.graph_version + 1:
+                raise StoreError(
+                    f"WAL replay gap: checkpoint v{checkpoint.version}, next"
+                    f" record seq {record.seq}, shard at"
+                    f" v{service.graph_version}"
+                )
+            service.ingest(list(record.updates))
+            replayed_batches += 1
+            replayed_updates += len(record.updates)
+    finally:
+        service.serve = restored_serve
+        wal.close()
+
+    if attach:
+        store = StateStore(root, store_config or StoreConfig(root=str(root)))
+        # The replayed tail is already on disk; count it toward the next
+        # checkpoint so the interval is measured from the last checkpoint.
+        store._batches_since_checkpoint = replayed_batches
+        service.attach_store(store, checkpoint=False)
+    wall = clock.now() - start
+    return ShardRecovery(
+        service=service,
+        checkpoint_path=checkpoint.path,
+        checkpoint_version=checkpoint.version,
+        replayed_batches=replayed_batches,
+        replayed_updates=replayed_updates,
+        torn_bytes_dropped=torn,
+        wall_seconds=wall,
+    )

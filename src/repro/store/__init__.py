@@ -27,7 +27,16 @@ from .checkpoint import (
 )
 from .recovery import RecoveryResult, recover, recover_service
 from .store import StateStore, StoreStatus
-from .wal import WalRecord, WriteAheadLog, scan_segment, truncate_torn_tail
+from .wal import (
+    WalRecord,
+    WriteAheadLog,
+    pack_payload,
+    pack_record,
+    scan_segment,
+    truncate_torn_tail,
+    unpack_payload,
+    unpack_record,
+)
 
 __all__ = [
     "Checkpoint",
@@ -37,11 +46,15 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "latest_checkpoint",
+    "pack_payload",
+    "pack_record",
     "read_checkpoint",
     "recover",
     "recover_service",
     "restore_service",
     "scan_segment",
     "truncate_torn_tail",
+    "unpack_payload",
+    "unpack_record",
     "write_checkpoint",
 ]

@@ -95,30 +95,33 @@ class WalRecord:
     epoch: int = 0
 
 
-def pack_record(seq: int, updates: Sequence[EdgeUpdate], *, epoch: int = 0) -> bytes:
-    """One complete CRC-framed record (header + payload) as bytes.
+def pack_payload(seq: int, payload: bytes, *, epoch: int = 0) -> bytes:
+    """Wrap an opaque payload in the CRC frame header (magic, seq, epoch).
 
-    The frame the WAL appends to its segments — and, reused verbatim,
-    the wire format the cluster tier (:mod:`repro.cluster`) ships write
-    deltas in: one durability codec, one replication codec. ``epoch`` is
-    the writer's authority term; it is covered by the CRC and enforced
-    by replicas (a frame from a fenced epoch is rejected, not applied).
+    The generic half of the record codec: :func:`pack_record` is this
+    applied to :func:`encode_updates` output, and the shard tier
+    (:mod:`repro.shard`) reuses the same framing for frontier-exchange
+    messages so a damaged cross-shard frame is rejected by the same CRC
+    check that rejects a torn WAL tail.
     """
     if seq < 0:
         raise StoreError(f"seq must be >= 0, got {seq}")
     if epoch < 0:
         raise StoreError(f"epoch must be >= 0, got {epoch}")
-    payload = encode_updates(updates)
+    if len(payload) > MAX_PAYLOAD:
+        raise StoreError(
+            f"payload of {len(payload)} bytes exceeds frame bound {MAX_PAYLOAD}"
+        )
     crc = zlib.crc32(_SEQ_EPOCH.pack(seq, epoch) + payload)
     return _HEADER.pack(FRAME_MAGIC, seq, epoch, len(payload), crc) + payload
 
 
-def unpack_record(frame: bytes) -> WalRecord:
-    """Decode and verify one :func:`pack_record` frame.
+def unpack_payload(frame: bytes) -> tuple[int, int, bytes]:
+    """Verify one :func:`pack_payload` frame; returns ``(seq, epoch, payload)``.
 
     Raises :class:`~repro.errors.StoreError` on bad magic, length
-    mismatch, CRC mismatch, or a malformed payload — a replica must not
-    apply a delta the channel damaged.
+    mismatch, or CRC mismatch — a receiver must not act on a frame the
+    channel damaged.
     """
     if len(frame) < _HEADER.size:
         raise StoreError(f"short frame: {len(frame)} bytes")
@@ -133,6 +136,29 @@ def unpack_record(frame: bytes) -> WalRecord:
     payload = frame[_HEADER.size :]
     if zlib.crc32(_SEQ_EPOCH.pack(seq, epoch) + payload) != crc:
         raise StoreError(f"frame CRC mismatch at seq {seq}")
+    return seq, epoch, payload
+
+
+def pack_record(seq: int, updates: Sequence[EdgeUpdate], *, epoch: int = 0) -> bytes:
+    """One complete CRC-framed record (header + payload) as bytes.
+
+    The frame the WAL appends to its segments — and, reused verbatim,
+    the wire format the cluster tier (:mod:`repro.cluster`) ships write
+    deltas in: one durability codec, one replication codec. ``epoch`` is
+    the writer's authority term; it is covered by the CRC and enforced
+    by replicas (a frame from a fenced epoch is rejected, not applied).
+    """
+    return pack_payload(seq, encode_updates(updates), epoch=epoch)
+
+
+def unpack_record(frame: bytes) -> WalRecord:
+    """Decode and verify one :func:`pack_record` frame.
+
+    Raises :class:`~repro.errors.StoreError` on bad magic, length
+    mismatch, CRC mismatch, or a malformed payload — a replica must not
+    apply a delta the channel damaged.
+    """
+    seq, epoch, payload = unpack_payload(frame)
     return WalRecord(seq=seq, updates=tuple(decode_updates(payload)), epoch=epoch)
 
 

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the shard partitioners.
+
+The laws every :class:`~repro.shard.partitioner.Partitioner` must honor
+for the sharded tier to be correct (see the module docstring there):
+
+1. **total and deterministic** — any vertex id maps to exactly one
+   shard in ``[0, num_shards)``, the same one on every call, and the
+   vectorized ``owners`` agrees bit-for-bit with the scalar ``owner``;
+2. **manifest round-trip** — a partitioner rebuilt from its recovery
+   manifest routes identically (a cold-started gateway must route like
+   the one that wrote the checkpoints);
+3. **balanced under skew** — the stateless hash splits even Zipf-drawn
+   (heavy-tailed, duplicate-free) id sets to within a loose bound of
+   even, so no shard silently inherits most of the graph;
+4. **repartition-free** — ownership of an id never changes as the
+   vertex universe grows (new ids appearing, capacity rising); a moved
+   vertex would invalidate every shard's WAL history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.partitioner import (
+    DegreePartitioner,
+    HashPartitioner,
+    partitioner_from_manifest,
+)
+
+shard_counts = st.integers(1, 9)
+vertex_ids = st.integers(0, 2**48 - 1)
+
+
+def degree_partitioners(num_shards: int, table_ids: list[int]) -> DegreePartitioner:
+    table = {v: i % num_shards for i, v in enumerate(sorted(set(table_ids)))}
+    return DegreePartitioner(num_shards, table)
+
+
+# ---------------------------------------------------------------------- #
+# 1. total, deterministic, scalar == vectorized
+# ---------------------------------------------------------------------- #
+
+
+@given(shards=shard_counts, ids=st.lists(vertex_ids, min_size=1, max_size=64))
+def test_hash_routing_total_deterministic_and_vectorized(shards, ids):
+    partitioner = HashPartitioner(shards)
+    scalar = [partitioner.owner(v) for v in ids]
+    assert all(0 <= owner < shards for owner in scalar)
+    # Deterministic: a second pass and a fresh instance agree.
+    assert scalar == [partitioner.owner(v) for v in ids]
+    assert scalar == [HashPartitioner(shards).owner(v) for v in ids]
+    vectorized = partitioner.owners(np.asarray(ids, dtype=np.int64))
+    assert vectorized.tolist() == scalar
+
+
+@given(
+    shards=shard_counts,
+    table_ids=st.lists(vertex_ids, max_size=32),
+    ids=st.lists(vertex_ids, min_size=1, max_size=64),
+)
+def test_degree_routing_total_deterministic_and_vectorized(shards, table_ids, ids):
+    partitioner = degree_partitioners(shards, table_ids)
+    scalar = [partitioner.owner(v) for v in ids]
+    assert all(0 <= owner < shards for owner in scalar)
+    assert scalar == [partitioner.owner(v) for v in ids]
+    vectorized = partitioner.owners(np.asarray(ids, dtype=np.int64))
+    assert vectorized.tolist() == scalar
+
+
+# ---------------------------------------------------------------------- #
+# 2. manifest round-trip
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    shards=shard_counts,
+    table_ids=st.lists(vertex_ids, max_size=32),
+    ids=st.lists(vertex_ids, min_size=1, max_size=64),
+)
+def test_manifest_round_trip_routes_identically(shards, table_ids, ids):
+    for partitioner in (
+        HashPartitioner(shards),
+        degree_partitioners(shards, table_ids),
+    ):
+        rebuilt = partitioner_from_manifest(partitioner.to_manifest())
+        assert type(rebuilt) is type(partitioner)
+        assert [rebuilt.owner(v) for v in ids] == [
+            partitioner.owner(v) for v in ids
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# 3. hash balance under Zipf-like skew
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    shards=st.integers(2, 8),
+    seed=st.integers(0, 2**32 - 1),
+    population=st.integers(2_000, 50_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_hash_balance_on_zipf_ids(shards, seed, population):
+    """Distinct ids drawn Zipf-style still spread within 25% of even.
+
+    The draw is heavy-tailed over a large id space (the adversarial
+    shape real vertex ids take), deduplicated because placement is a
+    function of the id set, not of draw frequency.
+    """
+    rng = np.random.default_rng(seed)
+    drawn = rng.zipf(1.3, size=population)
+    ids = np.unique(drawn[drawn < 2**48].astype(np.int64))
+    assert len(ids) >= 100  # the bound below is meaningless on tiny sets
+    owners = HashPartitioner(shards).owners(ids)
+    counts = np.bincount(owners, minlength=shards)
+    even = len(ids) / shards
+    assert counts.max() <= even * 1.25, (
+        f"worst shard holds {counts.max()} of {len(ids)} ids"
+        f" ({counts.max() / even:.2f}x even split)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# 4. repartition-free growth
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    shards=shard_counts,
+    table_ids=st.lists(vertex_ids, max_size=32),
+    ids=st.lists(vertex_ids, min_size=1, max_size=48),
+    growth=st.lists(vertex_ids, min_size=1, max_size=48),
+)
+def test_ownership_stable_under_vertex_growth(shards, table_ids, ids, growth):
+    """New vertices appearing never move existing ones.
+
+    Placement is a pure function of the id — there is no dependence on
+    the current vertex count, capacity, or insertion order — so the
+    owners recorded before growth match the owners after.
+    """
+    for partitioner in (
+        HashPartitioner(shards),
+        degree_partitioners(shards, table_ids),
+    ):
+        before = {v: partitioner.owner(v) for v in ids}
+        for v in growth:  # "grow" the universe: route brand-new ids
+            assert 0 <= partitioner.owner(v) < shards
+        assert {v: partitioner.owner(v) for v in ids} == before
