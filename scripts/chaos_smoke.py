@@ -62,6 +62,10 @@ def wait_healthy(base: str, deadline_s: float = 90.0) -> None:
 
 
 def main() -> int:
+    from repro.kernels import describe
+
+    info = describe()
+    print(f"kernel backend: {info['backend']} ({info['reason']})")
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-")

@@ -1,0 +1,77 @@
+"""Kernel CI smoke: selection works, fallback works, answers agree.
+
+Three checks, all cheap enough for every CI leg:
+
+1. log which backend this host selected (``repro.kernels.describe``) —
+   every CI job greps this line, so a silently-wrong selection (the
+   compiled leg falling back, the numpy leg accidentally compiling)
+   fails loudly;
+2. ``REPRO_KERNEL=numpy`` and the selected default must serve
+   bit-identical certified top-k answers over a real service — on a
+   compiler-less host this degenerates to numpy-vs-numpy, which is
+   exactly the graceful-fallback behavior the no-compiler CI job
+   asserts;
+3. when ``REPRO_KERNEL_EXPECT`` is set (``compiled`` or ``numpy``), the
+   selected backend must match it — CI pins expectations per leg.
+
+Run from the repository root:  PYTHONPATH=src python scripts/kernel_smoke.py
+CI runs this in both backend legs (.github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import DynamicDiGraph, PPRService, kernels  # noqa: E402
+from repro.api.requests import FRESH, TopKQuery  # noqa: E402
+from repro.config import KernelConfig, KernelMode  # noqa: E402
+from repro.graph.generators import rmat_graph  # noqa: E402
+
+
+def answers(service: PPRService, sources: range) -> list[list[tuple]]:
+    out = []
+    for source in sources:
+        result = service.gateway.submit(
+            TopKQuery(source=source, k=5, consistency=FRESH)
+        )
+        if not result.ok:
+            raise SystemExit(f"query failed: {result}")
+        out.append([(e.vertex, e.estimate) for e in result.entries])
+    return out
+
+
+def main() -> int:
+    info = kernels.describe()
+    print(f"kernel backend: {info['backend']}"
+          f" (mode={info['mode']}, {info['reason']})")
+
+    expect = os.environ.get("REPRO_KERNEL_EXPECT")
+    if expect and info["backend"] != expect:
+        print(f"expected backend {expect!r}, selected {info['backend']!r}",
+              file=sys.stderr)
+        return 1
+
+    edges = rmat_graph(600, 4_000, rng=20170901)
+    selected = PPRService(DynamicDiGraph.from_edge_array(edges))
+    oracle = PPRService(
+        DynamicDiGraph.from_edge_array(edges),
+        selected.config.with_(kernel=KernelConfig(mode=KernelMode.NUMPY)),
+    )
+    sources = range(8)
+    if answers(selected, sources) != answers(oracle, sources):
+        print("certified top-k diverged between selected kernel and numpy",
+              file=sys.stderr)
+        return 1
+    print(f"certified top-k identical across {info['backend']}/numpy"
+          f" for {len(sources)} sources")
+    print("kernel smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     # PEP 561: the typed request/response API is visible to type-checkers.
-    package_data={"repro": ["py.typed"]},
+    # The C kernel source ships with the wheel: it is compiled on demand at
+    # runtime (repro.kernels.build), not at install time.
+    package_data={"repro": ["py.typed"], "repro.kernels": ["_push.c"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},

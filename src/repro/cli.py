@@ -45,6 +45,9 @@ Commands
     WAL+checkpoint store (per-shard stores plus a recovery manifest
     under ``--shards``); ``--chaos PLAN.json`` arms a deterministic
     fault-injection plan (:mod:`repro.chaos`, see ``docs/faults.md``).
+    ``--kernel compiled|numpy|auto`` selects the push kernel
+    (:mod:`repro.kernels`) for every process of the tier and fails fast
+    when ``compiled`` is forced on a host that cannot build one.
     SIGTERM/SIGINT shut down gracefully — stop accepting, drain
     admitted requests, checkpoint if dirty, join replicas — bounded by
     ``--drain-timeout``. ``--trace`` turns on end-to-end request tracing
@@ -88,6 +91,13 @@ Commands
     answers, nothing hangs past the deadline, and post-heal FRESH
     answers are bit-identical to a single-process oracle. ``--tiny``
     is the CI smoke mode. See ``docs/faults.md``.
+``kernel-bench [--dataset D] [--tiny]``
+    Race the compiled push kernel (:mod:`repro.kernels`) against the
+    numpy oracle on a single-thread one-slide push, time shared-memory
+    replica bootstrap as the snapshot grows, and replay a certified
+    top-k differential trace; exits nonzero on any bitwise mismatch or
+    (when a compiler is present) a speedup below 5x. ``--tiny`` is the
+    CI smoke mode. See ``docs/performance.md``.
 ``load-bench <dataset> [--tiny]``
     Open-loop goodput knee curve: measure closed-loop saturation, then
     replay Zipf multi-tenant traffic at fractions of it up to 2x through
@@ -389,8 +399,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .chaos import FaultPlan
     from .cluster import ClusterGateway
     from .config import ApiConfig, ClusterConfig, ObsConfig, StoreConfig
+    from .kernels import describe
     from .store.store import StateStore
 
+    if args.kernel is not None:
+        # Environment, not config: replica and shard workers inherit it,
+        # so one flag selects the kernel in every process of the tier.
+        import os
+
+        os.environ["REPRO_KERNEL"] = args.kernel
+    kernel_info = describe()
+    if kernel_info["backend"] == "unavailable":
+        print(f"kernel:   {kernel_info['reason']}", file=sys.stderr)
+        return 2
     if args.shards > 0 and args.replicas > 0:
         print(
             "--shards and --replicas are different scaling tiers (write"
@@ -482,6 +503,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
     print(f"workload: {prepared.describe()}")
     print(f"service:  {service}")
+    print(f"kernel:   {kernel_info['backend']} ({kernel_info['reason']})")
     if cluster is not None:
         print(f"cluster:  {cluster}")
     if shards_gw is not None:
@@ -805,6 +827,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernel_bench(args: argparse.Namespace) -> int:
+    from .bench.kernel import SPEEDUP_BAR, kernel_benchmark
+    from .kernels import describe
+
+    info = describe()
+    print(f"kernel:   {info['backend']} ({info['reason']})")
+    result = kernel_benchmark(args.dataset, tiny=args.tiny)
+    print(result.table())
+    if not (result.push_matched and result.certified_matched):
+        return 1
+    if result.compiled_available and result.speedup < SPEEDUP_BAR:
+        print(
+            f"speedup {result.speedup:.1f}x below the {SPEEDUP_BAR:.0f}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     result = serving_benchmark(
         args.dataset,
@@ -932,9 +973,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown budget: drain, checkpoint, join replicas",
     )
     serve_http.add_argument(
+        "--kernel",
+        default=None,
+        choices=("auto", "compiled", "numpy"),
+        help="push-kernel selection (default: REPRO_KERNEL env, else auto);"
+        " 'compiled' fails fast when no C kernel can be built",
+    )
+    serve_http.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve_http.set_defaults(func=_cmd_serve)
+
+    knb = sub.add_parser(
+        "kernel-bench",
+        help="race the compiled push kernel against the numpy oracle",
+    )
+    knb.add_argument(
+        "--dataset",
+        default="twitter",
+        choices=sorted(DATASETS),
+        help="dataset analog for the single-thread push race",
+    )
+    knb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small graph, few rounds (the CI smoke mode)",
+    )
+    knb.set_defaults(func=_cmd_kernel_bench)
 
     clb = sub.add_parser(
         "cluster-bench",

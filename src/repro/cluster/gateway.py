@@ -102,6 +102,7 @@ from .replica import ReplicaSpec, replica_main
 
 if TYPE_CHECKING:
     from ..api.client import Client
+    from ..graph.shm import SnapshotPublisher
     from ..serve.service import PPRService
 
 
@@ -258,6 +259,9 @@ class ClusterGateway:
             CircuitBreaker(self.cluster.breaker_failures, self.cluster.breaker_cooldown)
             for _ in range(self.cluster.replicas)
         ]
+        #: Versioned shared-memory snapshot registry (lazy; one bundle per
+        #: published graph version, superseded versions unlinked).
+        self._publisher: "SnapshotPublisher | None" = None
         self.replicas: list[ReplicaHandle] = []
         try:
             for index in range(self.cluster.replicas):
@@ -289,6 +293,19 @@ class ClusterGateway:
                 obs=self.config.obs,
                 chaos=plan,
             )
+        if self.cluster.shared_memory:
+            return ReplicaSpec(
+                replica_id=index,
+                config=service.config,
+                serve=serve,
+                graph_arrays=None,
+                hubs=tuple(service.hubs),
+                graph_version=service.graph_version,
+                store_root=None,
+                graph_shm=self._publish_snapshot(),
+                obs=self.config.obs,
+                chaos=plan,
+            )
         return ReplicaSpec(
             replica_id=index,
             config=service.config,
@@ -299,6 +316,35 @@ class ClusterGateway:
             store_root=None,
             obs=self.config.obs,
             chaos=plan,
+        )
+
+    def _publish_snapshot(self) -> dict[str, Any]:
+        """Publish the primary's current snapshot to shared memory (once).
+
+        One bundle per graph version, shared by every replica spawned at
+        that version: the order-exact graph arrays, the consolidated CSR
+        of the same version (so workers skip their own O(n + m) rebuild),
+        and the scalar meta that keeps the lazy graph build O(1).
+        Re-publishing the current version returns the existing descriptor
+        without copying anything.
+        """
+        if self._publisher is None:
+            from ..graph.shm import SnapshotPublisher
+
+            self._publisher = SnapshotPublisher(tag="cluster")
+        service = self.service
+        version = service.graph_version
+        if self._publisher.current_version == version:
+            return self._publisher.descriptor(version)
+        arrays = dict(service.graph.to_arrays())
+        arrays.update(service.shared_snapshot_arrays())
+        return self._publisher.publish(
+            version,
+            arrays,
+            meta={
+                "num_edges": service.graph.num_edges,
+                "max_vertex": service.graph.max_vertex_id,
+            },
         )
 
     def _spawn(self, index: int, *, from_store: bool = False) -> ReplicaHandle:
@@ -395,6 +441,9 @@ class ClusterGateway:
                     handle.close(
                         timeout=max(0.1, min(5.0, limit - clock.now()))
                     )
+            if self._publisher is not None:
+                self._publisher.close()
+                self._publisher = None
 
     def __enter__(self) -> "ClusterGateway":
         return self

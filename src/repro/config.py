@@ -12,6 +12,7 @@ built on top (:mod:`repro.serve`, see ``docs/serving.md``).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -70,6 +71,74 @@ class Backend(enum.Enum):
     PURE = "pure"
     NUMPY = "numpy"
     MULTIPROCESS = "multiprocess"
+
+
+class KernelMode(enum.Enum):
+    """Which push-kernel implementation backs the ``NUMPY`` backend's loops.
+
+    ``AUTO``
+        Use the compiled C kernel when one can be built (or is cached),
+        fall back to the vectorized numpy path otherwise. The default.
+    ``COMPILED``
+        Require the compiled kernel; raise
+        :class:`~repro.errors.BackendError` when it is unavailable
+        (no compiler, build failure). Views a compiled kernel cannot
+        serve at all — e.g. the sharded tier's distributed views — still
+        fall back per push.
+    ``NUMPY``
+        Force the pure-numpy vectorized path (the correctness oracle).
+
+    Both kernels are bit-identical by contract; ``repro.kernels``
+    enforces it with differential property tests in CI.
+    """
+
+    AUTO = "auto"
+    COMPILED = "compiled"
+    NUMPY = "numpy"
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Push-kernel selection (see :mod:`repro.kernels`).
+
+    Parameters
+    ----------
+    mode:
+        Which implementation to select (see :class:`KernelMode`).
+    compiler:
+        C compiler executable; ``None`` defers to ``REPRO_KERNEL_CC``
+        or the first of ``cc``/``gcc``/``clang`` on ``PATH``.
+    cache_dir:
+        Directory caching built kernel libraries; ``None`` defers to
+        ``REPRO_KERNEL_CACHE`` or ``~/.cache/repro-kernels``.
+    """
+
+    mode: KernelMode = KernelMode.AUTO
+    compiler: str | None = None
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mode, KernelMode):
+            raise ConfigError(f"mode must be a KernelMode, got {self.mode!r}")
+
+    @classmethod
+    def from_env(cls) -> "KernelConfig":
+        """Selection from ``REPRO_KERNEL`` (``compiled|numpy|auto``)."""
+        raw = os.environ.get("REPRO_KERNEL", "").strip().lower()
+        if not raw:
+            return cls()
+        try:
+            mode = KernelMode(raw)
+        except ValueError:
+            choices = "/".join(m.value for m in KernelMode)
+            raise ConfigError(
+                f"REPRO_KERNEL must be one of {choices}, got {raw!r}"
+            ) from None
+        return cls(mode=mode)
+
+    def with_(self, **changes: Any) -> "KernelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 class Phase(enum.Enum):
@@ -408,6 +477,13 @@ class ClusterConfig:
         Dispatch idempotent non-FRESH single reads to a second replica
         as well and take the first answer — latency insurance against a
         slow or wedged owner, at the cost of duplicated read work.
+    shared_memory:
+        Bootstrap replicas from a named shared-memory snapshot
+        (:mod:`repro.graph.shm`) instead of pickling the full graph
+        dump through each worker's pipe. Workers attach the published
+        segment by name — zero-copy, so spawn cost stays O(1) in the
+        graph size. Disable to force the legacy pipe bootstrap (e.g. on
+        hosts without ``/dev/shm``).
     breaker_failures / breaker_cooldown:
         Per-replica circuit breaker: consecutive failures before the
         replica is ejected from the read rotation, and denied requests
@@ -426,6 +502,7 @@ class ClusterConfig:
     spawn_timeout_s: float = 60.0
     response_timeout_s: float = 300.0
     hedge_reads: bool = False
+    shared_memory: bool = True
     breaker_failures: int = 3
     breaker_cooldown: int = 8
 
@@ -511,6 +588,12 @@ class ShardConfig:
         Bound on the in-memory ring of recent write frames the
         coordinator keeps for catching up a respawned shard without a
         store (a storeless gateway keeps the full history instead).
+    shared_memory:
+        Publish the seed graph snapshot as a named shared-memory
+        segment (:mod:`repro.graph.shm`) that every shard worker
+        attaches and slices locally, instead of pickling the full dump
+        through each worker's pipe. Disable to force the legacy pipe
+        bootstrap.
 
     See ``docs/sharding.md`` for placement, the frontier-exchange
     protocol, and the recovery manifest.
@@ -523,6 +606,7 @@ class ShardConfig:
     spawn_timeout_s: float = 60.0
     response_timeout_s: float = 300.0
     history_frames: int = 512
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.shards <= 64:
@@ -678,6 +762,11 @@ class PPRConfig:
     max_iterations:
         Safety bound on push iterations; exceeded only on library bugs
         (the push provably terminates), so hitting it raises.
+    kernel:
+        Push-kernel selection for the ``NUMPY`` backend's inner loops
+        (:class:`KernelConfig`); ``None`` (the default) reads
+        ``REPRO_KERNEL`` from the environment at push time. Answers are
+        bit-identical either way — this knob only trades speed.
     """
 
     alpha: float = DEFAULT_ALPHA
@@ -686,6 +775,7 @@ class PPRConfig:
     backend: Backend = Backend.PURE
     workers: int = 40
     max_iterations: int = 1_000_000
+    kernel: "KernelConfig | None" = None
     extras: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -701,6 +791,8 @@ class PPRConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.max_iterations < 1:
             raise ConfigError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.kernel is not None and not isinstance(self.kernel, KernelConfig):
+            raise ConfigError(f"kernel must be a KernelConfig, got {self.kernel!r}")
 
     def with_(self, **changes: Any) -> "PPRConfig":
         """Return a copy with the given fields replaced."""
@@ -708,7 +800,8 @@ class PPRConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary, used in benchmark tables."""
+        kernel = f" kernel={self.kernel.mode.value}" if self.kernel else ""
         return (
             f"alpha={self.alpha} eps={self.epsilon:g} variant={self.variant.value}"
-            f" backend={self.backend.value} workers={self.workers}"
+            f" backend={self.backend.value} workers={self.workers}{kernel}"
         )

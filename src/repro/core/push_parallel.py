@@ -235,15 +235,18 @@ def parallel_local_push(
         # isolated vertex the graph has not seen yet.
         min_capacity = max(graph.capacity, state.source + 1)
         if config.backend is Backend.NUMPY:
-            from .push_vectorized import vectorized_phase
+            # kernel_phase picks the compiled C kernel or the vectorized
+            # numpy oracle per REPRO_KERNEL / config.kernel (bit-identical
+            # either way; see repro.kernels).
+            from ..kernels import kernel_phase
 
             snapshot = (
                 csr if csr is not None else CSRGraph.from_digraph(graph, min_capacity)
             )
             state.ensure_capacity(snapshot.num_vertices)
-            vectorized_phase(state, snapshot, Phase.POS, config, seeds, stats)
-            vectorized_phase(state, snapshot, Phase.NEG, config, seeds, stats)
-            span.set(iterations=stats.num_iterations)
+            used = kernel_phase(state, snapshot, Phase.POS, config, seeds, stats)
+            kernel_phase(state, snapshot, Phase.NEG, config, seeds, stats)
+            span.set(iterations=stats.num_iterations, kernel=used)
             return stats
         if config.backend is Backend.MULTIPROCESS:
             from ..parallel.multiproc import multiprocess_push

@@ -14,6 +14,7 @@ from .generators import (
     star_graph,
 )
 from .labeled import LabeledDiGraph
+from .shm import SharedArrayBundle, SnapshotPublisher, sweep_stale
 from .stream import EdgeStream, SlidingWindow, WindowSlide, random_permutation_stream
 from .update import EdgeOp, EdgeUpdate, deletions, insertions
 
@@ -27,7 +28,9 @@ __all__ = [
     "EdgeStream",
     "EdgeUpdate",
     "LabeledDiGraph",
+    "SharedArrayBundle",
     "SlidingWindow",
+    "SnapshotPublisher",
     "WindowSlide",
     "complete_graph",
     "cycle_graph",
@@ -40,4 +43,5 @@ __all__ = [
     "random_permutation_stream",
     "rmat_graph",
     "star_graph",
+    "sweep_stale",
 ]

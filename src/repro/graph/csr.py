@@ -33,7 +33,7 @@ class CSRGraph:
         dense ``int64`` out-degree array indexed by vertex id.
     """
 
-    __slots__ = ("indptr", "indices", "dout", "num_vertices", "num_edges")
+    __slots__ = ("indptr", "indices", "dout", "num_vertices", "num_edges", "_kernel")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, dout: np.ndarray) -> None:
         if indptr.ndim != 1 or indices.ndim != 1 or dout.ndim != 1:
@@ -49,6 +49,7 @@ class CSRGraph:
         self.dout = dout
         self.num_vertices = len(dout)
         self.num_edges = len(indices)
+        self._kernel: dict | None = None
 
     @classmethod
     def from_digraph(cls, graph: DynamicDiGraph, capacity: int | None = None) -> "CSRGraph":
@@ -153,6 +154,29 @@ class CSRGraph:
                 f"snapshot covers {self.num_vertices} ids,"
                 f" graph needs {capacity}"
             )
+
+    def kernel_arrays(self) -> dict:
+        """The flat-row layout consumed by the compiled push kernel.
+
+        ``row_start``/``row_count`` address each vertex's in-row inside
+        ``base_indices`` (a frozen CSR has no overlay rows, so
+        ``row_overlay`` is all zeros and ``overlay_indices`` empty). Built
+        once per snapshot and cached — the snapshot is immutable.
+        """
+        ka = self._kernel
+        if ka is None:
+            n = self.num_vertices
+            ka = {
+                "num_rows": int(n),
+                "row_start": np.ascontiguousarray(self.indptr[:-1]),
+                "row_count": np.diff(self.indptr),
+                "row_overlay": np.zeros(n, dtype=np.uint8),
+                "base_indices": np.ascontiguousarray(self.indices),
+                "overlay_indices": np.empty(0, dtype=np.int64),
+                "dout": np.ascontiguousarray(self.dout),
+            }
+            self._kernel = ka
+        return ka
 
     def memory_bytes(self) -> int:
         """Approximate resident bytes of the snapshot arrays."""

@@ -109,7 +109,15 @@ class DeltaCSRGraph:
     version is never mutated under its feet.
     """
 
-    __slots__ = ("base", "dout", "_rows", "_patched", "num_vertices", "num_edges")
+    __slots__ = (
+        "base",
+        "dout",
+        "_rows",
+        "_patched",
+        "num_vertices",
+        "num_edges",
+        "_kernel",
+    )
 
     def __init__(
         self,
@@ -129,6 +137,7 @@ class DeltaCSRGraph:
         self._patched = patched
         self.num_vertices = len(dout)
         self.num_edges = num_edges
+        self._kernel: dict | None = None
 
     @classmethod
     def wrap(cls, base: CSRGraph) -> "DeltaCSRGraph":
@@ -404,6 +413,54 @@ class DeltaCSRGraph:
     def consolidated(self) -> "DeltaCSRGraph":
         """A fresh empty overlay over :meth:`consolidate`'s result."""
         return DeltaCSRGraph.wrap(self.consolidate())
+
+    def kernel_arrays(self) -> dict:
+        """The flat-row layout consumed by the compiled push kernel.
+
+        Patched rows are packed into one ``overlay_indices`` buffer and
+        flagged in ``row_overlay``; everything else addresses the frozen
+        base in place. Per-row resolution in the kernel then reads the
+        exact same edge sequence :meth:`gather_in_edges` splices together,
+        keeping float summation order — and therefore every bit of the
+        result — identical. Cached: views are persistent, never mutated.
+        """
+        ka = self._kernel
+        if ka is None:
+            base = self.base
+            n = self.num_vertices
+            bn = base.num_vertices
+            row_start = np.zeros(n, dtype=np.int64)
+            row_count = np.zeros(n, dtype=np.int64)
+            row_overlay = np.zeros(n, dtype=np.uint8)
+            row_start[:bn] = base.indptr[:-1]
+            row_count[:bn] = np.diff(base.indptr)
+            patched_ids = np.flatnonzero(self._patched)
+            if patched_ids.size:
+                rows = [self._rows[int(v)] for v in patched_ids.tolist()]
+                lens = np.fromiter(
+                    (len(row) for row in rows), dtype=np.int64, count=len(rows)
+                )
+                starts = np.zeros(len(rows), dtype=np.int64)
+                np.cumsum(lens[:-1], out=starts[1:])
+                overlay_indices = (
+                    np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+                )
+                row_start[patched_ids] = starts
+                row_count[patched_ids] = lens
+                row_overlay[patched_ids] = 1
+            else:
+                overlay_indices = np.empty(0, dtype=np.int64)
+            ka = {
+                "num_rows": int(n),
+                "row_start": row_start,
+                "row_count": row_count,
+                "row_overlay": row_overlay,
+                "base_indices": np.ascontiguousarray(base.indices),
+                "overlay_indices": np.ascontiguousarray(overlay_indices),
+                "dout": np.ascontiguousarray(self.dout),
+            }
+            self._kernel = ka
+        return ka
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -325,8 +325,30 @@ class DynamicDiGraph:
         }
 
     @classmethod
-    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "DynamicDiGraph":
-        """Rebuild a graph serialized by :meth:`to_arrays` (order-exact)."""
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        lazy: bool = False,
+        num_edges: int | None = None,
+        max_vertex: int | None = None,
+    ) -> "DynamicDiGraph":
+        """Rebuild a graph serialized by :meth:`to_arrays` (order-exact).
+
+        With ``lazy=True`` the O(n + m) adjacency-dict build is deferred
+        until something actually walks the dicts (mutation, in-neighbor
+        iteration, consistency checks): the returned graph answers
+        ``capacity``/``num_edges``/``num_vertices``/``has_vertex`` straight
+        from the arrays, which is what makes shared-memory replica
+        bootstrap O(1) in m — the serving push runs on an installed CSR
+        snapshot and never needs the dicts. ``num_edges``/``max_vertex``
+        skip even the O(m)/O(n) scalar reductions when the publisher
+        already knows them (shm descriptor meta). Materialization is
+        order-exact: a lazily-built graph that later materializes is
+        bit-identical to an eager ``from_arrays`` build.
+        """
+        if lazy:
+            return _LazyArraysGraph(arrays, num_edges=num_edges, max_vertex=max_vertex)
         g = cls()
         for u in arrays["vertices"].tolist():
             g.add_vertex(u)
@@ -374,6 +396,15 @@ class DynamicDiGraph:
             f" max_id={self._max_vertex})"
         )
 
+    def is_materialized(self) -> bool:
+        """Whether the adjacency dicts exist yet (always true here).
+
+        The lazy shared-memory bootstrap variant returns ``False`` until
+        something walks the dicts; tests and benchmarks use this to assert
+        the replica query path stayed on the snapshot.
+        """
+        return True
+
     def check_consistency(self) -> None:
         """Validate internal invariants (used by tests; O(n + m))."""
         total = 0
@@ -386,3 +417,89 @@ class DynamicDiGraph:
         assert total == self._num_edges, "edge count mismatch"
         for v, nbrs in self._in.items():
             assert sum(nbrs.values()) == self._din[v], f"din mismatch at {v}"
+
+
+class _LazyArraysGraph(DynamicDiGraph):
+    """A :meth:`DynamicDiGraph.from_arrays` graph that builds its dicts late.
+
+    Scalars (``capacity``, ``num_edges``, ``num_vertices``) and membership
+    come straight from the serialized arrays; the first access to any
+    adjacency dict triggers the full order-exact materialization, after
+    which this behaves exactly like an eagerly-built graph. Replica/shard
+    bootstrap over shared memory relies on this: attaching a snapshot and
+    serving queries from an installed CSR never touches the dicts, so
+    bootstrap cost is independent of m.
+    """
+
+    __slots__ = ("_arrays", "_vertex_ids")
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        *,
+        num_edges: int | None = None,
+        max_vertex: int | None = None,
+    ) -> None:
+        # Deliberately skip DynamicDiGraph.__init__: the dict slots stay
+        # unset until _materialize (unset slots route through __getattr__).
+        self._arrays: dict[str, np.ndarray] | None = arrays
+        self._vertex_ids: frozenset[int] | None = None
+        if num_edges is None:
+            out = arrays["out_edges"]
+            num_edges = int(out[:, 2].sum()) if len(out) else 0
+        if max_vertex is None:
+            ids = arrays["vertices"]
+            max_vertex = int(ids.max()) if len(ids) else -1
+        self._num_edges = int(num_edges)
+        self._max_vertex = int(max_vertex)
+
+    def __getattr__(self, name: str):
+        if name in ("_out", "_in", "_dout", "_din"):
+            self._materialize()
+            return object.__getattribute__(self, name)
+        raise AttributeError(name)
+
+    def _materialize(self) -> None:
+        arrays = self._arrays
+        if arrays is None:  # pragma: no cover - re-entrant guard
+            raise AttributeError("adjacency dicts missing during materialization")
+        self._arrays = None
+        self._out = {}
+        self._in = {}
+        self._dout = {}
+        self._din = {}
+        for u in arrays["vertices"].tolist():
+            self._out[u] = {}
+            self._in[u] = {}
+            self._dout[u] = 0
+            self._din[u] = 0
+        for u, v, count in arrays["out_edges"].tolist():
+            self._out[u][v] = count
+            self._dout[u] += count
+        for v, u, count in arrays["in_edges"].tolist():
+            self._in[v][u] = count
+            self._din[v] += count
+
+    def is_materialized(self) -> bool:
+        return self._arrays is None
+
+    @property
+    def num_vertices(self) -> int:
+        if self._arrays is not None:
+            return len(self._arrays["vertices"])
+        return len(self._out)
+
+    def has_vertex(self, u: int) -> bool:
+        if self._arrays is None:
+            return u in self._out
+        ids = self._vertex_ids
+        if ids is None:
+            ids = frozenset(self._arrays["vertices"].tolist())
+            self._vertex_ids = ids
+        return u in ids
+
+    def __contains__(self, u: object) -> bool:
+        return isinstance(u, int) and self.has_vertex(u)
+
+    def __len__(self) -> int:
+        return self.num_vertices

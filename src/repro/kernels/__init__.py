@@ -1,0 +1,154 @@
+"""Runtime-selected push kernels: compiled C fast path, numpy oracle.
+
+Every push engine that runs on CSR arrays (``Backend.NUMPY``) routes its
+per-phase loop through :func:`kernel_phase`, which picks between
+
+* the **compiled** kernel — ``_push.c`` built on demand (:mod:`.build`)
+  and driven through ctypes (:mod:`.compiled`); and
+* the **numpy** kernel — :func:`repro.core.push_vectorized.vectorized_phase`,
+  the always-available correctness oracle.
+
+Selection comes from ``PPRConfig.kernel`` when set, else the
+``REPRO_KERNEL`` environment variable (``compiled|numpy|auto``; default
+``auto``). The two are bit-identical by contract — ``auto`` is safe to
+leave on everywhere — and CI runs differential property tests
+(``tests/test_kernel_properties.py``) to keep them that way.
+
+Views the compiled kernel cannot address at all (e.g. the sharded tier's
+distributed views, which fetch remote rows mid-push) fall back to numpy
+per push even under ``REPRO_KERNEL=compiled``; *unavailability* of the
+compiled kernel (no compiler, build failure) under ``compiled`` raises
+:class:`~repro.errors.BackendError` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..config import KernelConfig, KernelMode, Phase, PPRConfig
+from ..core.push_vectorized import vectorized_phase
+from ..core.state import PPRState
+from ..core.stats import PushStats
+from ..errors import BackendError
+from ..graph.delta import CSRView
+from .build import build_library
+from .compiled import KernelLibrary, compiled_phase
+
+__all__ = [
+    "describe",
+    "kernel_phase",
+    "load_library",
+    "reset",
+    "selected_backend",
+]
+
+#: (compiler, cache_dir) -> (KernelLibrary | None, reason). Process-wide:
+#: the build is content-addressed, so one entry per toolchain is enough.
+_LIBRARIES: dict[tuple[str | None, str | None], tuple[KernelLibrary | None, str]] = {}
+
+
+def reset() -> None:
+    """Forget cached load results (tests flip env vars between cases)."""
+    _LIBRARIES.clear()
+
+
+def load_library(
+    kernel: KernelConfig | None = None,
+) -> tuple[KernelLibrary | None, str]:
+    """Build/load the compiled kernel once per process.
+
+    Returns ``(library, reason)``; ``library`` is ``None`` when the host
+    cannot provide one (the reason says why). Never raises.
+    """
+    kernel = kernel or KernelConfig()
+    key = (kernel.compiler, kernel.cache_dir)
+    cached = _LIBRARIES.get(key)
+    if cached is not None:
+        return cached
+    import os
+
+    overrides = {}
+    if kernel.compiler is not None:
+        overrides["REPRO_KERNEL_CC"] = kernel.compiler
+    if kernel.cache_dir is not None:
+        overrides["REPRO_KERNEL_CACHE"] = kernel.cache_dir
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update(overrides)
+    try:
+        path, reason = build_library()
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+    library: KernelLibrary | None = None
+    if path is not None:
+        try:
+            library = KernelLibrary(path)
+        except OSError as exc:
+            library, reason = None, f"load failed: {exc}"
+    _LIBRARIES[key] = (library, reason)
+    return library, reason
+
+
+def _kernel_config(config: PPRConfig | None) -> KernelConfig:
+    if config is not None and config.kernel is not None:
+        return config.kernel
+    return KernelConfig.from_env()
+
+
+def selected_backend(config: PPRConfig | None = None) -> tuple[str, str]:
+    """The kernel this process would run: ``("compiled"|"numpy", reason)``.
+
+    Raises :class:`BackendError` when the selection *forces* the compiled
+    kernel and none is available.
+    """
+    kernel = _kernel_config(config)
+    if kernel.mode is KernelMode.NUMPY:
+        return "numpy", "forced by configuration"
+    library, reason = load_library(kernel)
+    if library is not None:
+        return "compiled", reason
+    if kernel.mode is KernelMode.COMPILED:
+        raise BackendError(
+            f"REPRO_KERNEL=compiled but the kernel is unavailable: {reason}"
+        )
+    return "numpy", f"fallback: {reason}"
+
+
+def describe(config: PPRConfig | None = None) -> dict[str, str]:
+    """Selection summary for smoke scripts and ``repro kernel-bench``."""
+    kernel = _kernel_config(config)
+    try:
+        backend, reason = selected_backend(config)
+    except BackendError as exc:
+        backend, reason = "unavailable", str(exc)
+    return {"mode": kernel.mode.value, "backend": backend, "reason": reason}
+
+
+def kernel_phase(
+    state: PPRState,
+    csr: CSRView,
+    phase: Phase,
+    config: PPRConfig,
+    seeds: Iterable[int] | None,
+    stats: PushStats,
+) -> str:
+    """Run one sign phase through the selected kernel; returns the one used."""
+    kernel = _kernel_config(config)
+    if kernel.mode is not KernelMode.NUMPY:
+        library, reason = load_library(kernel)
+        if library is None:
+            if kernel.mode is KernelMode.COMPILED:
+                raise BackendError(
+                    f"REPRO_KERNEL=compiled but the kernel is unavailable: {reason}"
+                )
+        elif getattr(csr, "prefetch_rows", None) is None:
+            arrays = getattr(csr, "kernel_arrays", None)
+            if arrays is not None and compiled_phase(
+                library, state, arrays(), phase, config, seeds, stats
+            ):
+                return "compiled"
+    vectorized_phase(state, csr, phase, config, seeds, stats)
+    return "numpy"

@@ -293,6 +293,9 @@ class PPRService:
         self.graph_version = 0
         self._csr: CSRView | None = None
         self._csr_version = -1
+        #: Attached shared-memory bundle (shm-bootstrapped replicas only):
+        #: pins the mapping for as long as this service hands out views.
+        self._shm_bundle = None
         self._hub_pending: set[int] = set()
         self._metrics = ServiceMetrics()
         self._gateway: "Gateway | None" = None
@@ -418,6 +421,57 @@ class PPRService:
         service.graph_version = graph_version
         return service
 
+    @classmethod
+    def from_shared_snapshot(
+        cls,
+        descriptor: dict,
+        *,
+        config: PPRConfig | None = None,
+        serve: ServeConfig | None = None,
+        hubs: Sequence[int] | None = None,
+        graph_version: int = 0,
+    ) -> "PPRService":
+        """Build a replica by *attaching* a published shared-memory snapshot.
+
+        The zero-copy sibling of :meth:`from_graph_arrays`: ``descriptor``
+        names a :class:`~repro.graph.shm.SharedArrayBundle` published by
+        the coordinator (order-exact graph arrays, plus — when present —
+        the consolidated CSR arrays of the same version). The graph is
+        built *lazily* (scalars from the bundle's meta, adjacency dicts
+        deferred) and the CSR is installed directly over the shared
+        arrays, so bootstrap cost is independent of the graph size:
+        nothing is copied until an ingest or a dict-walking code path
+        actually needs the adjacency. Answers remain bit-identical to a
+        :meth:`from_graph_arrays` replica — the shared CSR is the same
+        order-exact consolidation a local rebuild would produce.
+
+        The attached bundle is pinned on the service (``_shm_bundle``) so
+        the mapping outlives every numpy view handed out.
+        """
+        from ..graph.shm import SharedArrayBundle
+
+        bundle = SharedArrayBundle.attach(descriptor)
+        arrays = bundle.arrays()
+        meta = bundle.meta
+        graph = DynamicDiGraph.from_arrays(
+            arrays,
+            lazy=True,
+            num_edges=meta.get("num_edges"),
+            max_vertex=meta.get("max_vertex"),
+        )
+        service = cls(graph, config, serve, hubs=hubs)
+        service.graph_version = graph_version
+        if "csr_indptr" in arrays:
+            service.set_snapshot(
+                CSRGraph(
+                    arrays["csr_indptr"],
+                    arrays["csr_indices"],
+                    arrays["csr_dout"],
+                )
+            )
+        service._shm_bundle = bundle
+        return service
+
     # ------------------------------------------------------------------ #
     # snapshots
     # ------------------------------------------------------------------ #
@@ -473,6 +527,33 @@ class PPRService:
             self._csr = view
             self._csr_version = self.graph_version
         return True
+
+    def shared_snapshot_arrays(self) -> dict[str, np.ndarray]:
+        """The current version's CSR as flat arrays for shm publication.
+
+        A delta overlay view is consolidated first (the consolidation is
+        order-exact, so a replica pushing on these arrays stays
+        bit-identical to one that rebuilt its own snapshot) and the
+        consolidated view is kept as this service's snapshot — the work
+        is not thrown away. Returns ``{}`` under the pure backend, which
+        keeps no CSR.
+        """
+        view = self._snapshot()
+        if view is None:
+            return {}
+        if isinstance(view, DeltaCSRGraph):
+            flat = view.consolidate()
+            self._csr = (
+                DeltaCSRGraph.wrap(flat)
+                if self.serve.snapshot is SnapshotStrategy.DELTA
+                else flat
+            )
+            view = flat
+        return {
+            "csr_indptr": view.indptr,
+            "csr_indices": view.indices,
+            "csr_dout": view.dout,
+        }
 
     def set_snapshot(self, csr: CSRView) -> None:
         """Install an externally-built snapshot of the *current* version.

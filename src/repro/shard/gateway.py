@@ -282,6 +282,20 @@ class ShardedGateway:
         else:
             self._history = []
         self._seed_arrays: dict[str, Any] | None = graph.to_arrays()
+        #: Shared-memory publication of the seed snapshot: one named
+        #: segment every worker attaches and slices, instead of pickling
+        #: the full dump down each spawn pipe.
+        self._seed_bundle = None
+        self._seed_shm: dict[str, Any] | None = None
+        if self.shard.shared_memory:
+            from ..graph.shm import SharedArrayBundle
+
+            self._seed_bundle = SharedArrayBundle.create(
+                self._seed_arrays, tag="shard-seed"
+            )
+            self._seed_shm = self._seed_bundle.descriptor
+            # The segment is the seed's home now; keep no private copy.
+            self._seed_arrays = None
         self._batches_since_checkpoint = 0
         #: Per-shard relay counters (the /v1/metrics satellite surface).
         self.exchange_rounds = [0] * self.shard.shards
@@ -328,6 +342,7 @@ class ShardedGateway:
             store_root=store_root,
             store_config=store_config,
             recover=recover,
+            graph_shm=None if recover else self._seed_shm,
             obs=self.config.obs,
             chaos=chaos.INJECTOR.plan,
         )
@@ -467,6 +482,11 @@ class ShardedGateway:
                     handle.close(
                         timeout=max(0.1, min(5.0, limit - clock.now()))
                     )
+            if self._seed_bundle is not None:
+                self._seed_bundle.unlink()
+                self._seed_bundle.close()
+                self._seed_bundle = None
+                self._seed_shm = None
 
     def __enter__(self) -> "ShardedGateway":
         return self
@@ -1436,6 +1456,8 @@ class ShardedGateway:
 
         self._history = deque(maxlen=self.shard.history_frames)
         self._seed_arrays = None
+        self._seed_bundle = None
+        self._seed_shm = None
         self._batches_since_checkpoint = 0
         self.exchange_rounds = [0] * self.shard.shards
         self.frontier_bytes = [0] * self.shard.shards

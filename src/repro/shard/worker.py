@@ -58,8 +58,10 @@ class ShardSpec:
 
     ``graph_arrays`` (an order-exact full-graph snapshot from
     :meth:`~repro.graph.digraph.DynamicDiGraph.to_arrays`, sliced
-    locally by the partitioner) and ``recover`` (rebuild from this
-    shard's own store) are mutually exclusive bootstrap modes.
+    locally by the partitioner), ``graph_shm`` (the same snapshot
+    attached from a named shared-memory segment — zero pickling per
+    worker) and ``recover`` (rebuild from this shard's own store) are
+    mutually exclusive bootstrap modes.
     """
 
     shard_id: int
@@ -68,9 +70,10 @@ class ShardSpec:
     serve: ServeConfig
     #: ``Partitioner.to_manifest()`` payload — rebuilt identically here.
     partitioner_manifest: dict[str, Any]
-    #: Full-graph snapshot to slice, or None when recovering.
+    #: Full-graph snapshot to slice, or None when recovering or
+    #: attaching shared memory.
     graph_arrays: dict[str, Any] | None
-    #: Graph version the ``graph_arrays`` snapshot is at.
+    #: Graph version the ``graph_arrays``/``graph_shm`` snapshot is at.
     graph_version: int
     #: This shard's own store directory (None = no durability).
     store_root: str | None = None
@@ -79,6 +82,10 @@ class ShardSpec:
     store_config: StoreConfig | None = None
     #: Rebuild from ``store_root`` (newest checkpoint + WAL tail).
     recover: bool = False
+    #: Shared-memory snapshot descriptor (:mod:`repro.graph.shm`): the
+    #: worker attaches the published seed segment and slices it locally
+    #: (``ShardConfig.shared_memory``).
+    graph_shm: dict[str, Any] | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)
     chaos: FaultPlan | None = None
 
@@ -90,9 +97,14 @@ class ShardSpec:
         if self.recover:
             if self.store_root is None:
                 raise ClusterError("a recovering ShardSpec needs store_root")
-        elif self.graph_arrays is None:
+        elif self.graph_arrays is None and self.graph_shm is None:
             raise ClusterError(
-                "a ShardSpec needs graph_arrays unless recover=True"
+                "a ShardSpec needs graph_arrays or graph_shm unless"
+                " recover=True"
+            )
+        if self.graph_arrays is not None and self.graph_shm is not None:
+            raise ClusterError(
+                "graph_arrays and graph_shm are mutually exclusive"
             )
         if self.serve.store is not None:
             raise ClusterError("shard ServeConfig must not carry a store")
@@ -113,9 +125,23 @@ def build_shard_service(spec: ShardSpec) -> ShardService:
             store_config=spec.store_config,
         )
         return result.service
-    graph = ShardGraph.from_full_arrays(
-        spec.graph_arrays, partitioner, spec.shard_id
-    )
+    if spec.graph_shm is not None:
+        from ..graph.shm import SharedArrayBundle
+
+        # Attach, slice, detach: from_full_arrays copies everything it
+        # keeps, so the mapping can be dropped as soon as the slice is
+        # built — a shard holds only its own rows, never the full dump.
+        bundle = SharedArrayBundle.attach(spec.graph_shm)
+        try:
+            graph = ShardGraph.from_full_arrays(
+                bundle.arrays(), partitioner, spec.shard_id
+            )
+        finally:
+            bundle.close()
+    else:
+        graph = ShardGraph.from_full_arrays(
+            spec.graph_arrays, partitioner, spec.shard_id
+        )
     store = None
     if spec.store_root is not None:
         store = StateStore(spec.store_root, spec.store_config)

@@ -19,6 +19,20 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_shm():
+    """No test run may leave ``repro-shm-*`` segments behind.
+
+    SIGKILL tests can orphan shared-memory snapshots faster than the
+    stdlib resource tracker reclaims them; sweeping dead-creator
+    segments at session teardown keeps /dev/shm clean between runs.
+    """
+    yield
+    from repro.graph.shm import sweep_stale
+
+    sweep_stale()
+
+
 @pytest.fixture(autouse=True)
 def _reset_obs():
     """The tracer is process-global; no test may leak spans into the next."""

@@ -1,0 +1,184 @@
+"""Kernel selection, fallback, and dispatch (:mod:`repro.kernels`).
+
+The runtime-selection contracts:
+
+1. ``REPRO_KERNEL`` / ``PPRConfig.kernel`` pick the backend — ``numpy``
+   forces the oracle, ``compiled`` *requires* the C kernel (typed
+   :class:`~repro.errors.BackendError` when the host cannot build one),
+   ``auto`` prefers compiled and falls back silently;
+2. a host without a usable compiler degrades gracefully — pushes still
+   run, answers still bit-identical to the oracle (they *are* the
+   oracle), and ``describe()`` says why;
+3. both kernels produce bit-identical states on the same inputs (the
+   exhaustive random-graph version lives in
+   ``tests/test_kernel_properties.py``; here one deterministic case
+   guards the plumbing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Backend, DynamicDiGraph, PPRConfig, PPRState, PushVariant
+from repro import kernels
+from repro.config import KernelConfig, KernelMode
+from repro.core.push_parallel import parallel_local_push
+from repro.errors import BackendError, ConfigError
+from tests.conftest import random_graph
+
+#: A compiler flag both load paths agree is unusable.
+BOGUS_CC = "definitely-not-a-compiler-xyzzy"
+
+HAVE_COMPILED = kernels.load_library()[0] is not None
+
+needs_compiled = pytest.mark.skipif(
+    not HAVE_COMPILED, reason="no C compiler on this host"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_selection(monkeypatch):
+    """Each case picks its own env; no cached load may leak across."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    yield
+    kernels.reset()
+
+
+def push_config(**kwargs) -> PPRConfig:
+    return PPRConfig(
+        alpha=0.2,
+        epsilon=1e-4,
+        variant=PushVariant.OPT,
+        backend=Backend.NUMPY,
+        workers=1,
+        **kwargs,
+    )
+
+
+class TestConfigSurface:
+    def test_from_env_parses_all_modes(self, monkeypatch):
+        for raw, mode in (
+            ("compiled", KernelMode.COMPILED),
+            ("numpy", KernelMode.NUMPY),
+            ("auto", KernelMode.AUTO),
+            (" AUTO ", KernelMode.AUTO),
+        ):
+            monkeypatch.setenv("REPRO_KERNEL", raw)
+            assert KernelConfig.from_env().mode is mode
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fortran")
+        with pytest.raises(ConfigError):
+            KernelConfig.from_env()
+
+    def test_unset_env_means_auto(self):
+        assert KernelConfig.from_env().mode is KernelMode.AUTO
+
+    def test_mode_must_be_a_kernel_mode(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(mode="compiled")
+
+    def test_ppr_config_rejects_non_kernel_config(self):
+        with pytest.raises(ConfigError):
+            PPRConfig(kernel="compiled")
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "compiled")
+        config = push_config(kernel=KernelConfig(mode=KernelMode.NUMPY))
+        backend, reason = kernels.selected_backend(config)
+        assert backend == "numpy" and reason == "forced by configuration"
+
+
+class TestSelection:
+    def test_numpy_mode_never_builds(self):
+        config = push_config(kernel=KernelConfig(mode=KernelMode.NUMPY))
+        assert kernels.selected_backend(config)[0] == "numpy"
+
+    @needs_compiled
+    def test_auto_prefers_compiled(self):
+        backend, _ = kernels.selected_backend(push_config())
+        assert backend == "compiled"
+
+    def test_auto_falls_back_without_a_compiler(self):
+        config = push_config(
+            kernel=KernelConfig(mode=KernelMode.AUTO, compiler=BOGUS_CC)
+        )
+        backend, reason = kernels.selected_backend(config)
+        assert backend == "numpy"
+        assert "fallback" in reason
+
+    def test_forced_compiled_without_a_compiler_raises(self):
+        config = push_config(
+            kernel=KernelConfig(mode=KernelMode.COMPILED, compiler=BOGUS_CC)
+        )
+        with pytest.raises(BackendError):
+            kernels.selected_backend(config)
+
+    def test_describe_reports_unavailable_instead_of_raising(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "compiled")
+        monkeypatch.setenv("REPRO_KERNEL_CC", BOGUS_CC)
+        kernels.reset()
+        info = kernels.describe()
+        assert info["mode"] == "compiled"
+        assert info["backend"] == "unavailable"
+
+    def test_load_library_failure_is_cached_not_retried(self):
+        kernel = KernelConfig(compiler=BOGUS_CC)
+        library, reason = kernels.load_library(kernel)
+        assert library is None
+        # The failure is memoized per (compiler, cache_dir): the second
+        # call returns the cached entry without probing the host again.
+        assert (kernel.compiler, kernel.cache_dir) in kernels._LIBRARIES
+        assert kernels.load_library(kernel) == (library, reason)
+
+
+class TestDispatch:
+    def _converged_states(self, config_a, config_b):
+        rng = np.random.default_rng(20170901)
+        graph = random_graph(rng, n=40, m=260)
+        states = []
+        for config in (config_a, config_b):
+            state = PPRState.initial(0, graph.capacity)
+            parallel_local_push(state, graph, config)
+            states.append(state)
+        return states
+
+    @needs_compiled
+    def test_compiled_matches_numpy_bitwise(self):
+        compiled, numpy_oracle = self._converged_states(
+            push_config(kernel=KernelConfig(mode=KernelMode.COMPILED)),
+            push_config(kernel=KernelConfig(mode=KernelMode.NUMPY)),
+        )
+        assert np.array_equal(compiled.p, numpy_oracle.p)
+        assert np.array_equal(compiled.r, numpy_oracle.r)
+
+    def test_push_still_runs_when_fallback_engages(self):
+        broken, oracle = self._converged_states(
+            push_config(
+                kernel=KernelConfig(mode=KernelMode.AUTO, compiler=BOGUS_CC)
+            ),
+            push_config(kernel=KernelConfig(mode=KernelMode.NUMPY)),
+        )
+        assert np.array_equal(broken.p, oracle.p)
+        assert np.array_equal(broken.r, oracle.r)
+
+    def test_forced_compiled_push_raises_when_unavailable(self):
+        rng = np.random.default_rng(7)
+        graph = random_graph(rng)
+        state = PPRState.initial(0, graph.capacity)
+        config = push_config(
+            kernel=KernelConfig(mode=KernelMode.COMPILED, compiler=BOGUS_CC)
+        )
+        with pytest.raises(BackendError):
+            parallel_local_push(state, graph, config)
+
+    @needs_compiled
+    def test_env_selection_reaches_the_push(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "compiled")
+        kernels.reset()
+        compiled, oracle = self._converged_states(
+            push_config(), push_config(kernel=KernelConfig(mode=KernelMode.NUMPY))
+        )
+        assert np.array_equal(compiled.p, oracle.p)
+        assert np.array_equal(compiled.r, oracle.r)

@@ -1,0 +1,336 @@
+"""Shared-memory snapshots (:mod:`repro.graph.shm`).
+
+The lifecycle contracts the zero-copy bootstrap path depends on:
+
+1. **roundtrip** — arrays packed by the creator come back bit-identical
+   (and read-only) through a picklable descriptor;
+2. **refcounts** — the publisher keeps a superseded version alive while
+   readers hold it and unlinks it on the last release; the current
+   version always stays;
+3. **POSIX semantics** — an attached reader's views stay valid after the
+   owner unlinks (version bump while readers attached);
+4. **cleanup** — gateway close / publisher close / ``sweep_stale`` leave
+   no ``repro-shm-*`` segment behind, including segments whose creator
+   pid is gone (the SIGKILL backstop).
+
+Plus the lazy-bootstrap contract of
+:meth:`~repro.graph.digraph.DynamicDiGraph.from_arrays`: a replica built
+from a shared snapshot answers reads without ever materializing its
+adjacency dicts, and materializes them order-exactly on the first write.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import DynamicDiGraph, PPRService
+from repro.api.requests import FRESH, TopKQuery
+from repro.cluster import PPRCluster
+from repro.config import ClusterConfig, ServeConfig, ShardConfig
+from repro.errors import GraphError
+from repro.graph import (
+    SharedArrayBundle,
+    SnapshotPublisher,
+    insertions,
+    sweep_stale,
+)
+from repro.graph.digraph import _LazyArraysGraph
+from repro.graph.shm import SEGMENT_PREFIX
+from repro.shard import PPRShards
+from tests.conftest import random_graph
+
+EDGES = [(1, 0), (2, 0), (2, 1), (0, 2), (3, 1), (4, 3), (1, 4), (3, 0)]
+
+
+def segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def graph_arrays() -> dict[str, np.ndarray]:
+    return DynamicDiGraph(EDGES).to_arrays()
+
+
+class TestSharedArrayBundle:
+    def test_roundtrip_bit_identical(self, graph_arrays):
+        with SharedArrayBundle.create(graph_arrays, tag="t") as bundle:
+            attached = SharedArrayBundle.attach(bundle.descriptor)
+            try:
+                for key, arr in graph_arrays.items():
+                    assert np.array_equal(attached.arrays()[key], arr)
+                    assert attached.arrays()[key].dtype == arr.dtype
+            finally:
+                attached.close()
+            bundle.unlink()
+
+    def test_attached_views_are_read_only(self, graph_arrays):
+        with SharedArrayBundle.create(graph_arrays, tag="t") as bundle:
+            views = bundle.arrays()
+            with pytest.raises(ValueError):
+                views["vertices"][0] = 99
+            bundle.unlink()
+
+    def test_descriptor_is_picklable_and_carries_meta(self, graph_arrays):
+        bundle = SharedArrayBundle.create(
+            graph_arrays, tag="t", meta={"num_edges": 8}
+        )
+        try:
+            descriptor = pickle.loads(pickle.dumps(bundle.descriptor))
+            assert descriptor["meta"]["num_edges"] == 8
+            attached = SharedArrayBundle.attach(descriptor)
+            assert attached.meta["num_edges"] == 8
+            attached.close()
+        finally:
+            bundle.unlink()
+            bundle.close()
+
+    def test_segment_name_embeds_creator_pid(self, graph_arrays):
+        with SharedArrayBundle.create(graph_arrays, tag="t") as bundle:
+            assert bundle.name.startswith(f"{SEGMENT_PREFIX}-{os.getpid()}-t-")
+            bundle.unlink()
+
+    def test_unlink_is_owner_only_and_idempotent(self, graph_arrays):
+        bundle = SharedArrayBundle.create(graph_arrays, tag="t")
+        attached = SharedArrayBundle.attach(bundle.descriptor)
+        attached.unlink()  # non-owner: must be a no-op
+        assert segment_exists(bundle.name)
+        attached.close()
+        bundle.unlink()
+        bundle.unlink()  # idempotent
+        assert not segment_exists(bundle.name)
+        bundle.close()
+
+    def test_attach_after_unlink_raises(self, graph_arrays):
+        bundle = SharedArrayBundle.create(graph_arrays, tag="t")
+        descriptor = bundle.descriptor
+        bundle.unlink()
+        bundle.close()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBundle.attach(descriptor)
+
+    def test_empty_arrays_still_roundtrip(self):
+        arrays = {"empty": np.zeros(0, dtype=np.int64)}
+        with SharedArrayBundle.create(arrays, tag="t") as bundle:
+            attached = SharedArrayBundle.attach(bundle.descriptor)
+            assert attached.arrays()["empty"].shape == (0,)
+            attached.close()
+            bundle.unlink()
+
+
+class TestSnapshotPublisher:
+    def test_publish_supersedes_unpinned_versions(self, graph_arrays):
+        with SnapshotPublisher(tag="pub") as pub:
+            d1 = pub.publish(1, graph_arrays)
+            d2 = pub.publish(2, graph_arrays)
+            assert pub.versions() == [2]
+            assert pub.current_version == 2
+            assert not segment_exists(d1["segment"])
+            assert segment_exists(d2["segment"])
+
+    def test_publish_is_idempotent_per_version(self, graph_arrays):
+        with SnapshotPublisher(tag="pub") as pub:
+            d1 = pub.publish(1, graph_arrays)
+            assert pub.publish(1, graph_arrays) == d1
+
+    def test_retain_release_refcounts(self, graph_arrays):
+        with SnapshotPublisher(tag="pub") as pub:
+            d1 = pub.publish(1, graph_arrays)
+            pub.retain(1)
+            pub.retain(1)
+            assert pub.refcount(1) == 2
+            pub.publish(2, graph_arrays)
+            assert pub.versions() == [1, 2]  # v1 pinned by readers
+            pub.release(1)
+            assert segment_exists(d1["segment"])
+            pub.release(1)  # last reader: superseded version drops
+            assert pub.versions() == [2]
+            assert not segment_exists(d1["segment"])
+
+    def test_release_never_drops_the_current_version(self, graph_arrays):
+        with SnapshotPublisher(tag="pub") as pub:
+            d1 = pub.publish(1, graph_arrays)
+            pub.retain(1)
+            pub.release(1)
+            pub.release(1)  # refcount floors at zero
+            assert pub.versions() == [1]
+            assert segment_exists(d1["segment"])
+
+    def test_readers_survive_a_version_bump(self, graph_arrays):
+        pub = SnapshotPublisher(tag="pub")
+        d1 = pub.publish(1, graph_arrays)
+        reader = SharedArrayBundle.attach(d1)
+        vertices = reader.arrays()["vertices"]
+        expected = vertices.copy()
+        pub.publish(2, graph_arrays)  # supersedes and unlinks v1
+        assert not segment_exists(d1["segment"])
+        # POSIX unlink removes the *name*; the reader's mapping survives.
+        assert np.array_equal(vertices, expected)
+        reader.close()
+        pub.close()
+
+    def test_descriptor_of_missing_version_raises(self, graph_arrays):
+        with SnapshotPublisher(tag="pub") as pub:
+            with pytest.raises(GraphError):
+                pub.descriptor()
+            pub.publish(1, graph_arrays)
+            with pytest.raises(GraphError):
+                pub.descriptor(7)
+            with pytest.raises(GraphError):
+                pub.retain(7)
+
+    def test_close_unlinks_everything(self, graph_arrays):
+        pub = SnapshotPublisher(tag="pub")
+        d1 = pub.publish(1, graph_arrays)
+        pub.retain(1)  # a pinned, superseded version must still unlink
+        d2 = pub.publish(2, graph_arrays)
+        pub.close()
+        assert not segment_exists(d1["segment"])
+        assert not segment_exists(d2["segment"])
+        assert pub.versions() == []
+
+
+class TestSweepStale:
+    def test_dead_pid_segment_is_swept(self):
+        name = f"{SEGMENT_PREFIX}-999999999-orphan-deadbeef"
+        shm = shared_memory.SharedMemory(create=True, size=64, name=name)
+        shm.close()
+        assert segment_exists(name)
+        removed = sweep_stale()
+        assert name in removed
+        assert not segment_exists(name)
+
+    def test_live_pid_segment_is_kept(self, graph_arrays):
+        with SharedArrayBundle.create(graph_arrays, tag="live") as bundle:
+            assert bundle.name not in sweep_stale()
+            assert segment_exists(bundle.name)
+            bundle.unlink()
+
+    def test_include_alive_sweeps_everything(self, graph_arrays):
+        bundle = SharedArrayBundle.create(graph_arrays, tag="live")
+        assert bundle.name in sweep_stale(include_alive=True)
+        bundle.unlink()  # idempotent against the sweep
+        bundle.close()
+
+
+class TestLazyBootstrap:
+    def test_lazy_graph_matches_eager_after_materialization(self, rng):
+        graph = random_graph(rng)
+        arrays = graph.to_arrays()
+        lazy = DynamicDiGraph.from_arrays(arrays, lazy=True)
+        assert isinstance(lazy, _LazyArraysGraph)
+        assert not lazy.is_materialized()
+        eager = DynamicDiGraph.from_arrays(arrays)
+        assert eager.is_materialized()
+        assert lazy == eager  # forces materialization
+        assert lazy.is_materialized()
+        # Order-exact: adjacency iteration order must match, not just sets.
+        assert list(lazy._out) == list(eager._out)
+        assert [list(row) for row in lazy._out.values()] == [
+            list(row) for row in eager._out.values()
+        ]
+
+    def test_scalars_and_membership_do_not_materialize(self, graph_arrays):
+        graph = DynamicDiGraph(EDGES)
+        lazy = DynamicDiGraph.from_arrays(graph_arrays, lazy=True)
+        assert lazy.num_vertices == graph.num_vertices
+        assert lazy.num_edges == graph.num_edges
+        assert lazy.max_vertex_id == graph.max_vertex_id
+        assert lazy.capacity == graph.capacity
+        assert lazy.has_vertex(0) and not lazy.has_vertex(99)
+        assert 0 in lazy and 99 not in lazy
+        assert len(lazy) == graph.num_vertices
+        assert not lazy.is_materialized()
+
+    def test_service_reads_stay_lazy_writes_materialize(self):
+        primary = PPRService(DynamicDiGraph(EDGES))
+        arrays = dict(primary.graph.to_arrays())
+        arrays.update(primary.shared_snapshot_arrays())
+        bundle = SharedArrayBundle.create(
+            arrays,
+            meta={
+                "num_edges": primary.graph.num_edges,
+                "max_vertex": primary.graph.max_vertex_id,
+            },
+        )
+        try:
+            replica = PPRService.from_shared_snapshot(bundle.descriptor)
+            for source in (0, 1, 3):
+                ours = replica.gateway.submit(
+                    TopKQuery(source=source, k=4, consistency=FRESH)
+                )
+                theirs = primary.gateway.submit(
+                    TopKQuery(source=source, k=4, consistency=FRESH)
+                )
+                assert ours.ok and theirs.ok
+                assert [(e.vertex, e.estimate) for e in ours.entries] == [
+                    (e.vertex, e.estimate) for e in theirs.entries
+                ]
+            assert not replica.graph.is_materialized()
+            replica.ingest(insertions([(4, 0)]))
+            assert replica.graph.is_materialized()
+            primary.ingest(insertions([(4, 0)]))
+            ours = replica.query(0, k=4)
+            theirs = primary.query(0, k=4)
+            assert [(e.vertex, e.estimate) for e in ours.entries] == [
+                (e.vertex, e.estimate) for e in theirs.entries
+            ]
+        finally:
+            bundle.unlink()
+            bundle.close()
+
+
+class TestServingTiersOverSharedMemory:
+    def test_cluster_shm_bootstrap_matches_pipe_bootstrap(self):
+        def run(shared: bool):
+            service = PPRService(DynamicDiGraph(EDGES), serve=ServeConfig())
+            answers = []
+            config = ClusterConfig(replicas=2, shared_memory=shared)
+            with PPRCluster(service, config) as cluster:
+                for source in (0, 1, 2, 3):
+                    r = cluster.gateway.submit(
+                        TopKQuery(source=source, k=4, consistency=FRESH)
+                    )
+                    assert r.ok
+                    answers.append([(e.vertex, e.estimate) for e in r.entries])
+            return answers
+
+        assert run(True) == run(False)
+
+    def test_cluster_close_unlinks_published_segments(self):
+        service = PPRService(DynamicDiGraph(EDGES), serve=ServeConfig())
+        config = ClusterConfig(replicas=2, shared_memory=True)
+        with PPRCluster(service, config) as cluster:
+            publisher = cluster.gateway._publisher
+            assert publisher is not None
+            names = [
+                publisher.descriptor(v)["segment"] for v in publisher.versions()
+            ]
+            assert names and all(segment_exists(n) for n in names)
+        assert all(not segment_exists(n) for n in names)
+
+    def test_shard_shm_seed_matches_pipe_seed(self):
+        def run(shared: bool):
+            answers = []
+            config = ShardConfig(shards=2, shared_memory=shared)
+            with PPRShards(DynamicDiGraph(EDGES), config) as fleet:
+                for source in (0, 1, 4):
+                    r = fleet.gateway.submit(
+                        TopKQuery(source=source, k=4, consistency=FRESH)
+                    )
+                    assert r.ok
+                    answers.append([(e.vertex, e.estimate) for e in r.entries])
+            return answers
+
+        assert run(True) == run(False)
+
+    def test_shard_close_unlinks_the_seed_segment(self):
+        config = ShardConfig(shards=2, shared_memory=True)
+        with PPRShards(DynamicDiGraph(EDGES), config) as fleet:
+            name = fleet.gateway._seed_shm["segment"]
+            assert segment_exists(name)
+        assert not segment_exists(name)
